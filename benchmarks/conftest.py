@@ -1,0 +1,32 @@
+"""Shared fixtures for the experiment benchmarks.
+
+One :class:`EvaluationRunner` is shared across all benchmark modules in a
+session, so the expensive pipeline stages (profiling, transformation,
+execution) are paid once and reused by every figure that needs them.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.evaluation.runner import EvaluationRunner
+from repro.runtime.machine import MachineConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return EvaluationRunner(MachineConfig(cores=6))
+
+
+@pytest.fixture()
+def report():
+    """Write a rendered experiment to benchmarks/results/ and echo it."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return write

@@ -1,0 +1,26 @@
+"""Figure 9: whole-program speedups at 2/4/6 cores over 13 benchmarks.
+
+Paper result: geometric mean 2.25x and maximum 4.12x (art) at six cores;
+speedups grow with core count for every benchmark that speeds up at all.
+"""
+
+from repro.evaluation import figures
+
+
+def test_figure9_speedups(benchmark, runner, report):
+    result = benchmark.pedantic(
+        figures.figure9, args=(runner,), rounds=1, iterations=1
+    )
+    report("figure9", result.render())
+
+    six = {bench: row[6] for bench, row in result.speedups.items()}
+    # Shape checks against the paper.
+    assert result.geomean(6) > 1.7, "six-core geomean far below paper's 2.25"
+    assert max(six, key=six.get) == "art", "art must be the best benchmark"
+    assert six["art"] > 3.5
+    for low in ("mcf", "parser", "crafty"):
+        assert six[low] < 2.0, f"{low} should be near the bottom"
+    # More cores never hurt by much, and generally help.
+    for bench, row in result.speedups.items():
+        assert row[6] >= row[2] * 0.9
+    assert result.geomean(6) > result.geomean(4) > result.geomean(2)

@@ -1,0 +1,28 @@
+"""Figure 10: speedups with Steps 6 and 8 selectively disabled (6 cores).
+
+Paper result: with neither step HELIX still avoids slowdown (selection
+backs off to cheap loops); either step alone recovers only part of the
+speedup; both together (the last bar) approach the full result.  The
+balancing scheduler of Figure 6 is off in all four configurations.
+"""
+
+from repro.evaluation import figures
+from repro.evaluation.reporting import geomean
+
+
+def test_figure10_ablation(benchmark, runner, report):
+    result = benchmark.pedantic(
+        figures.figure10, args=(runner,), rounds=1, iterations=1
+    )
+    report("figure10", result.render())
+
+    means = {label: result.geomean(label) for label in result.labels}
+    # No configuration may produce a meaningful slowdown: the selection
+    # algorithm refuses unprofitable loops per configuration.
+    for bench, row in result.speedups.items():
+        for label, speedup in row.items():
+            assert speedup >= 0.9, f"{bench}/{label} regressed: {speedup:.2f}"
+    # Full HELIX (minus balancing) must beat the crippled configurations.
+    assert means["helix-nobalance"] >= means["neither"]
+    assert means["helix-nobalance"] >= means["no-step8"] - 0.05
+    assert means["helix-nobalance"] >= means["no-step6"] - 0.05

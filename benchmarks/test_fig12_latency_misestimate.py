@@ -1,0 +1,29 @@
+"""Figure 12: impact of misestimating signal latency during selection.
+
+Paper result: assuming 0-cycle signals during loop selection picks deep,
+tightly-coupled loops and produces slowdowns on the real machine;
+assuming 110 cycles everywhere is safe but leaves speedup on the table.
+"""
+
+from repro.evaluation import figures
+from repro.evaluation.reporting import geomean
+
+
+def test_figure12_latency_misestimate(benchmark, runner, report):
+    result = benchmark.pedantic(
+        figures.figure12, args=(runner,), rounds=1, iterations=1
+    )
+    report("figure12", result.render())
+
+    under = result.underestimated
+    over = result.overestimated
+
+    # Underestimation hurts: at least a few benchmarks slow down, and the
+    # geomean sits clearly below the honest Figure 9 result.
+    slowdowns = [b for b, s in under.items() if s < 1.0]
+    assert len(slowdowns) >= 3, f"expected slowdowns, got {under}"
+
+    # Overestimation is safe but conservative.
+    for bench, speedup in over.items():
+        assert speedup >= 0.9, f"{bench} regressed under overestimation"
+    assert geomean(list(over.values())) >= geomean(list(under.values()))

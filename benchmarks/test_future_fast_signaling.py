@@ -1,0 +1,27 @@
+"""Future-work study: speedups under fast hardware signaling.
+
+The paper's conclusion anticipates "fast hardware implementations of
+signaling".  The recorded traces are replayed with the inter-core
+signal/transfer latency swept from 4 cycles (register-file-speed
+signaling) to 220 (twice the testbed); loops stay as selected for the
+real machine, isolating the hardware effect.
+"""
+
+from repro.evaluation import figures
+
+
+def test_latency_sweep(benchmark, runner, report):
+    result = benchmark.pedantic(
+        figures.latency_sweep, args=(runner,), rounds=1, iterations=1
+    )
+    report("future_fast_signaling", result.render())
+
+    # Monotone: cheaper signaling never hurts.
+    latencies = sorted(result.speedups)
+    means = [result.geomean(l) for l in latencies]
+    for faster, slower in zip(means, means[1:]):
+        assert faster >= slower - 1e-6
+
+    # Fast signaling delivers real headroom over the 110-cycle testbed --
+    # the paper's closing claim.
+    assert result.geomean(4) > result.geomean(110) * 1.1

@@ -1,0 +1,31 @@
+"""Section 3.3: the signal prefetching study (6 cores).
+
+Paper result: HELIX's generated helper wait order is within 0.1 geomean
+of matched prefetching, and ideal prefetching (every signal an L1 hit,
+feasibility ignored) is about 0.4 above matched -- headroom a static
+scheduler cannot always close.
+"""
+
+from repro.evaluation import figures
+
+
+def test_prefetching_study(benchmark, runner, report):
+    result = benchmark.pedantic(
+        figures.prefetching_study, args=(runner,), rounds=1, iterations=1
+    )
+    report("sec33_prefetching", result.render())
+
+    helix = result.geomean("helix")
+    matched = result.geomean("matched")
+    ideal = result.geomean("ideal")
+    none = result.geomean("none")
+
+    # Ordering: no prefetching <= helix ~ matched <= ideal.
+    assert none <= helix + 1e-6
+    assert abs(matched - helix) <= 0.15, "Step 8's order ~ matched (paper: 0.1)"
+    assert ideal >= matched
+    assert ideal - matched <= 2.0  # finite headroom, not unbounded
+    # Every benchmark individually respects the ordering.
+    for bench, row in result.speedups.items():
+        assert row["ideal"] >= row["helix"] - 1e-6
+        assert row["helix"] >= row["none"] - 1e-6

@@ -1,0 +1,112 @@
+"""Control-flow-graph views and traversals.
+
+All algorithms work on block *names* so they are stable across instruction
+splicing.  A :class:`CFGView` snapshots successor/predecessor maps; passes
+that edit the CFG build a fresh view afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.ir import Function
+
+
+class CFGView:
+    """An immutable successor/predecessor snapshot of a function's CFG."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.entry = func.entry.name
+        self.succs: Dict[str, Tuple[str, ...]] = {}
+        self.preds: Dict[str, List[str]] = {name: [] for name in func.blocks}
+        for name, block in func.blocks.items():
+            targets = block.successor_names()
+            self.succs[name] = targets
+            for target in targets:
+                self.preds[target].append(name)
+        #: Blocks with no successors (RET blocks).
+        self.exits: Tuple[str, ...] = tuple(
+            name for name, targets in self.succs.items() if not targets
+        )
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        return self.succs[name]
+
+    def predecessors(self, name: str) -> List[str]:
+        return self.preds[name]
+
+    def nodes(self) -> List[str]:
+        return list(self.succs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.succs
+
+
+def postorder(cfg: CFGView, entry: Optional[str] = None) -> List[str]:
+    """Iterative DFS postorder over blocks reachable from ``entry``."""
+    start = entry or cfg.entry
+    order: List[str] = []
+    visited: Set[str] = {start}
+    # Stack of (node, iterator over successors).
+    stack: List[Tuple[str, int]] = [(start, 0)]
+    while stack:
+        node, index = stack[-1]
+        succs = cfg.succs[node]
+        if index < len(succs):
+            stack[-1] = (node, index + 1)
+            succ = succs[index]
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, 0))
+        else:
+            stack.pop()
+            order.append(node)
+    return order
+
+
+def reverse_postorder(cfg: CFGView, entry: Optional[str] = None) -> List[str]:
+    """Reverse postorder (a topological-ish order for dataflow)."""
+    order = postorder(cfg, entry)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(cfg: CFGView, entry: Optional[str] = None) -> Set[str]:
+    """Blocks reachable from ``entry`` (default: function entry)."""
+    start = entry or cfg.entry
+    seen: Set[str] = {start}
+    work = [start]
+    while work:
+        node = work.pop()
+        for succ in cfg.succs[node]:
+            if succ not in seen:
+                seen.add(succ)
+                work.append(succ)
+    return seen
+
+
+def reachable_within(
+    cfg: CFGView,
+    targets: Iterable[str],
+    allowed: FrozenSet[str],
+    blocked_edges: Set[Tuple[str, str]] = frozenset(),
+) -> Set[str]:
+    """Blocks in ``allowed`` from which some block in ``targets`` is
+    reachable without leaving ``allowed`` or crossing ``blocked_edges``.
+
+    Used by the HELIX sequential-segment computation: the "region that can
+    still reach an occurrence of dependence d within this iteration" is a
+    backward reachability query with the loop back edges blocked.
+    """
+    result: Set[str] = set(t for t in targets if t in allowed)
+    work = list(result)
+    while work:
+        node = work.pop()
+        for pred in cfg.preds[node]:
+            if pred in allowed and pred not in result:
+                if (pred, node) in blocked_edges:
+                    continue
+                result.add(pred)
+                work.append(pred)
+    return result

@@ -1,0 +1,674 @@
+"""Loop-carried data-dependence analysis (HELIX Step 2).
+
+Produces ``D_data``: the set of dependences that must be synchronized when
+the loop's iterations run on separate cores.  Following the paper:
+
+* Only *memory* dependences and cross-iteration *register* RAW dependences
+  are considered.  False (WAW/WAR) dependences through registers or the
+  call stack are excluded, because each iteration runs on its own core with
+  private registers and a private stack.
+* Memory dependences are detected with the interprocedural pointer
+  analysis; calls inside the loop are treated as accessing the transitive
+  mod/ref sets of their callees (the call instruction itself becomes the
+  dependence endpoint).
+* Dependences involving only invariant or induction variables are dropped.
+* Affine subscripts over a constant-step basic induction variable are
+  disambiguated: two accesses ``a[c*i + k]`` with identical subscript
+  expressions touch a different element each iteration and are therefore
+  *not* loop-carried (this is what makes DOALL-style loops come out clean).
+
+Each dependence carries *source* instructions (writers) and *sink*
+instructions (readers/writers); Step 4 builds one sequential segment per
+dependence from the region of the loop body that can still reach either
+endpoint set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.cfg import CFGView
+from repro.analysis.induction import InductionInfo, analyze_induction
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.loops import Loop
+from repro.analysis.pointer import LocKey, PointsToResult, andersen_pointer_analysis
+from repro.ir import Function, Instruction, Module, Opcode
+from repro.ir.operands import Const, Operand, Symbol, VReg
+
+
+class DependenceKind(enum.Enum):
+    """Dependence classes that require synchronization."""
+
+    RAW = "raw"
+    WAW = "waw"
+    WAR = "war"
+    REGISTER = "register"
+
+
+@dataclass
+class DataDependence:
+    """One loop-carried dependence ``d`` of a loop.
+
+    ``sources`` are the instructions playing the role of ``a`` in the
+    paper's ``d = (a, b)`` (producers / first accesses), ``sinks`` the
+    instructions playing ``b``.  A dependence may aggregate several
+    conflicting instruction pairs on the same memory location; Step 4
+    treats the union of endpoints as the guarded set.
+    """
+
+    index: int
+    kind: DependenceKind
+    location: str
+    sources: List[Instruction]
+    sinks: List[Instruction]
+    #: For REGISTER dependences: the carried vreg uid.
+    register_uid: Optional[int] = None
+    #: Words transferred when the dependence actually forwards data
+    #: (RAW and REGISTER forward one word; WAW/WAR forward none).
+    transfer_words: int = 0
+
+    def endpoints(self) -> List[Instruction]:
+        """All instructions participating in the dependence."""
+        seen = set()
+        result = []
+        for instr in list(self.sources) + list(self.sinks):
+            if instr.uid not in seen:
+                seen.add(instr.uid)
+                result.append(instr)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dep d{self.index} {self.kind.value} on {self.location} "
+            f"({len(self.sources)} src / {len(self.sinks)} sink)>"
+        )
+
+
+# -- affine subscript analysis ---------------------------------------------------
+
+
+#: A symbolic term key: a register uid, a value-numbered read-only load
+#: ``('ro', symbol, index-key)``, or a product ``('*', key, key)``.
+TermKey = object
+
+
+def _sort_terms(terms) -> Tuple:
+    return tuple(sorted(terms.items(), key=lambda kv: repr(kv[0])))
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """Canonical form ``coeff * IV + const + sum(invariant terms)``.
+
+    Term keys are value-based: two loads of the same read-only global
+    unify, and a product of invariants keys on its (sorted) factor keys,
+    so syntactically distinct but value-identical subscripts compare
+    equal.
+    """
+
+    iv_uid: Optional[int]
+    coeff: int
+    const: int
+    #: Sorted tuple of (term key, coefficient).
+    terms: Tuple[Tuple[TermKey, int], ...]
+
+    def same_shape(self, other: "AffineIndex") -> bool:
+        """Identical symbolic expression."""
+        return (
+            self.iv_uid == other.iv_uid
+            and self.coeff == other.coeff
+            and self.const == other.const
+            and self.terms == other.terms
+        )
+
+    @property
+    def is_pure(self) -> bool:
+        """No induction-variable component."""
+        return self.iv_uid is None or self.coeff == 0
+
+    def single_term(self) -> Optional[Tuple[TermKey, int]]:
+        """The (key, coeff) when this is exactly one term, const 0."""
+        if self.is_pure and self.const == 0 and len(self.terms) == 1:
+            return self.terms[0]
+        return None
+
+
+def _single_loop_def(
+    uid: int, induction: InductionInfo
+) -> Optional[Instruction]:
+    defs = induction.defs_in_loop.get(uid, [])
+    if len(defs) == 1:
+        return defs[0]
+    return None
+
+
+def _term_key(uid: int, induction: InductionInfo, depth: int = 0):
+    """Value-based key for an invariant register.
+
+    A load of a read-only global keys on (symbol, index) so separate
+    loads of the same location unify; MOV chains are followed.
+    """
+    if depth > 6:
+        return uid
+    definition = _single_loop_def(uid, induction)
+    if definition is None:
+        return uid
+    if definition.opcode is Opcode.MOV and isinstance(
+        definition.args[0], VReg
+    ):
+        return _term_key(definition.args[0].uid, induction, depth + 1)
+    if (
+        definition.opcode is Opcode.LOADG
+        and isinstance(definition.args[0], Symbol)
+        and definition.args[0].is_global
+        and definition.args[0].name in induction.readonly_symbols
+    ):
+        index = definition.args[1]
+        if isinstance(index, Const):
+            return ("ro", definition.args[0].name, index.value)
+        if isinstance(index, VReg) and induction.is_invariant(index.uid):
+            return (
+                "ro",
+                definition.args[0].name,
+                _term_key(index.uid, induction, depth + 1),
+            )
+    return uid
+
+
+def affine_of(
+    operand: Operand,
+    induction: InductionInfo,
+    depth: int = 0,
+) -> Optional[AffineIndex]:
+    """Canonicalize a subscript operand, or None if not affine."""
+    if depth > 12:
+        return None
+    if isinstance(operand, Const):
+        if isinstance(operand.value, int):
+            return AffineIndex(None, 0, operand.value, ())
+        return None
+    if not isinstance(operand, VReg):
+        return None
+    uid = operand.uid
+    iv = induction.basic_ivs.get(uid)
+    if iv is not None and iv.disambiguates:
+        return AffineIndex(uid, 1, 0, ())
+    definition = _single_loop_def(uid, induction)
+    if induction.is_invariant(uid):
+        # Decompose invariant computations so value-identical expressions
+        # built from different temporaries still unify.
+        if definition is not None and definition.opcode in (
+            Opcode.MOV,
+            Opcode.ADD,
+            Opcode.SUB,
+            Opcode.MUL,
+        ):
+            decomposed = _affine_of_instr(definition, induction, depth + 1)
+            if decomposed is not None:
+                return decomposed
+        return AffineIndex(None, 0, 0, ((_term_key(uid, induction), 1),))
+    if definition is None:
+        return None
+    return _affine_of_instr(definition, induction, depth + 1)
+
+
+def _combine(
+    a: AffineIndex, b: AffineIndex, sign: int
+) -> Optional[AffineIndex]:
+    if a.iv_uid is not None and b.iv_uid is not None and a.iv_uid != b.iv_uid:
+        return None
+    iv = a.iv_uid if a.iv_uid is not None else b.iv_uid
+    terms: Dict = dict(a.terms)
+    for key, coeff in b.terms:
+        terms[key] = terms.get(key, 0) + sign * coeff
+    terms = {key: c for key, c in terms.items() if c != 0}
+    return AffineIndex(
+        iv,
+        a.coeff + sign * b.coeff,
+        a.const + sign * b.const,
+        _sort_terms(terms),
+    )
+
+
+def _affine_of_instr(
+    instr: Instruction, induction: InductionInfo, depth: int
+) -> Optional[AffineIndex]:
+    opcode = instr.opcode
+    if opcode is Opcode.MOV:
+        return affine_of(instr.args[0], induction, depth)
+    if opcode in (Opcode.ADD, Opcode.SUB):
+        a = affine_of(instr.args[0], induction, depth)
+        b = affine_of(instr.args[1], induction, depth)
+        if a is None or b is None:
+            return None
+        return _combine(a, b, -1 if opcode is Opcode.SUB else 1)
+    if opcode is Opcode.MUL:
+        a = affine_of(instr.args[0], induction, depth)
+        b = affine_of(instr.args[1], induction, depth)
+        if a is None or b is None:
+            return None
+        # Scaling by a literal constant stays affine.
+        for scalar, other in ((a, b), (b, a)):
+            if scalar.iv_uid is None and not scalar.terms:
+                return AffineIndex(
+                    other.iv_uid,
+                    other.coeff * scalar.const,
+                    other.const * scalar.const,
+                    _sort_terms(
+                        {key: c * scalar.const for key, c in other.terms}
+                    ),
+                )
+        # A product of two single invariant terms becomes one opaque
+        # product term (``row * W``).
+        ta, tb = a.single_term(), b.single_term()
+        if ta is not None and tb is not None:
+            keys = sorted((ta[0], tb[0]), key=repr)
+            return AffineIndex(
+                None, 0, 0, ((("*", keys[0], keys[1]), ta[1] * tb[1]),)
+            )
+        return None
+    return None
+
+
+# -- mod/ref summaries --------------------------------------------------------------
+
+
+@dataclass
+class ModRef:
+    """Transitive may-write / may-read location sets of a function."""
+
+    mod: FrozenSet[LocKey]
+    ref: FrozenSet[LocKey]
+
+
+def compute_mod_ref(
+    module: Module, callgraph: CallGraph, points_to: PointsToResult
+) -> Dict[str, ModRef]:
+    """Fixed-point mod/ref summaries over the call graph."""
+    mod: Dict[str, Set[LocKey]] = {name: set() for name in module.functions}
+    ref: Dict[str, Set[LocKey]] = {name: set() for name in module.functions}
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if instr.writes_memory:
+                mod[func.name] |= points_to.locations_accessed(func.name, instr)
+            elif instr.reads_memory:
+                ref[func.name] |= points_to.locations_accessed(func.name, instr)
+    changed = True
+    while changed:
+        changed = False
+        for func_name in module.functions:
+            for callee in callgraph.callees(func_name):
+                if callee not in mod:
+                    continue
+                if not mod[callee] <= mod[func_name]:
+                    mod[func_name] |= mod[callee]
+                    changed = True
+                if not ref[callee] <= ref[func_name]:
+                    ref[func_name] |= ref[callee]
+                    changed = True
+    return {
+        name: ModRef(frozenset(mod[name]), frozenset(ref[name]))
+        for name in module.functions
+    }
+
+
+def compute_readonly_globals(
+    module: Module, points_to: PointsToResult
+) -> "Set[str]":
+    """Global symbols never stored to anywhere in the module.
+
+    Loads from these are effectively constants -- they make subscript
+    expressions like ``i * W + j`` affine even though ``W`` lives in
+    memory."""
+    readonly = {
+        name for name, sym in module.globals.items() if not sym.synthetic
+    }
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if instr.opcode is Opcode.STOREG:
+                symbol = instr.args[0]
+                if isinstance(symbol, Symbol) and symbol.is_global:
+                    readonly.discard(symbol.name)
+            elif instr.opcode is Opcode.STOREP:
+                for loc in points_to.locations_accessed(func.name, instr):
+                    if loc[0] is None:
+                        readonly.discard(loc[1])
+    return readonly
+
+
+# -- the analysis proper -----------------------------------------------------------
+
+
+@dataclass
+class _Access:
+    """One memory-touching instruction inside a loop."""
+
+    instr: Instruction
+    writes: FrozenSet[LocKey]
+    reads: FrozenSet[LocKey]
+    #: Affine subscript when the access is a direct array op; None for
+    #: pointer accesses and calls (never disambiguated).
+    affine: Optional[AffineIndex]
+    symbol: Optional[str]
+
+
+class DependenceAnalysis:
+    """Whole-module dependence analysis service.
+
+    Construct once per module; :meth:`loop_dependences` answers per-loop
+    queries (the loop-selection pass asks about every candidate loop).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        callgraph: Optional[CallGraph] = None,
+        points_to: Optional[PointsToResult] = None,
+    ) -> None:
+        self.module = module
+        self.callgraph = callgraph or build_callgraph(module)
+        self.points_to = points_to or andersen_pointer_analysis(module)
+        self.mod_ref = compute_mod_ref(module, self.callgraph, self.points_to)
+        self.readonly_globals = compute_readonly_globals(
+            module, self.points_to
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _collect_accesses(
+        self, func: Function, loop: Loop, induction: InductionInfo
+    ) -> List[_Access]:
+        accesses: List[_Access] = []
+        for block in func.block_order():
+            if block.name not in loop.blocks:
+                continue
+            for instr in block.instructions:
+                if instr.opcode in (Opcode.LOADG, Opcode.STOREG):
+                    symbol = instr.args[0]
+                    assert isinstance(symbol, Symbol)
+                    locs = self.points_to.locations_accessed(func.name, instr)
+                    affine = affine_of(instr.args[1], induction)
+                    if instr.opcode is Opcode.STOREG:
+                        accesses.append(
+                            _Access(instr, locs, frozenset(), affine, symbol.name)
+                        )
+                    else:
+                        accesses.append(
+                            _Access(instr, frozenset(), locs, affine, symbol.name)
+                        )
+                elif instr.opcode in (Opcode.LOADP, Opcode.STOREP):
+                    locs = self.points_to.locations_accessed(func.name, instr)
+                    if instr.opcode is Opcode.STOREP:
+                        accesses.append(
+                            _Access(instr, locs, frozenset(), None, None)
+                        )
+                    else:
+                        accesses.append(
+                            _Access(instr, frozenset(), locs, None, None)
+                        )
+                elif instr.opcode is Opcode.CALL and instr.callee in self.mod_ref:
+                    summary = self.mod_ref[instr.callee]
+                    if summary.mod or summary.ref:
+                        accesses.append(
+                            _Access(instr, summary.mod, summary.ref, None, None)
+                        )
+        return accesses
+
+    @staticmethod
+    def _disambiguated(a: _Access, b: _Access) -> bool:
+        """True when the pair provably has no loop-carried conflict."""
+        if a.affine is None or b.affine is None:
+            return False
+        if a.symbol is None or a.symbol != b.symbol:
+            return False
+        fa, fb = a.affine, b.affine
+        if fa.iv_uid != fb.iv_uid or fa.coeff != fb.coeff or fa.terms != fb.terms:
+            return False
+        if fa.iv_uid is None:
+            # Pure (symbolically identical) offsets: distinct constants
+            # never collide; equal constants collide every iteration.
+            return fa.const != fb.const
+        # Same IV, same nonzero coefficient: identical expressions touch a
+        # fresh element each iteration -> not loop-carried.
+        return fa.const == fb.const
+
+    def _carried_register_deps(
+        self,
+        func: Function,
+        loop: Loop,
+        induction: InductionInfo,
+        liveness: LivenessInfo,
+        next_index: int,
+    ) -> List[DataDependence]:
+        """Cross-iteration register RAW dependences (minus exempt ones)."""
+        carried_uids: Set[int] = set()
+        header_live = liveness.live_at_entry(loop.header)
+        for uid in header_live:
+            if uid in induction.defs_in_loop and not induction.sync_exempt(uid):
+                carried_uids.add(uid)
+
+        deps: List[DataDependence] = []
+        for uid in sorted(carried_uids):
+            sources = induction.defs_in_loop[uid]
+            sinks = _upward_exposed_uses(func, loop, uid)
+            if not sinks:
+                continue
+            reg = liveness.regs.get(uid)
+            name = str(reg) if reg is not None else f"%u{uid}"
+            deps.append(
+                DataDependence(
+                    index=next_index + len(deps),
+                    kind=DependenceKind.REGISTER,
+                    location=name,
+                    sources=list(sources),
+                    sinks=sinks,
+                    register_uid=uid,
+                    transfer_words=1,
+                )
+            )
+        return deps
+
+    # -- public API ------------------------------------------------------------
+
+    def loop_dependences(
+        self,
+        func: Function,
+        loop: Loop,
+        induction: Optional[InductionInfo] = None,
+        liveness: Optional[LivenessInfo] = None,
+        max_pairs_per_location: int = 6,
+    ) -> List[DataDependence]:
+        """Compute ``D_data`` for ``loop``.
+
+        Memory dependences are grouped per abstract location; if a location
+        has more than ``max_pairs_per_location`` conflicting writer/sink
+        pairs they are aggregated into a single dependence (all writers as
+        sources, all accessors as sinks) to bound segment count -- Step 6
+        would merge them anyway.
+        """
+        cfg = CFGView(func)
+        induction = induction or analyze_induction(
+            func, loop, cfg, readonly_symbols=self.readonly_globals
+        )
+        liveness = liveness or compute_liveness(func, cfg)
+        accesses = self._collect_accesses(func, loop, induction)
+
+        # Group accesses by abstract location.
+        by_location: Dict[LocKey, List[_Access]] = {}
+        for access in accesses:
+            for loc in access.writes | access.reads:
+                by_location.setdefault(loc, []).append(access)
+
+        deps: List[DataDependence] = []
+        seen_pairs: Set[Tuple[int, int]] = set()
+        for loc in sorted(by_location):
+            group = by_location[loc]
+            writers = [a for a in group if loc in a.writes]
+            if not writers:
+                continue
+            pairs: List[Tuple[_Access, _Access, DependenceKind]] = []
+            for writer in writers:
+                for other in group:
+                    if other.instr is writer.instr:
+                        # Self-conflict: the same instruction touching the
+                        # location in successive iterations (a call with
+                        # the location in its mod/ref summary, or a store
+                        # to a non-affine subscript) is loop-carried.
+                        if self._disambiguated(writer, writer):
+                            continue
+                        key = (writer.instr.uid, writer.instr.uid)
+                        if key in seen_pairs:
+                            continue
+                        seen_pairs.add(key)
+                        kind = (
+                            DependenceKind.RAW
+                            if loc in writer.reads
+                            else DependenceKind.WAW
+                        )
+                        pairs.append((writer, writer, kind))
+                        continue
+                    if self._disambiguated(writer, other):
+                        continue
+                    key = (writer.instr.uid, other.instr.uid)
+                    if key in seen_pairs:
+                        continue
+                    seen_pairs.add(key)
+                    if loc in other.writes:
+                        kind = DependenceKind.WAW
+                    else:
+                        kind = DependenceKind.RAW
+                    pairs.append((writer, other, kind))
+            if not pairs:
+                continue
+            loc_name = f"{loc[1]}" if loc[0] is None else f"{loc[0]}.{loc[1]}"
+            if len(pairs) > max_pairs_per_location:
+                sources = _dedup([w.instr for w, _o, _k in pairs])
+                sinks = _dedup([o.instr for _w, o, _k in pairs])
+                any_raw = any(k is DependenceKind.RAW for _w, _o, k in pairs)
+                deps.append(
+                    DataDependence(
+                        index=len(deps),
+                        kind=DependenceKind.RAW if any_raw else DependenceKind.WAW,
+                        location=loc_name,
+                        sources=sources,
+                        sinks=sinks,
+                        transfer_words=1 if any_raw else 0,
+                    )
+                )
+            else:
+                for writer, other, kind in pairs:
+                    deps.append(
+                        DataDependence(
+                            index=len(deps),
+                            kind=kind,
+                            location=loc_name,
+                            sources=[writer.instr],
+                            sinks=[other.instr],
+                            transfer_words=1 if kind is DependenceKind.RAW else 0,
+                        )
+                    )
+
+        deps.extend(
+            self._carried_register_deps(func, loop, induction, liveness, len(deps))
+        )
+        for i, dep in enumerate(deps):
+            dep.index = i
+        return deps
+
+    def loop_dependence_statistics(
+        self, func: Function, loop: Loop
+    ) -> Tuple[int, int]:
+        """(alias pairs examined, pairs that are loop-carried).
+
+        The Table 1 "loop-carried dependences %" statistic: among all
+        aliasing writer/accessor pairs inside the loop, how many actually
+        cross iterations (survive the affine subscript disambiguation)."""
+        cfg = CFGView(func)
+        induction = analyze_induction(
+            func, loop, cfg, readonly_symbols=self.readonly_globals
+        )
+        accesses = self._collect_accesses(func, loop, induction)
+        by_location: Dict[LocKey, List[_Access]] = {}
+        for access in accesses:
+            for loc in access.writes | access.reads:
+                by_location.setdefault(loc, []).append(access)
+        examined = 0
+        carried = 0
+        counted: Set[Tuple[int, int]] = set()
+        for group in by_location.values():
+            writers = [a for a in group if a.writes]
+            for writer in writers:
+                for other in group:
+                    if other.instr is writer.instr:
+                        continue
+                    key = (writer.instr.uid, other.instr.uid)
+                    if key in counted:
+                        continue
+                    counted.add(key)
+                    examined += 1
+                    if not self._disambiguated(writer, other):
+                        carried += 1
+        # Register flows: every upward-exposed carried register counts as
+        # carried; induction/invariant-exempt ones count as examined only.
+        liveness = compute_liveness(func, cfg)
+        header_live = liveness.live_at_entry(loop.header)
+        for uid in header_live:
+            if uid not in induction.defs_in_loop:
+                continue
+            examined += 1
+            if not induction.sync_exempt(uid):
+                carried += 1
+        return examined, carried
+
+
+def _upward_exposed_uses(
+    func: Function, loop: Loop, uid: int
+) -> List[Instruction]:
+    """Uses of ``uid`` inside ``loop`` reachable from the header before any
+    in-iteration redefinition -- exactly the consumers of the *previous*
+    iteration's value."""
+    # Forward may-analysis over the loop body (back edges not followed):
+    # "the header-entry value of uid is still current".
+    valid_in: Dict[str, bool] = {name: False for name in loop.blocks}
+    valid_in[loop.header] = True
+    kills: Dict[str, bool] = {}
+    for name in loop.blocks:
+        kills[name] = any(
+            instr.dest is not None and instr.dest.uid == uid
+            for instr in func.blocks[name].instructions
+        )
+    changed = True
+    while changed:
+        changed = False
+        for name in loop.blocks:
+            if not valid_in[name] or kills[name]:
+                continue
+            block = func.blocks[name]
+            for succ in block.successor_names():
+                if succ in loop.blocks and succ != loop.header:
+                    if not valid_in[succ]:
+                        valid_in[succ] = True
+                        changed = True
+    sinks: List[Instruction] = []
+    for block in func.block_order():
+        if block.name not in loop.blocks or not valid_in[block.name]:
+            continue
+        for instr in block.instructions:
+            if any(reg.uid == uid for reg in instr.uses()):
+                sinks.append(instr)
+            if instr.dest is not None and instr.dest.uid == uid:
+                break
+    return sinks
+
+
+def _dedup(instrs: Sequence[Instruction]) -> List[Instruction]:
+    seen: Set[int] = set()
+    result: List[Instruction] = []
+    for instr in instrs:
+        if instr.uid not in seen:
+            seen.add(instr.uid)
+            result.append(instr)
+    return result

@@ -1,0 +1,288 @@
+"""Loop-invariant and induction-variable analysis.
+
+HELIX Step 2 excludes from synchronization the register dependences that
+involve *invariant* variables (same value every iteration) and *induction*
+variables (locally computable from the iteration number and the value at
+loop entry).  The dependence analysis additionally uses constant-step basic
+induction variables to disambiguate affine array subscripts (``a[i]`` in
+iteration *i* never collides with ``a[i]`` in iteration *j*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.dominators import DominatorTree, dominators
+from repro.analysis.loops import Loop
+from repro.ir import Function, Instruction, Opcode
+from repro.ir.operands import Const, Operand, Symbol, VReg
+
+#: Pure opcodes whose result depends only on register/constant operands.
+_PURE_OPCODES = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.NEG,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.NOT,
+        Opcode.EQ,
+        Opcode.NE,
+        Opcode.LT,
+        Opcode.LE,
+        Opcode.GT,
+        Opcode.GE,
+        Opcode.ITOF,
+        Opcode.FTOI,
+        Opcode.LEA,
+        Opcode.PTRADD,
+    }
+)
+
+
+@dataclass
+class BasicIV:
+    """A basic induction variable: in-loop defs of form ``r = r + step``."""
+
+    uid: int
+    step: Optional[int]  # constant step, or None when merely invariant
+    #: Whether the single def's block dominates every latch (executes
+    #: exactly once per iteration) -- required for subscript disambiguation.
+    once_per_iteration: bool = False
+    #: Whether *every* def executes on every iteration (its block
+    #: dominates all latches).  Conditionally-updated counters are NOT
+    #: locally computable from the iteration number, so they still need
+    #: synchronization (paper, Step 2).
+    executes_every_iteration: bool = False
+
+    @property
+    def disambiguates(self) -> bool:
+        """Usable for affine subscript disambiguation."""
+        return (
+            self.step is not None and self.step != 0 and self.once_per_iteration
+        )
+
+
+@dataclass
+class InductionInfo:
+    """Invariant and induction classification for one loop."""
+
+    loop: Loop
+    #: uids with no definition inside the loop, or redefined to the same
+    #: value every iteration.
+    invariant_uids: Set[int] = field(default_factory=set)
+    basic_ivs: Dict[int, BasicIV] = field(default_factory=dict)
+    #: uids computed purely from IVs and invariants (derived IVs).
+    derived_iv_uids: Set[int] = field(default_factory=set)
+    #: uid -> definitions inside the loop.
+    defs_in_loop: Dict[int, List[Instruction]] = field(default_factory=dict)
+    #: Global symbols never stored to in the module (loads behave as
+    #: constants; see :func:`repro.analysis.dependence.compute_readonly_globals`).
+    readonly_symbols: Set[str] = field(default_factory=set)
+
+    def is_invariant(self, uid: int) -> bool:
+        return uid in self.invariant_uids
+
+    def is_induction(self, uid: int) -> bool:
+        return uid in self.basic_ivs or uid in self.derived_iv_uids
+
+    def sync_exempt(self, uid: int) -> bool:
+        """Whether a carried register dep on ``uid`` needs no sync (Step 2).
+
+        Invariants never change; induction variables are locally
+        computable from the iteration number -- but only when their
+        update runs on *every* iteration.  A conditionally-bumped counter
+        is data-dependent state and must be synchronized."""
+        if self.is_invariant(uid):
+            return True
+        iv = self.basic_ivs.get(uid)
+        if iv is not None:
+            return iv.executes_every_iteration
+        if uid in self.derived_iv_uids:
+            return True
+        return False
+
+
+def _operand_invariant(op: Operand, info: InductionInfo) -> bool:
+    if isinstance(op, Const):
+        return True
+    if isinstance(op, VReg):
+        return info.is_invariant(op.uid)
+    # Symbols denote region addresses, which never change.
+    return True
+
+
+def analyze_induction(
+    func: Function,
+    loop: Loop,
+    cfg: Optional[CFGView] = None,
+    dom: Optional[DominatorTree] = None,
+    readonly_symbols: Optional[Set[str]] = None,
+) -> InductionInfo:
+    """Classify the registers of ``loop``.
+
+    ``readonly_symbols`` names global symbols never stored to anywhere in
+    the module (directly or through pointers); loads from them behave as
+    constants, so their results participate in the invariant fixpoint --
+    the common ``for (i = 0; i < N; ...)`` / ``a[i * W + j]`` patterns
+    where the bound or stride is a read-only global.
+    """
+    cfg = cfg or CFGView(func)
+    dom = dom or dominators(cfg)
+    info = InductionInfo(loop=loop)
+    readonly_symbols = readonly_symbols or set()
+    info.readonly_symbols = set(readonly_symbols)
+
+    loop_instrs = loop.instructions()
+    for instr in loop_instrs:
+        if instr.dest is not None:
+            info.defs_in_loop.setdefault(instr.dest.uid, []).append(instr)
+
+    used_uids: Set[int] = set()
+    for instr in loop_instrs:
+        for reg in instr.uses():
+            used_uids.add(reg.uid)
+        if instr.dest is not None:
+            used_uids.add(instr.dest.uid)
+
+    # Registers never defined inside the loop are invariant.
+    for uid in used_uids:
+        if uid not in info.defs_in_loop:
+            info.invariant_uids.add(uid)
+
+    # Iteratively mark single-def pure computations over invariants.
+    changed = True
+    while changed:
+        changed = False
+        for uid, defs in info.defs_in_loop.items():
+            if uid in info.invariant_uids or len(defs) != 1:
+                continue
+            instr = defs[0]
+            readonly_load = (
+                instr.opcode is Opcode.LOADG
+                and isinstance(instr.args[0], Symbol)
+                and instr.args[0].is_global
+                and instr.args[0].name in readonly_symbols
+            )
+            if instr.opcode not in _PURE_OPCODES and not readonly_load:
+                continue
+            if all(_operand_invariant(a, info) for a in instr.args):
+                info.invariant_uids.add(uid)
+                changed = True
+
+    # Basic induction variables: every in-loop def is r = r (+|-) invariant.
+    block_of: Dict[int, str] = {}
+    for block in func.block_order():
+        if block.name not in loop.blocks:
+            continue
+        for instr in block.instructions:
+            if instr.dest is not None:
+                block_of[instr.uid] = block.name
+
+    for uid, defs in info.defs_in_loop.items():
+        if uid in info.invariant_uids:
+            continue
+        steps: List[Optional[int]] = []
+        is_iv = True
+        for instr in defs:
+            step = _iv_step(instr, uid, info)
+            if step is _NOT_IV:
+                is_iv = False
+                break
+            steps.append(step)
+        if not is_iv:
+            continue
+        const_step: Optional[int] = None
+        if len(defs) == 1 and isinstance(steps[0], int):
+            const_step = steps[0]
+        def_blocks = [block_of.get(d.uid) for d in defs]
+        every_iteration = all(
+            b is not None
+            and all(dom.dominates(b, latch) for latch in loop.latches)
+            for b in def_blocks
+        )
+        once = len(defs) == 1 and every_iteration
+        info.basic_ivs[uid] = BasicIV(uid, const_step, once, every_iteration)
+
+    # Derived IVs: single pure def over IVs + invariants.
+    changed = True
+    while changed:
+        changed = False
+        for uid, defs in info.defs_in_loop.items():
+            if (
+                uid in info.invariant_uids
+                or uid in info.basic_ivs
+                or uid in info.derived_iv_uids
+                or len(defs) != 1
+            ):
+                continue
+            instr = defs[0]
+            if instr.opcode not in _PURE_OPCODES:
+                continue
+            ok = True
+            for op in instr.args:
+                if isinstance(op, VReg):
+                    base_iv = info.basic_ivs.get(op.uid)
+                    safe_iv = (
+                        base_iv is not None
+                        and base_iv.executes_every_iteration
+                    )
+                    if not (
+                        info.is_invariant(op.uid)
+                        or safe_iv
+                        or op.uid in info.derived_iv_uids
+                    ):
+                        ok = False
+                        break
+            if ok:
+                info.derived_iv_uids.add(uid)
+                changed = True
+
+    return info
+
+
+#: Sentinel distinguishing "not an IV update" from "IV with unknown step".
+_NOT_IV = object()
+
+
+def _iv_step(instr: Instruction, uid: int, info: InductionInfo):
+    """If ``instr`` is ``uid = uid (+|-) inv``: the constant step (int),
+    None for a non-constant invariant step; else the :data:`_NOT_IV`
+    sentinel.
+
+    The frontend lowers ``i++`` as ``t = add i, 1; mov i, t``, so a MOV
+    from a single-def temporary is chased one level.
+    """
+    if instr.opcode is Opcode.MOV:
+        src = instr.args[0]
+        if not isinstance(src, VReg):
+            return _NOT_IV
+        src_defs = info.defs_in_loop.get(src.uid, [])
+        if len(src_defs) != 1 or src_defs[0] is instr:
+            return _NOT_IV
+        return _iv_step(src_defs[0], uid, info)
+    if instr.opcode not in (Opcode.ADD, Opcode.SUB):
+        return _NOT_IV
+    a, b = instr.args
+    if isinstance(a, VReg) and a.uid == uid:
+        other = b
+    elif (
+        instr.opcode is Opcode.ADD and isinstance(b, VReg) and b.uid == uid
+    ):
+        other = a
+    else:
+        return _NOT_IV
+    if isinstance(other, Const) and isinstance(other.value, int):
+        return -other.value if instr.opcode is Opcode.SUB else other.value
+    if isinstance(other, VReg) and info.is_invariant(other.uid):
+        return None
+    return _NOT_IV

@@ -1,0 +1,154 @@
+"""Interprocedural pointer analysis (Andersen-style inclusion analysis).
+
+This plays the role of the "practical and accurate low-level pointer
+analysis" [17] the paper applies to the whole program in Step 2.  It
+computes, for every pointer-typed virtual register, the set of memory
+regions (symbols) it may point into.
+
+MiniC pointers flow only through registers, call arguments and return
+values -- arrays cannot hold pointers -- so the inclusion constraints form
+a static copy graph and the analysis is a straightforward propagation to a
+fixed point (no on-the-fly edge discovery needed).  It is flow- and
+context-insensitive and field-insensitive (a pointer into any part of a
+region aliases the whole region), which is sound for dependence detection:
+HELIX only needs an over-approximation of may-aliasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir import Instruction, Module, Opcode
+from repro.ir.operands import Symbol, VReg
+from repro.ir.types import Type
+
+#: A pointer variable: (function name, vreg uid).
+PtrVar = Tuple[str, int]
+#: An abstract memory location: (owning function or None for globals, name).
+LocKey = Tuple[Optional[str], str]
+
+
+def loc_key(symbol: Symbol) -> LocKey:
+    """Abstract location of a symbol."""
+    return (symbol.function, symbol.name)
+
+
+@dataclass
+class PointsToResult:
+    """Points-to sets plus helpers for memory-instruction queries."""
+
+    module: Module
+    points_to: Dict[PtrVar, FrozenSet[LocKey]]
+    #: Every abstract location in the program (the conservative fallback).
+    all_locations: FrozenSet[LocKey]
+
+    def pts(self, func_name: str, reg: VReg) -> FrozenSet[LocKey]:
+        """Locations ``reg`` may point to (everything, if unknown)."""
+        result = self.points_to.get((func_name, reg.uid))
+        if result is None or not result:
+            return self.all_locations
+        return result
+
+    def locations_accessed(
+        self, func_name: str, instr: Instruction
+    ) -> FrozenSet[LocKey]:
+        """Abstract locations a memory instruction may touch."""
+        if instr.opcode in (Opcode.LOADG, Opcode.STOREG, Opcode.XFER):
+            symbol = instr.args[0]
+            assert isinstance(symbol, Symbol)
+            return frozenset({loc_key(symbol)})
+        if instr.opcode in (Opcode.LOADP, Opcode.STOREP):
+            ptr = instr.args[0]
+            if isinstance(ptr, VReg):
+                return self.pts(func_name, ptr)
+            return self.all_locations
+        return frozenset()
+
+    def may_alias(
+        self, func_a: str, a: Instruction, func_b: str, b: Instruction
+    ) -> bool:
+        """Whether two memory instructions may touch a common region."""
+        return bool(
+            self.locations_accessed(func_a, a)
+            & self.locations_accessed(func_b, b)
+        )
+
+
+def andersen_pointer_analysis(module: Module) -> PointsToResult:
+    """Run the inclusion-based pointer analysis over ``module``."""
+    base: Dict[PtrVar, Set[LocKey]] = {}
+    copy_edges: Dict[PtrVar, Set[PtrVar]] = {}
+    all_locations: Set[LocKey] = set()
+
+    for symbol in module.globals.values():
+        all_locations.add(loc_key(symbol))
+    for func in module.functions.values():
+        for symbol in func.locals.values():
+            all_locations.add(loc_key(symbol))
+
+    def add_base(var: PtrVar, loc: LocKey) -> None:
+        base.setdefault(var, set()).add(loc)
+
+    def add_copy(src: PtrVar, dst: PtrVar) -> None:
+        copy_edges.setdefault(src, set()).add(dst)
+
+    #: Return-value sources per function (pointer-typed RET operands).
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            for instr in block.instructions:
+                if instr.opcode is Opcode.LEA:
+                    symbol = instr.args[0]
+                    assert isinstance(symbol, Symbol) and instr.dest is not None
+                    add_base((func.name, instr.dest.uid), loc_key(symbol))
+                elif instr.opcode in (Opcode.PTRADD, Opcode.MOV):
+                    src = instr.args[0]
+                    if (
+                        isinstance(src, VReg)
+                        and src.type is Type.PTR
+                        and instr.dest is not None
+                        and instr.dest.type is Type.PTR
+                    ):
+                        add_copy((func.name, src.uid), (func.name, instr.dest.uid))
+                elif instr.opcode is Opcode.CALL and instr.callee in module.functions:
+                    callee = module.functions[instr.callee]
+                    for arg, param in zip(instr.args, callee.params):
+                        if isinstance(arg, VReg) and param.type is Type.PTR:
+                            add_copy(
+                                (func.name, arg.uid), (callee.name, param.uid)
+                            )
+                        elif isinstance(arg, Symbol):
+                            add_base((callee.name, param.uid), loc_key(arg))
+                    if instr.dest is not None and instr.dest.type is Type.PTR:
+                        for ret_instr in callee.instructions():
+                            if ret_instr.opcode is Opcode.RET and ret_instr.args:
+                                ret_val = ret_instr.args[0]
+                                if isinstance(ret_val, VReg):
+                                    add_copy(
+                                        (callee.name, ret_val.uid),
+                                        (func.name, instr.dest.uid),
+                                    )
+
+    # Propagate to fixed point over the copy graph.
+    points_to: Dict[PtrVar, Set[LocKey]] = {
+        var: set(locs) for var, locs in base.items()
+    }
+    work: List[PtrVar] = list(points_to)
+    in_work = set(work)
+    while work:
+        var = work.pop()
+        in_work.discard(var)
+        current = points_to.get(var, set())
+        for dst in copy_edges.get(var, ()):
+            target = points_to.setdefault(dst, set())
+            before = len(target)
+            target |= current
+            if len(target) != before and dst not in in_work:
+                work.append(dst)
+                in_work.add(dst)
+
+    return PointsToResult(
+        module=module,
+        points_to={var: frozenset(locs) for var, locs in points_to.items()},
+        all_locations=frozenset(all_locations),
+    )

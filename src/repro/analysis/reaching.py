@@ -1,0 +1,80 @@
+"""Reaching definitions over virtual registers.
+
+Used by the induction/invariant analysis (which definitions of a register
+reach its uses inside a loop) and by the Step 5 scheduler's intra-block
+dependence checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.ir import Function, Instruction
+
+#: A definition site: (block name, index in block, defined uid).
+DefSite = Tuple[str, int, int]
+
+
+@dataclass
+class ReachingDefs:
+    """Reaching-definition facts plus indexes for convenient queries."""
+
+    func: Function
+    reach_in: Dict[str, FrozenSet[DefSite]]
+    reach_out: Dict[str, FrozenSet[DefSite]]
+    defs_of: Dict[int, List[DefSite]]
+
+    def defs_reaching_use(
+        self, block: str, index: int, uid: int
+    ) -> List[DefSite]:
+        """Definition sites of ``uid`` that reach instruction ``index``."""
+        live: Set[DefSite] = {
+            d for d in self.reach_in.get(block, frozenset()) if d[2] == uid
+        }
+        instrs = self.func.blocks[block].instructions
+        for i in range(index):
+            instr = instrs[i]
+            if instr.dest is not None and instr.dest.uid == uid:
+                live = {(block, i, uid)}
+        return sorted(live)
+
+    def def_instruction(self, site: DefSite) -> Instruction:
+        block, index, _uid = site
+        return self.func.blocks[block].instructions[index]
+
+
+def compute_reaching_defs(func: Function, cfg: CFGView = None) -> ReachingDefs:
+    """Forward may reaching-definitions analysis."""
+    cfg = cfg or CFGView(func)
+
+    gen: Dict[str, Set[DefSite]] = {}
+    defined_uids: Dict[str, Set[int]] = {}
+    defs_of: Dict[int, List[DefSite]] = {}
+    for name, block in func.blocks.items():
+        last_def: Dict[int, DefSite] = {}
+        for i, instr in enumerate(block.instructions):
+            if instr.dest is not None:
+                site = (name, i, instr.dest.uid)
+                last_def[instr.dest.uid] = site
+                defs_of.setdefault(instr.dest.uid, []).append(site)
+        gen[name] = set(last_def.values())
+        defined_uids[name] = set(last_def)
+
+    def transfer(name: str, reach_in: FrozenSet[DefSite]) -> FrozenSet[DefSite]:
+        killed = defined_uids[name]
+        surviving = {d for d in reach_in if d[2] not in killed}
+        return frozenset(surviving | gen[name])
+
+    problem = DataflowProblem(
+        direction="forward", meet="union", transfer=transfer
+    )
+    result = solve_dataflow(cfg, problem)
+    return ReachingDefs(
+        func=func,
+        reach_in=result.inputs,
+        reach_out=result.outputs,
+        defs_of=defs_of,
+    )

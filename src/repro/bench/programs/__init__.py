@@ -1,0 +1,23 @@
+"""MiniC sources of the 13 benchmark programs.
+
+Each module exposes ``source(scale)`` returning the program text for the
+``"train"`` or ``"ref"`` input scale.  The programs are deterministic
+(LCG-seeded) and print checksums, which the test suite uses to verify that
+HELIX-parallelized execution is bit-identical to sequential execution.
+"""
+
+from repro.bench.programs import (  # noqa: F401
+    ammp,
+    art,
+    bzip2,
+    crafty,
+    equake,
+    gap,
+    gzip,
+    mcf,
+    mesa,
+    parser,
+    twolf,
+    vortex,
+    vpr,
+)

@@ -1,0 +1,113 @@
+"""188.ammp -- molecular dynamics with neighbor lists.
+
+The force loop iterates over atoms; each atom walks its neighbor list
+(indirect loads), computes pairwise forces into its *own* force slots
+(iteration-private, affine index) and accumulates potential energy -- a
+short sequential segment at the end of a long body.  Position integration
+is element-wise DOALL.
+"""
+
+_PARAMS = {
+    "train": {"STEPS": 9},
+    "ref": {"STEPS": 40},
+}
+
+_TEMPLATE = """
+int ATOMS = 96;
+int NB = 10;
+int STEPS = {STEPS};
+
+float px[96];
+float py[96];
+float fx[96];
+float fy[96];
+int nbr[960];
+float energy_acc = 0.0;
+int seed = 31;
+
+void build_neighbors() {{
+    // Refresh half the entries each call; the LCG carries across
+    // entries (sequential).
+    int i;
+    for (i = 0; i < ATOMS * NB; i = i + 2) {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        int cand = seed % ATOMS;
+        if (cand % 7 == 3) {{ cand = (cand + 11) % ATOMS; }}
+        nbr[i] = cand;
+    }}
+}}
+
+void forces() {{
+    int a;
+    for (a = 0; a < ATOMS; a++) {{
+        float sfx = 0.0;
+        float sfy = 0.0;
+        float e = 0.0;
+        int n;
+        for (n = 0; n < NB; n++) {{
+            int b = nbr[a * NB + n];
+            float dx = px[a] - px[b];
+            float dy = py[a] - py[b];
+            float r2 = dx * dx + dy * dy + 0.01;
+            float inv = 1.0 / r2;
+            float f = (inv - 0.5 * inv * inv) * 0.3;
+            sfx = sfx + f * dx;
+            sfy = sfy + f * dy;
+            e = e + inv * 0.25;
+        }}
+        fx[a] = sfx;
+        fy[a] = sfy;
+        // Sequential segment: potential-energy accumulation.
+        energy_acc = energy_acc + e;
+    }}
+}}
+
+void integrate() {{
+    int a;
+    for (a = 0; a < ATOMS; a++) {{
+        px[a] = px[a] + fx[a] * 0.001;
+        py[a] = py[a] + fy[a] * 0.001;
+    }}
+}}
+
+float bond_energy() {{
+    // Bonded-pair chain: each bond term feeds the next (sequential).
+    float e = 0.0;
+    int b;
+    for (b = 1; b < ATOMS; b++) {{
+        float dx = px[b] - px[b - 1];
+        float dy = py[b] - py[b - 1];
+        float r2 = dx * dx + dy * dy + 0.02;
+        e = e * 0.5 + r2 * 0.3 + e / (r2 + 1.0);
+    }}
+    return e;
+}}
+
+void main() {{
+    int i;
+    build_neighbors();
+    for (i = 0; i < ATOMS; i++) {{
+        px[i] = (i % 10) * 0.7;
+        py[i] = (i % 7) * 1.1;
+    }}
+    int t;
+    float bond_total = 0.0;
+    for (t = 0; t < STEPS; t++) {{
+        build_neighbors();
+        forces();
+        integrate();
+        bond_total = bond_total + bond_energy();
+    }}
+    float chk = 0.0;
+    for (i = 0; i < ATOMS; i++) {{
+        chk = chk + px[i] + py[i] * 0.5;
+    }}
+    print(energy_acc);
+    print(bond_total);
+    print(chk);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

@@ -1,0 +1,115 @@
+"""179.art -- Adaptive Resonance Theory neural network.
+
+Models the original's structure: ``scan_recognize`` sweeps input windows
+through the F1->F2 neuron layers (wide DOALL loops over neurons), a
+winner-take-all pass (max reduction), and a training update of the winning
+neuron's weights.  ``reset_nodes`` is called both from ``main`` and from
+the scan loop -- the two-parent shape of the paper's Figure 8 dynamic loop
+nesting graph.  Almost all time is in DOALL code, which is why art is the
+paper's best speedup (4.12x).
+"""
+
+_PARAMS = {
+    "train": {"PASSES": 7},
+    "ref": {"PASSES": 30},
+}
+
+_TEMPLATE = """
+int F1 = 80;
+int F2 = 48;
+int PASSES = {PASSES};
+
+float inp[80];
+float f1_act[80];
+float f2_act[48];
+float weights[3840];
+int winner_hist[48];
+int seed = 13;
+
+void reset_nodes() {{
+    int i;
+    for (i = 0; i < F1; i++) {{
+        f1_act[i] = 0.0;
+    }}
+    for (i = 0; i < F2; i++) {{
+        f2_act[i] = 0.0;
+    }}
+}}
+
+void load_input(int pass) {{
+    int i;
+    for (i = 0; i < F1; i++) {{
+        int v = (i * 37 + pass * 101 + 29) % 255;
+        inp[i] = v * 0.0039;
+    }}
+}}
+
+int scan_pass(int pass) {{
+    load_input(pass);
+    reset_nodes();
+    int j;
+    // F2 activation: wide DOALL over output neurons.
+    for (j = 0; j < F2; j++) {{
+        float s = 0.0;
+        int i;
+        for (i = 0; i < F1; i++) {{
+            s = s + weights[j * F1 + i] * inp[i];
+        }}
+        f2_act[j] = s;
+    }}
+    // Vigilance check: running norm over F2 (sequential).
+    float vig = 0.0;
+    for (j = 0; j < F2; j++) {{
+        vig = vig * 0.9 + f2_act[j] * 0.1 + vig / (f2_act[j] + 2.0);
+        vig = vig + (vig * 0.5) / (j + 3.0) - vig / (f2_act[j] + 4.0);
+    }}
+    f2_act[0] = f2_act[0] + vig * 0.0001;
+    // Winner-take-all: max reduction.
+    int best = 0;
+    float bestv = -1.0;
+    for (j = 0; j < F2; j++) {{
+        if (f2_act[j] > bestv) {{
+            bestv = f2_act[j];
+            best = j;
+        }}
+    }}
+    return best;
+}}
+
+void train_winner(int best) {{
+    int i;
+    for (i = 0; i < F1; i++) {{
+        weights[best * F1 + i] =
+            weights[best * F1 + i] * 0.92 + inp[i] * 0.08;
+    }}
+}}
+
+void main() {{
+    int i;
+    int p;
+    for (i = 0; i < 3840; i++) {{
+        int h = (i * 2654435761 + 12345) % 2147483648;
+        weights[i] = (h % 1000) * 0.001;
+    }}
+    reset_nodes();
+    for (p = 0; p < PASSES; p++) {{
+        int best = scan_pass(p);
+        winner_hist[best] = winner_hist[best] + 1;
+        train_winner(best);
+    }}
+    float wsum = 0.0;
+    for (i = 0; i < 3840; i++) {{
+        wsum = wsum + weights[i];
+    }}
+    int hsum = 0;
+    for (i = 0; i < F2; i++) {{
+        hsum = hsum + winner_hist[i] * (i + 1);
+    }}
+    print(wsum);
+    print(hsum);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

@@ -1,0 +1,117 @@
+"""256.bzip2 -- block-sorting compression.
+
+Three archetypal phases per block: per-position sort-key computation
+(heavy DOALL), a byte histogram whose data-dependent increments serialize
+(selection must reject it), and rank assignment from the histogram
+prefix (also sequential).  The DOALL key phase dominates, giving a
+mid-range speedup (~2x).
+"""
+
+_PARAMS = {
+    "train": {"BLOCKS": 10},
+    "ref": {"BLOCKS": 44},
+}
+
+_TEMPLATE = """
+int BLOCK = 96;
+int BLOCKS = {BLOCKS};
+
+int data[96];
+int keys[96];
+int hist[64];
+int ranks[64];
+int mtf[48];
+int out_check = 0;
+int seed = 3;
+
+void fill_block(int b) {{
+    int i;
+    for (i = 0; i < BLOCK; i++) {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        data[i] = (seed / 32 + b) % 64;
+    }}
+}}
+
+void compute_keys() {{
+    // Sort keys: compare a rotation window per position (heavy DOALL).
+    int i;
+    for (i = 0; i < BLOCK; i++) {{
+        int k = 0;
+        int d;
+        for (d = 0; d < 24; d++) {{
+            int p1 = (i + d) % BLOCK;
+            k = k * 3 + data[p1];
+            k = k % 65521;
+        }}
+        keys[i] = k;
+    }}
+}}
+
+void histogram() {{
+    // Serializing: increments at data-dependent indices.
+    int i;
+    for (i = 0; i < 64; i++) {{
+        hist[i] = 0;
+    }}
+    for (i = 0; i < BLOCK; i++) {{
+        hist[data[i]] = hist[data[i]] + 1;
+    }}
+}}
+
+int mtf_encode() {{
+    // Move-to-front: the table mutates per symbol (sequential).
+    int i;
+    for (i = 0; i < 48; i++) {{
+        mtf[i] = i;
+    }}
+    int out = 0;
+    for (i = 0; i < BLOCK; i++) {{
+        int sym = data[i] % 48;
+        int pos = 0;
+        while (pos < 48 && mtf[pos] != sym) {{
+            pos++;
+        }}
+        if (pos >= 48) {{ pos = 47; }}
+        out = (out * 7 + pos) % 1000003;
+        int k = pos;
+        while (k > 0) {{
+            mtf[k] = mtf[k - 1];
+            k--;
+        }}
+        mtf[0] = sym;
+    }}
+    return out;
+}}
+
+void assign_ranks() {{
+    // Prefix sum: inherently sequential.
+    int c = 0;
+    int i;
+    for (i = 0; i < 64; i++) {{
+        ranks[i] = c;
+        c = c + hist[i];
+    }}
+}}
+
+void main() {{
+    int b;
+    for (b = 0; b < BLOCKS; b++) {{
+        fill_block(b);
+        compute_keys();
+        histogram();
+        int mtfc = mtf_encode();
+        assign_ranks();
+        int i;
+        int local = 0;
+        for (i = 0; i < BLOCK; i++) {{
+            local = local + keys[i] % 64 + ranks[data[i]];
+        }}
+        out_check = (out_check + local + mtfc) % 1000000007;
+    }}
+    print(out_check);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

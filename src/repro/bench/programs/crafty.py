@@ -1,0 +1,104 @@
+"""186.crafty -- chess position evaluation inside a search loop.
+
+Crafty's time is dominated by a deeply sequential game/search loop; the
+only loop-level parallelism lies in small board-scan kernels (material
+count, mobility, king safety) of ~64 iterations with tiny bodies.  HELIX
+finds little to use, matching the paper's near-flat crafty bars.
+"""
+
+_PARAMS = {
+    "train": {"MOVES": 55},
+    "ref": {"MOVES": 240},
+}
+
+_TEMPLATE = """
+int MOVES = {MOVES};
+
+int board[64];
+int ptable[64];
+int mobility[64];
+int seed = 21;
+int total_eval = 0;
+
+void init_board() {{
+    int i;
+    for (i = 0; i < 64; i++) {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        board[i] = seed % 13 - 6;
+        ptable[i] = (i * 7) % 23;
+        mobility[i] = 0;
+    }}
+}}
+
+int material() {{
+    // Heavier per-square evaluation with piece-square interpolation;
+    // the running score makes this scan sequential.
+    int s = 0;
+    int i;
+    for (i = 0; i < 64; i++) {{
+        int piece = board[i];
+        if (piece < 0) {{ piece = -piece; }}
+        int pst = (ptable[i] * (64 - i) + ptable[63 - i] * i) / 64;
+        int blend = (s / 8) % 32;
+        int tropism = (s % 7) * (pst % 5);
+        s = s + piece * 100 + pst + blend + tropism;
+        s = s % 1000003;
+    }}
+    return s;
+}}
+
+int king_safety(int kpos) {{
+    int danger = 0;
+    int d;
+    for (d = 0; d < 24; d++) {{
+        int sq = (kpos + d * 9 + 64) % 64;
+        if (board[sq] < 0) {{
+            danger = danger + mobility[sq] + 3;
+        }}
+        danger = (danger * 5 + sq) % 9973;
+    }}
+    return danger;
+}}
+
+void main() {{
+    init_board();
+    int m;
+    int alpha = -100000;
+    for (m = 0; m < MOVES; m++) {{
+        // Make a move (sequential board mutation).
+        int from = (m * 17 + seed % 7) % 64;
+        int to = (m * 29 + 11) % 64;
+        int captured = board[to];
+        board[to] = board[from];
+        board[from] = 0;
+
+        // Mobility scan over squares.
+        int i;
+        for (i = 0; i < 64; i++) {{
+            int reach = 0;
+            int d;
+            for (d = 0; d < 3; d++) {{
+                int sq = (i + d * 7 + 1) % 64;
+                if (board[sq] == 0) {{ reach++; }}
+            }}
+            mobility[i] = reach;
+        }}
+
+        int score = material() - king_safety(to % 64);
+        if (score > alpha) {{
+            alpha = score;
+        }} else {{
+            // Undo the move (search backtracking).
+            board[from] = board[to];
+            board[to] = captured;
+        }}
+        total_eval = total_eval + score % 64;
+    }}
+    print(alpha);
+    print(total_eval);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

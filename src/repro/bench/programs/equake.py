@@ -1,0 +1,111 @@
+"""183.equake -- seismic wave propagation.
+
+The hot kernel of equake is ``smvp``, a sparse matrix-vector product in
+CSR form, inside a time-integration loop.  Rows are independent (DOALL
+with indirect column loads); the integration updates are element-wise
+DOALL; the per-step error norm is a reduction the selection algorithm must
+price (accumulator segment).
+"""
+
+_PARAMS = {
+    "train": {"STEPS": 14},
+    "ref": {"STEPS": 64},
+}
+
+_TEMPLATE = """
+int ROWS = 100;
+int NNZ = 6;
+int STEPS = {STEPS};
+
+int colidx[600];
+float aval[600];
+int rowstart[101];
+float x[100];
+float y[100];
+float disp[100];
+float vel[100];
+float norms[100];
+int seed = 7;
+
+void build_matrix() {{
+    int i;
+    int k = 0;
+    for (i = 0; i < ROWS; i++) {{
+        rowstart[i] = k;
+        int n;
+        for (n = 0; n < NNZ; n++) {{
+            int c = i + n * 7 - 21;
+            if (c < 0) {{ c = -c; }}
+            colidx[k] = c % ROWS;
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            aval[k] = 0.001 + (seed % 97) * 0.0021;
+            k++;
+        }}
+    }}
+    rowstart[ROWS] = k;
+}}
+
+void smvp() {{
+    int i;
+    for (i = 0; i < ROWS; i++) {{
+        float s = 0.0;
+        int k;
+        int lo = rowstart[i];
+        int hi = rowstart[i + 1];
+        for (k = lo; k < hi; k++) {{
+            s = s + aval[k] * x[colidx[k]];
+        }}
+        y[i] = s;
+    }}
+}}
+
+void integrate() {{
+    int i;
+    for (i = 0; i < ROWS; i++) {{
+        float a = y[i] - 0.02 * vel[i] - 0.1 * disp[i];
+        vel[i] = vel[i] + 0.05 * a;
+        disp[i] = disp[i] + 0.05 * vel[i];
+        x[i] = disp[i];
+        norms[i] = disp[i] * disp[i];
+    }}
+}}
+
+void main() {{
+    int i;
+    int t;
+    build_matrix();
+    for (i = 0; i < ROWS; i++) {{
+        x[i] = (i % 13) * 0.05;
+        disp[i] = x[i];
+        vel[i] = 0.0;
+    }}
+    float energy = 0.0;
+    for (t = 0; t < STEPS; t++) {{
+        smvp();
+        integrate();
+        // Absorbing boundary: each boundary node feeds the next.
+        float bc = 0.0;
+        int bnode;
+        for (bnode = 1; bnode < 64; bnode++) {{
+            bc = bc * 0.6 + disp[bnode] - disp[bnode - 1];
+            x[0] = x[0] + bc * 0.001;
+        }}
+        // Error norm: a reduction over the per-row squares.
+        float e = 0.0;
+        for (i = 0; i < ROWS; i++) {{
+            e = e + norms[i];
+        }}
+        energy = energy + e * 0.01;
+    }}
+    float chk = 0.0;
+    for (i = 0; i < ROWS; i++) {{
+        chk = chk + disp[i] * (i % 7 + 1);
+    }}
+    print(energy);
+    print(chk);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

@@ -1,0 +1,106 @@
+"""254.gap -- computer algebra (polynomial / big-number arithmetic).
+
+Polynomial products give coefficient-wise DOALL inner loops (the
+``res[i+j]`` accesses are affine and iteration-local per inner loop), but
+every product is followed by a carry-propagation pass whose cross-element
+dependence (``res[k+1] += res[k] / BASE``) is genuinely sequential -- the
+mix lands gap near the paper's ~1.8x.
+"""
+
+_PARAMS = {
+    "train": {"ROUNDS": 12},
+    "ref": {"ROUNDS": 52},
+}
+
+_TEMPLATE = """
+int DEG = 48;
+int BASE = 100;
+int ROUNDS = {ROUNDS};
+
+int pa[48];
+int pb[48];
+int res[96];
+int seed = 41;
+int checksum = 0;
+
+void randomize() {{
+    int i;
+    for (i = 0; i < DEG; i++) {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        pa[i] = seed % BASE;
+        pb[i] = (seed / 1024) % BASE;
+    }}
+}}
+
+void poly_mul() {{
+    // Convolution form: each output coefficient is independent (DOALL
+    // over k with an inner reduction into a private register).
+    int k;
+    for (k = 0; k < 2 * DEG - 1; k++) {{
+        int s = 0;
+        int lo = k - DEG + 1;
+        if (lo < 0) {{ lo = 0; }}
+        int hi = k;
+        if (hi > DEG - 1) {{ hi = DEG - 1; }}
+        int i;
+        for (i = lo; i <= hi; i++) {{
+            s = s + pa[i] * pb[k - i];
+        }}
+        res[k] = s;
+    }}
+    res[2 * DEG - 1] = 0;
+}}
+
+void carry_propagate() {{
+    // Sequential: each digit feeds the next.
+    int k;
+    for (k = 0; k < 2 * DEG - 1; k++) {{
+        int c = res[k] / BASE;
+        res[k] = res[k] % BASE;
+        res[k + 1] = res[k + 1] + c;
+    }}
+}}
+
+int normalize() {{
+    // Big-number normalization: remainder chains with division.
+    int rem = 0;
+    int k;
+    for (k = 2 * DEG - 1; k >= 0; k--) {{
+        int v = rem * BASE + res[k];
+        int q = v / 7;
+        rem = v - q * 7;
+        res[k] = (res[k] + q % 3) % BASE;
+    }}
+    int rem2 = 0;
+    for (k = 0; k < 2 * DEG; k++) {{
+        int v2 = rem2 * BASE + res[k];
+        int q2 = v2 / 11;
+        rem2 = v2 - q2 * 11;
+        res[k] = (res[k] + q2 % 2) % BASE;
+    }}
+    return rem + rem2;
+}}
+
+void main() {{
+    int r;
+    int remsum = 0;
+    for (r = 0; r < ROUNDS; r++) {{
+        randomize();
+        poly_mul();
+        carry_propagate();
+        remsum = (remsum + normalize()) % 1009;
+        int i;
+        int local = 0;
+        for (i = 0; i < 2 * DEG; i++) {{
+            local = local + res[i] * (i % 11 + 1);
+        }}
+        checksum = (checksum + local) % 1000000007;
+    }}
+    print(checksum);
+    print(remsum);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

@@ -1,0 +1,115 @@
+"""164.gzip -- LZ77 compression.
+
+The hot code is the longest-match search: for each input position, walk a
+hash chain of earlier positions and compare windows byte by byte
+(data-dependent inner loop = irregular control flow), keeping the best
+match (max-reduction segment).  The outer position loop advances by the
+match length -- a data-dependent stride that keeps it sequential, exactly
+why HELIX picks the inner candidate loops for gzip.
+"""
+
+_PARAMS = {
+    "train": {"INPUT": 420},
+    "ref": {"INPUT": 1900},
+}
+
+_TEMPLATE = """
+int INPUT = {INPUT};
+int WIN = 1024;
+int CAND = 24;
+int MAXM = 32;
+
+int window[1024];
+int chain[1024];
+int head[64];
+int lit_count = 0;
+int match_count = 0;
+int out_bits = 0;
+int seed = 99;
+
+void fill_window() {{
+    int i;
+    for (i = 0; i < WIN; i++) {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        window[i] = (seed / 64) % 17;
+        chain[i] = 0;
+    }}
+}}
+
+int hash3(int pos) {{
+    int h = window[pos] * 17 + window[pos + 1] * 5 + window[pos + 2];
+    return h % 64;
+}}
+
+int longest_match(int pos) {{
+    int best = 2;
+    int c;
+    int cand = head[hash3(pos)];
+    for (c = 0; c < CAND; c++) {{
+        // Candidate positions derive from the chain start; the window
+        // compare loop has a data-dependent trip count.
+        int p2 = (cand + c * 37) % (pos + 1);
+        // Fixed-width similarity prescreen (rolling weighted distance).
+        int sim = 0;
+        int d;
+        for (d = 0; d < 5; d++) {{
+            int diff = window[p2 + d] - window[pos + d];
+            if (diff < 0) {{ diff = -diff; }}
+            sim = sim * 2 + 16 - diff;
+            sim = sim % 65521;
+        }}
+        int len = 0;
+        while (len < MAXM && pos + len < WIN - 1 &&
+               window[p2 + len] == window[pos + len]) {{
+            len++;
+        }}
+        int score = len * 4 + sim % 4 - (c & 3);
+        if (score > best * 4) {{
+            best = len;
+        }}
+    }}
+    return best;
+}}
+
+void main() {{
+    fill_window();
+    int pos = 0;
+    int processed = 0;
+    while (processed < INPUT && pos < WIN - MAXM - 2) {{
+        int h = hash3(pos);
+        int m = longest_match(pos);
+        // Update the hash chain (sequential bookkeeping).
+        chain[pos] = head[h];
+        head[h] = pos;
+        // Huffman-style bit accounting: a running code state per symbol.
+        int codes = m + 2;
+        int cstate = out_bits % 509;
+        int ci = 0;
+        while (ci < codes) {{
+            cstate = (cstate * 2 + window[(pos + ci) % WIN]) % 509;
+            out_bits = out_bits + 9 - cstate % 4;
+            ci++;
+        }}
+        if (m > 2) {{
+            match_count++;
+            out_bits = out_bits + 12;
+            pos = pos + m;
+        }} else {{
+            lit_count++;
+            out_bits = out_bits + 9;
+            pos = pos + 1;
+        }}
+        if (pos >= WIN - MAXM - 2) {{
+            pos = pos % 97;
+        }}
+        processed++;
+    }}
+    print(lit_count);
+    print(match_count);
+    print(out_bits);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

@@ -1,0 +1,133 @@
+"""181.mcf -- minimum-cost network flow (network simplex).
+
+Two archetypal loops: the entering-arc *pricing scan* (computes reduced
+costs over all arcs; carries only a min-reduction, but its body is small,
+so parallelizing it barely pays -- the paper's mcf is its second-lowest
+speedup) and the *tree update*, a pointer-chasing walk along parent links
+that is inherently sequential and must be rejected by loop selection.
+"""
+
+_PARAMS = {
+    "train": {"PIVOTS": 48},
+    "ref": {"PIVOTS": 210},
+}
+
+_TEMPLATE = """
+int ARCS = 90;
+int NODES = 64;
+int PIVOTS = {PIVOTS};
+
+int tail[90];
+int head[90];
+int cost[90];
+int flow[90];
+int potential[64];
+int parent[64];
+int depth[64];
+int seed = 5;
+
+void build_network() {{
+    int i;
+    for (i = 0; i < ARCS; i++) {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        tail[i] = seed % NODES;
+        head[i] = (seed / 128) % NODES;
+        cost[i] = seed % 50 + 1;
+        flow[i] = 0;
+    }}
+    for (i = 0; i < NODES; i++) {{
+        parent[i] = i / 2;
+        depth[i] = i % 8;
+        potential[i] = (i * 13) % 40;
+    }}
+}}
+
+int price_arcs() {{
+    // Entering-arc scan: reduced cost over all arcs, min reduction.
+    int bestArc = -1;
+    int bestRed = 0;
+    int a;
+    for (a = 0; a < ARCS; a++) {{
+        int red = cost[a] - potential[tail[a]] + potential[head[a]];
+        // Smoothed congestion estimate per arc.
+        int est = red;
+        int k;
+        for (k = 0; k < 2; k++) {{
+            est = (est * 3 + cost[(a + k) % 90] - k) % 1021;
+        }}
+        if (flow[a] % 3 == 0 && red * 8 + est % 8 < bestRed * 8) {{
+            bestRed = red;
+            bestArc = a;
+        }}
+    }}
+    return bestArc;
+}}
+
+void update_tree(int arc) {{
+    // Pointer chase toward the root: inherently sequential.
+    int u = tail[arc];
+    int hops = 0;
+    while (u != 0 && hops < 48) {{
+        potential[u] = potential[u] + 1 + (depth[u] + hops) % 3;
+        depth[u] = (depth[u] + 1) % 8;
+        u = parent[u];
+        hops++;
+    }}
+    flow[arc] = flow[arc] + 1;
+    // Dual update walks over the node chain (sequential).
+    int carry = 0;
+    int n;
+    for (n = 1; n < NODES; n++) {{
+        carry = (carry + potential[n] - potential[n - 1]) % 613;
+        if (carry < 0) {{ carry = carry + 613; }}
+        potential[n] = potential[n] + carry % 2;
+        depth[n] = (depth[n] * 3 + carry) % 4093;
+    }}
+    int carry2 = 0;
+    for (n = NODES - 2; n >= 0; n--) {{
+        carry2 = (carry2 * 5 + potential[n + 1] % 17) % 2039;
+        if (carry2 % 9 == 4) {{
+            potential[n] = potential[n] + 1;
+        }}
+    }}
+    // Basis refactorization sweep (sequential chain with division).
+    int basis = 1;
+    for (n = 0; n < NODES; n++) {{
+        basis = (basis * 31 + potential[n]) % 65521;
+        basis = basis + depth[n] / (basis % 7 + 2);
+    }}
+    depth[0] = (depth[0] + basis) % 4093;
+}}
+
+void main() {{
+    build_network();
+    int p;
+    int done = 0;
+    for (p = 0; p < PIVOTS; p++) {{
+        int arc = price_arcs();
+        if (arc < 0) {{
+            // Degenerate pivot: fall back to a round-robin arc.
+            arc = p % ARCS;
+            done++;
+            potential[p % NODES] = potential[p % NODES] - 1;
+        }}
+        update_tree(arc);
+    }}
+    int chk = 0;
+    int i;
+    for (i = 0; i < NODES; i++) {{
+        chk = chk + potential[i] * (i % 9 + 1);
+    }}
+    int fsum = 0;
+    for (i = 0; i < ARCS; i++) {{
+        fsum = fsum + flow[i];
+    }}
+    print(chk);
+    print(fsum);
+    print(done);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

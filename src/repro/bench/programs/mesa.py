@@ -1,0 +1,115 @@
+"""177.mesa -- 3-D graphics rasterization.
+
+Models span-based triangle rasterization: the chosen loop iterates over
+scanline spans; each span shades a run of pixels (iteration-private
+z-buffer and color-buffer accesses, a small lighting loop per pixel) and
+accumulates a drawn-pixel count -- a short sequential segment at the end
+of a long, mostly parallel span body.
+"""
+
+_PARAMS = {
+    "train": {"FRAMES": 6},
+    "ref": {"FRAMES": 26},
+}
+
+_TEMPLATE = """
+int W = 32;
+int H = 28;
+int FRAMES = {FRAMES};
+
+int zbuf[896];
+int cbuf[896];
+int lights[6];
+int texture[896];
+int drawn_total = 0;
+
+void clear_buffers() {{
+    int p;
+    for (p = 0; p < W * H; p++) {{
+        zbuf[p] = 255;
+        cbuf[p] = 0;
+    }}
+}}
+
+int render_frame(int f) {{
+    int yrow;
+    int drawn = 0;
+    for (yrow = 0; yrow < H; yrow++) {{
+        // One span per row: shade W pixels (all private accesses).
+        int hits = 0;
+        int xcol;
+        for (xcol = 0; xcol < W; xcol++) {{
+            int p = yrow * W + xcol;
+            int z = (xcol * 3 + yrow * 5 + f * 7) % 256;
+            int color = (xcol * xcol + yrow) % 64;
+            int l;
+            for (l = 0; l < 6; l++) {{
+                int d = xcol - lights[l];
+                if (d < 0) {{ d = -d; }}
+                color = color + (lights[l] * 3) / (d + 1);
+            }}
+            // Bilinear-ish texture filter over neighbour texels.
+            int tex = 0;
+            int tap;
+            for (tap = 0; tap < 4; tap++) {{
+                int tp = (p + tap * 7) % (W * H);
+                tex = (tex * 3 + texture[tp] + tap) % 509;
+            }}
+            color = color + tex % 16;
+            if (z < zbuf[p]) {{
+                zbuf[p] = z;
+                cbuf[p] = color;
+                hits++;
+            }}
+        }}
+        // Sequential segment: per-span drawn accumulation.
+        drawn = drawn + hits;
+    }}
+    return drawn;
+}}
+
+void main() {{
+    int f;
+    int i;
+    for (i = 0; i < 6; i++) {{
+        lights[i] = (i * 11 + 3) % W;
+    }}
+    for (i = 0; i < W * H; i++) {{
+        texture[i] = (i * 2654435761) % 256;
+    }}
+    clear_buffers();
+    int composite = 0;
+    for (f = 0; f < FRAMES; f++) {{
+        int d = render_frame(f);
+        drawn_total = drawn_total + d;
+        // Frame composition: two alpha-blend scans with carried state
+        // (forward and backward), like mesa's span compositing.
+        int acc = 0;
+        int pix;
+        for (pix = 0; pix < W * H; pix++) {{
+            acc = (acc * 7 + cbuf[pix]) % 509;
+            acc = acc + zbuf[pix] / (acc % 13 + 2);
+        }}
+        int acc2 = 0;
+        for (pix = W * H - 1; pix >= 0; pix--) {{
+            acc2 = (acc2 * 5 + zbuf[pix]) % 521;
+            acc2 = acc2 + cbuf[pix] / (acc2 % 11 + 3);
+        }}
+        composite = (composite + acc + acc2) % 1000003;
+        if (f % 16 == 15) {{
+            clear_buffers();
+        }}
+    }}
+    int chk = 0;
+    for (i = 0; i < W * H; i++) {{
+        chk = chk + cbuf[i] * (i % 5 + 1) + zbuf[i];
+    }}
+    print(drawn_total);
+    print(composite);
+    print(chk);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

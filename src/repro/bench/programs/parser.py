@@ -1,0 +1,106 @@
+"""197.parser -- link grammar parser (dictionary machinery).
+
+Dominated by hash-bucket list chasing with data-dependent chain lengths
+and by updates of shared match counts at data-dependent indices -- both
+hostile to iteration-level parallelism.  The one profitable loop is the
+per-sentence word-scoring scan whose body carries only a small
+accumulator, giving parser its modest paper speedup (~1.4x).
+"""
+
+_PARAMS = {
+    "train": {"SENTENCES": 34},
+    "ref": {"SENTENCES": 150},
+}
+
+_TEMPLATE = """
+int WORDS = 48;
+int BUCKETS = 32;
+int DICT = 256;
+int SENTENCES = {SENTENCES};
+
+int bucket_head[32];
+int dict_next[256];
+int dict_key[256];
+int dict_score[256];
+int match_count[32];
+int sentence[48];
+int seed = 17;
+
+void build_dictionary() {{
+    int i;
+    for (i = 0; i < DICT; i++) {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        dict_key[i] = seed % 997;
+        dict_score[i] = seed % 23;
+        dict_next[i] = 0;
+    }}
+    for (i = 0; i < BUCKETS; i++) {{
+        bucket_head[i] = (i * 8) % DICT;
+    }}
+    // Thread bucket chains through the dictionary.
+    for (i = 0; i < DICT; i++) {{
+        dict_next[i] = (i + BUCKETS) % DICT;
+    }}
+}}
+
+int lookup(int key) {{
+    int b = key % BUCKETS;
+    int node = bucket_head[b];
+    int hops = 0;
+    int found = -1;
+    while (hops < 8 && found < 0) {{
+        if (dict_key[node] % 997 == key % 997) {{
+            found = node;
+        }}
+        node = dict_next[node];
+        hops++;
+    }}
+    if (found < 0) {{ found = node; }}
+    return found;
+}}
+
+void main() {{
+    build_dictionary();
+    int s;
+    int total = 0;
+    for (s = 0; s < SENTENCES; s++) {{
+        // Load the sentence (word ids derived from the sentence index).
+        int w;
+        for (w = 0; w < WORDS; w++) {{
+            sentence[w] = (w * 131 + s * 17) % 997;
+        }}
+        // Score words: list chasing per word, shared count updates.
+        int score = 0;
+        for (w = 0; w < WORDS; w++) {{
+            int node = lookup(sentence[w]);
+            score = score + dict_score[node];
+            match_count[node % BUCKETS] = match_count[node % BUCKETS] + 1;
+        }}
+        total = total + score;
+        // Linkage pass: each word's link count feeds the next word's --
+        // inherently sequential, like the parser's chart updates.
+        int links = 0;
+        for (w = 1; w < WORDS; w++) {{
+            links = (links * 3 + sentence[w] + sentence[w - 1]) % 1009;
+            int probe = links % 16 + 4;
+            int q = 0;
+            while (q < probe) {{
+                links = links + dict_score[(links + q) % DICT];
+                q++;
+            }}
+        }}
+        total = (total + links) % 1000000007;
+    }}
+    int chk = 0;
+    int i;
+    for (i = 0; i < BUCKETS; i++) {{
+        chk = chk + match_count[i] * (i + 1);
+    }}
+    print(total);
+    print(chk);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

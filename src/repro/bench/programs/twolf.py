@@ -1,0 +1,99 @@
+"""300.twolf -- standard-cell placement by simulated annealing.
+
+The move loop carries the LCG random-number generator (a short sequential
+segment at the *top* of each iteration), evaluates the cost of a proposed
+cell swap over that cell's nets (long parallel stretch), and commits
+rarely taken accepts into shared placement arrays (a conditional-producer
+segment whose data transfer is infrequent -- the paper's Figure 2 story).
+"""
+
+_PARAMS = {
+    "train": {"MOVES": 42},
+    "ref": {"MOVES": 185},
+}
+
+_TEMPLATE = """
+int CELLS = 64;
+int NETS = 48;
+int FAN = 6;
+int MOVES = {MOVES};
+
+int cellx[64];
+int celly[64];
+int net_cell[288];
+int cost_now = 0;
+int accepts = 0;
+int rng = 12345;
+
+void init_placement() {{
+    int i;
+    for (i = 0; i < CELLS; i++) {{
+        cellx[i] = (i * 13) % 32;
+        celly[i] = (i * 7) % 32;
+    }}
+    for (i = 0; i < NETS * FAN; i++) {{
+        rng = (rng * 1103515245 + 12345) % 2147483648;
+        net_cell[i] = rng % CELLS;
+    }}
+}}
+
+int net_span(int n, int moved, int nx, int ny) {{
+    int minx = 99;
+    int maxx = -99;
+    int miny = 99;
+    int maxy = -99;
+    int f;
+    for (f = 0; f < FAN; f++) {{
+        int c = net_cell[n * FAN + f];
+        int xx = cellx[c];
+        int yy = celly[c];
+        if (c == moved) {{ xx = nx; yy = ny; }}
+        if (xx < minx) {{ minx = xx; }}
+        if (xx > maxx) {{ maxx = xx; }}
+        if (yy < miny) {{ miny = yy; }}
+        if (yy > maxy) {{ maxy = yy; }}
+    }}
+    return maxx - minx + maxy - miny;
+}}
+
+void main() {{
+    init_placement();
+    int m;
+    for (m = 0; m < MOVES; m++) {{
+        // Sequential segment: the RNG carries across iterations.
+        rng = (rng * 1103515245 + 12345) % 2147483648;
+        int cell = rng % CELLS;
+        int nx = (rng / 64) % 32;
+        int ny = (rng / 2048) % 32;
+
+        // Parallel: evaluate span delta over all nets.
+        int delta = 0;
+        int n;
+        for (n = 0; n < NETS; n++) {{
+            int before = net_span(n, -1, 0, 0);
+            int after = net_span(n, cell, nx, ny);
+            delta = delta + after - before;
+        }}
+
+        // Rarely taken accept: shared placement update.
+        if (delta < 0) {{
+            cellx[cell] = nx;
+            celly[cell] = ny;
+            cost_now = cost_now + delta;
+            accepts++;
+        }}
+    }}
+    int chk = 0;
+    int i;
+    for (i = 0; i < CELLS; i++) {{
+        chk = chk + cellx[i] * 3 + celly[i];
+    }}
+    print(accepts);
+    print(cost_now);
+    print(chk);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

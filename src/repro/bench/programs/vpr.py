@@ -1,0 +1,103 @@
+"""175.vpr -- FPGA placement and routing.
+
+The placement cost evaluator walks all nets computing bounding boxes from
+pin positions (per-net work is parallel; the cost accumulator is a short
+trailing segment), and a router-like pass expands wavefronts with
+data-dependent extents.  Lands around the paper's ~2x.
+"""
+
+_PARAMS = {
+    "train": {"ITERS": 16},
+    "ref": {"ITERS": 70},
+}
+
+_TEMPLATE = """
+int NETS = 56;
+int PINS = 8;
+int GRID = 24;
+int ITERS = {ITERS};
+
+int pinx[448];
+int piny[448];
+int net_weight[56];
+int total_cost = 0;
+int route_len = 0;
+int seed = 57;
+
+void place_pins(int it) {{
+    // Pure hash of (pin, iteration): each pin is independent (DOALL).
+    int i;
+    for (i = 0; i < NETS * PINS; i++) {{
+        int h = (i * 2654435761 + it * 40503) % 2147483648;
+        pinx[i] = h % GRID;
+        piny[i] = (h / 1024) % GRID;
+    }}
+}}
+
+void main() {{
+    int w;
+    for (w = 0; w < NETS; w++) {{
+        net_weight[w] = w % 5 + 1;
+    }}
+    int it;
+    for (it = 0; it < ITERS; it++) {{
+        place_pins(it);
+        // Net bounding-box cost: parallel per net, accumulator segment.
+        int cost = 0;
+        int n;
+        for (n = 0; n < NETS; n++) {{
+            int minx = GRID;
+            int maxx = 0;
+            int miny = GRID;
+            int maxy = 0;
+            int p;
+            for (p = 0; p < PINS; p++) {{
+                int x = pinx[n * PINS + p];
+                int y = piny[n * PINS + p];
+                if (x < minx) {{ minx = x; }}
+                if (x > maxx) {{ maxx = x; }}
+                if (y < miny) {{ miny = y; }}
+                if (y > maxy) {{ maxy = y; }}
+            }}
+            int bb = (maxx - minx) + (maxy - miny);
+            cost = cost + bb * net_weight[n % 56];
+        }}
+        total_cost = (total_cost + cost) % 1000000007;
+
+        // Legalization sweep: running offset carried across pins.
+        int off = 0;
+        int lp;
+        for (lp = 0; lp < NETS * PINS; lp++) {{
+            off = (off * 3 + pinx[lp] - piny[lp] + GRID) % 97;
+            if (off > 64) {{
+                pinx[lp] = (pinx[lp] + off % 3) % GRID;
+            }}
+        }}
+
+        // Router-like wavefront: data-dependent expansion length.
+        int n2;
+        for (n2 = 0; n2 < NETS; n2++) {{
+            int x = pinx[n2 * PINS];
+            int y = piny[n2 * PINS];
+            int tx = pinx[n2 * PINS + 1];
+            int ty = piny[n2 * PINS + 1];
+            int steps = 0;
+            while ((x != tx || y != ty) && steps < 40) {{
+                if (x < tx) {{ x++; }} else {{
+                    if (x > tx) {{ x = x - 1; }} else {{
+                        if (y < ty) {{ y++; }} else {{ y = y - 1; }}
+                    }}
+                }}
+                steps++;
+            }}
+            route_len = route_len + steps;
+        }}
+    }}
+    print(total_cost);
+    print(route_len);
+}}
+"""
+
+
+def source(scale: str = "ref") -> str:
+    return _TEMPLATE.format(**_PARAMS[scale])

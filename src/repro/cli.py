@@ -1,0 +1,116 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE.mc``            -- compile and run a MiniC program sequentially.
+* ``parallelize FILE.mc``    -- full HELIX pipeline + simulated speedup.
+* ``ir FILE.mc``             -- dump the compiled IR.
+* ``bench NAME``             -- run one of the 13 suite benchmarks.
+* ``suite``                  -- Figure 9 over the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import MachineConfig, compile_minic, parallelize_and_run
+from repro.ir import module_to_str
+from repro.runtime import run_module
+
+
+def _load(path: str):
+    source = Path(path).read_text()
+    return compile_minic(source, name=Path(path).stem)
+
+
+def cmd_run(args) -> int:
+    module = _load(args.file)
+    result = run_module(module)
+    for line in result.output:
+        print(line)
+    print(
+        f"[{result.instructions:,} instructions, {result.cycles:,} cycles]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_ir(args) -> int:
+    print(module_to_str(_load(args.file)))
+    return 0
+
+
+def cmd_parallelize(args) -> int:
+    module = _load(args.file)
+    machine = MachineConfig(cores=args.cores)
+    result = parallelize_and_run(module, machine)
+    print(f"chosen loops:      {result.chosen_loops}")
+    print(f"sequential cycles: {result.sequential.cycles:,}")
+    print(f"parallel cycles:   {result.parallel.cycles:,}")
+    print(f"speedup:           {result.speedup:.2f}x on {args.cores} cores")
+    print(f"output identical:  {result.output_matches}")
+    if not result.output_matches:
+        return 1
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import compile_benchmark, get_benchmark
+
+    spec = get_benchmark(args.name)
+    print(f"{spec.name}: {spec.description}")
+    ref = compile_benchmark(args.name, "ref")
+    train = compile_benchmark(args.name, "train")
+    machine = MachineConfig(cores=args.cores)
+    result = parallelize_and_run(ref, machine, train_module=train)
+    print(
+        f"speedup {result.speedup:.2f}x on {args.cores} cores "
+        f"(paper ~{spec.paper_speedup_6}x on 6)"
+    )
+    return 0 if result.output_matches else 1
+
+
+def cmd_suite(args) -> int:
+    from repro.evaluation import figures
+    from repro.evaluation.runner import EvaluationRunner
+
+    runner = EvaluationRunner(MachineConfig(cores=6))
+    print(figures.figure9(runner).render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HELIX reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="compile and run a MiniC file")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("ir", help="dump compiled IR of a MiniC file")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_ir)
+
+    p = sub.add_parser("parallelize", help="HELIX-parallelize and simulate")
+    p.add_argument("file")
+    p.add_argument("--cores", type=int, default=6)
+    p.set_defaults(func=cmd_parallelize)
+
+    p = sub.add_parser("bench", help="run a suite benchmark")
+    p.add_argument("name")
+    p.add_argument("--cores", type=int, default=6)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("suite", help="Figure 9 across the whole suite")
+    p.set_defaults(func=cmd_suite)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The HELIX algorithm (paper Section 2).
+
+* :mod:`repro.core.loopinfo` -- metadata describing a parallelized loop.
+* :mod:`repro.core.segments` -- Step 4: sequential-segment regions and
+  ``wait``/``signal`` insertion.
+* :mod:`repro.core.signals` -- Step 6: signal minimization (redundant-wait
+  elimination, segment merging, the dependence redundance graph and
+  Theorem 1).
+* :mod:`repro.core.communication` -- Step 7: thread memory buffers and
+  loop-boundary live-variable forwarding.
+* :mod:`repro.core.scheduling` -- Step 5: segment shrinking, and Step 8's
+  code-balancing scheduler (Figure 6) plus helper-thread wait sequences.
+* :mod:`repro.core.parallelizer` -- the per-loop pipeline (Steps 1-9) and
+  whole-module driver.
+* :mod:`repro.core.model` -- the speedup model (Equation 1).
+* :mod:`repro.core.selection` -- Section 2.2's loop-selection algorithm
+  over the dynamic loop nesting graph.
+"""
+
+from repro.core.loopinfo import DepSync, HelixOptions, ParallelizedLoop
+from repro.core.parallelizer import HelixParallelizer, parallelize_module
+from repro.core.model import SpeedupModel, speedup_from_fractions
+from repro.core.selection import (
+    LoopSelection,
+    SelectionConfig,
+    choose_loops,
+    fixed_level_selection,
+)
+
+__all__ = [
+    "HelixOptions",
+    "ParallelizedLoop",
+    "DepSync",
+    "HelixParallelizer",
+    "parallelize_module",
+    "SpeedupModel",
+    "speedup_from_fractions",
+    "choose_loops",
+    "fixed_level_selection",
+    "LoopSelection",
+    "SelectionConfig",
+]

@@ -1,0 +1,408 @@
+"""Steps 5 and 8: code scheduling around sequential segments.
+
+**Step 5 (shrinking segments).**  Within every block of the loop, a
+dependence DAG is built (register RAW/WAR/WAW, may-alias memory order,
+call/print side-effect order, pinned synchronization structure) and the
+block is re-scheduled so that:
+
+* ``signal(d)`` is hoisted as early as its producers allow;
+* ``wait(d)`` is sunk as late as its consumers allow;
+* instructions not needed by any dependence endpoint (the "parallel code")
+  sink *after* the signals, out of the sequential segments.
+
+This is the intra-block realization of the paper's percolation; the
+inter-block placement of segments is already as early as Step 4's
+region-exit signals permit.
+
+**Step 8 (balancing, Figure 6).**  Helper threads prefetch one signal at a
+time, so signals should be spaced evenly.  The balancing pass repeatedly
+finds the two *closest* consecutive segments in a block and moves untagged
+parallel code between them -- by at least one instruction, by at most what
+would make them wider than the next-closest pair -- until every pair is at
+least ``delta`` (the unprefetched-minus-prefetched latency) apart or no
+movable code remains, exactly the loop of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import CFGView, reverse_postorder
+from repro.analysis.loops import Loop
+from repro.analysis.pointer import PointsToResult
+from repro.core.loopinfo import DepSync
+from repro.ir import BasicBlock, Function, Instruction, Opcode
+from repro.ir.types import Type
+from repro.runtime.machine import MachineConfig
+
+_SYNC_OPS = (Opcode.WAIT, Opcode.SIGNAL, Opcode.NEXT_ITER, Opcode.XFER)
+
+
+def _is_pinned(instr: Instruction) -> bool:
+    """Ops kept in mutual order: sync ops, marks and synthetic-slot I/O."""
+    if instr.opcode in _SYNC_OPS:
+        return True
+    if instr.opcode in (Opcode.LOADG, Opcode.STOREG):
+        symbol = instr.symbol_operand()
+        return symbol is not None and symbol.synthetic
+    return False
+
+
+@dataclass
+class _Node:
+    index: int
+    instr: Instruction
+    preds: Set[int]
+    succs: Set[int]
+
+
+def _memory_conflict(
+    a: Instruction, b: Instruction, func_name: str, points_to: PointsToResult
+) -> bool:
+    a_mem = a.reads_memory or a.writes_memory or a.opcode is Opcode.CALL
+    b_mem = b.reads_memory or b.writes_memory or b.opcode is Opcode.CALL
+    if not (a_mem and b_mem):
+        return False
+    if a.opcode is Opcode.CALL or b.opcode is Opcode.CALL:
+        return True
+    if not (a.writes_memory or b.writes_memory):
+        return False
+    return points_to.may_alias(func_name, a, func_name, b)
+
+
+def build_block_dag(
+    block: BasicBlock,
+    func_name: str,
+    points_to: PointsToResult,
+    syncs: Sequence[DepSync],
+) -> List[_Node]:
+    """Dependence DAG over the block's instructions (indices)."""
+    instrs = block.instructions
+    nodes = [_Node(i, instr, set(), set()) for i, instr in enumerate(instrs)]
+
+    def add_edge(src: int, dst: int) -> None:
+        if src != dst:
+            nodes[dst].preds.add(src)
+            nodes[src].succs.add(dst)
+
+    last_def: Dict[int, int] = {}
+    uses_since_def: Dict[int, List[int]] = {}
+    last_pinned: Optional[int] = None
+    last_effect: Optional[int] = None
+    mem_indices: List[int] = []
+
+    endpoint_of: Dict[int, List[DepSync]] = {}
+    for sync in syncs:
+        for endpoint in sync.dep.endpoints():
+            endpoint_of.setdefault(endpoint.uid, []).append(sync)
+    wait_index: Dict[int, List[int]] = {}
+    signal_index: Dict[int, List[int]] = {}
+
+    for i, instr in enumerate(instrs):
+        # Register dependences.
+        for reg in instr.uses():
+            if reg.uid in last_def:
+                add_edge(last_def[reg.uid], i)  # RAW
+        if instr.dest is not None:
+            uid = instr.dest.uid
+            if uid in last_def:
+                add_edge(last_def[uid], i)  # WAW
+            for use_idx in uses_since_def.get(uid, ()):
+                add_edge(use_idx, i)  # WAR
+            last_def[uid] = i
+            uses_since_def[uid] = []
+        for reg in instr.uses():
+            uses_since_def.setdefault(reg.uid, []).append(i)
+
+        # Memory order.
+        if instr.reads_memory or instr.writes_memory or instr.opcode is Opcode.CALL:
+            for j in mem_indices:
+                if _memory_conflict(instrs[j], instr, func_name, points_to):
+                    add_edge(j, i)
+            mem_indices.append(i)
+
+        # Side-effect order (calls and prints stay ordered).
+        if instr.opcode in (Opcode.CALL, Opcode.PRINT):
+            if last_effect is not None:
+                add_edge(last_effect, i)
+            last_effect = i
+
+        # Pinned chain: sync ops / marks / slot I/O keep relative order.
+        if _is_pinned(instr):
+            if last_pinned is not None:
+                add_edge(last_pinned, i)
+            last_pinned = i
+
+        if instr.opcode is Opcode.WAIT and instr.dep_id is not None:
+            wait_index.setdefault(instr.dep_id, []).append(i)
+        if instr.opcode is Opcode.SIGNAL and instr.dep_id is not None:
+            signal_index.setdefault(instr.dep_id, []).append(i)
+
+        # Terminator after everything.
+        if instr.is_terminator:
+            for j in range(i):
+                add_edge(j, i)
+
+    # Segment structure: wait(d) -> endpoints(d) -> signal(d).
+    for i, instr in enumerate(instrs):
+        for sync in endpoint_of.get(instr.uid, ()):  # instr is an endpoint
+            for w in wait_index.get(sync.dep.index, ()):
+                if w < i:
+                    add_edge(w, i)
+            for s in signal_index.get(sync.dep.index, ()):
+                if s > i:
+                    add_edge(i, s)
+    return nodes
+
+
+def _essential_uids(
+    block: BasicBlock, syncs: Sequence[DepSync]
+) -> Set[int]:
+    """Endpoints plus their intra-block backward operand slices."""
+    endpoint_uids: Set[int] = set()
+    for sync in syncs:
+        for endpoint in sync.dep.endpoints():
+            endpoint_uids.add(endpoint.uid)
+    essential: Set[int] = set()
+    reg_needed: Set[int] = set()
+    for instr in reversed(block.instructions):
+        take = instr.uid in endpoint_uids or (
+            instr.dest is not None and instr.dest.uid in reg_needed
+        )
+        if take:
+            essential.add(instr.uid)
+            if instr.dest is not None:
+                reg_needed.discard(instr.dest.uid)
+            for reg in instr.uses():
+                reg_needed.add(reg.uid)
+    return essential
+
+
+def schedule_block(
+    block: BasicBlock,
+    func_name: str,
+    points_to: PointsToResult,
+    syncs: Sequence[DepSync],
+) -> List[Instruction]:
+    """Step 5 list scheduling; returns the new instruction order."""
+    if len(block.instructions) <= 2:
+        return block.instructions
+    nodes = build_block_dag(block, func_name, points_to, syncs)
+    essential = _essential_uids(block, syncs)
+
+    indegree = {n.index: len(n.preds) for n in nodes}
+    ready = sorted(i for i, d in indegree.items() if d == 0)
+    scheduled: List[int] = []
+    remaining_protected = sum(
+        1
+        for n in nodes
+        if n.instr.opcode is Opcode.SIGNAL or n.instr.uid in essential
+    )
+
+    # In a block that waits but never signals, everything after the wait
+    # sits inside a segment that only closes in a later block -- so
+    # movable code must come *before* the waits.  In blocks that do
+    # signal, movables go after the signals (the paper's Figure 5
+    # percolation) and waits sink just above their endpoints.
+    has_signal = any(n.instr.opcode is Opcode.SIGNAL for n in nodes)
+    wait_only_block = not has_signal
+
+    def category(i: int) -> int:
+        instr = nodes[i].instr
+        if instr.opcode is Opcode.SIGNAL:
+            return 0
+        if instr.opcode is Opcode.WAIT:
+            return 3 if wait_only_block else 2
+        if instr.uid in essential or _is_pinned(instr):
+            return 1
+        return 2 if wait_only_block else 3
+
+    while ready:
+        ready.sort(key=lambda i: (category(i), i))
+        best = ready[0]
+        if category(best) == 2 and remaining_protected == 0:
+            # No segment work left: emit movable code before bare waits.
+            movables = [i for i in ready if category(i) == 3]
+            if movables:
+                best = movables[0]
+        ready.remove(best)
+        scheduled.append(best)
+        instr = nodes[best].instr
+        if instr.opcode is Opcode.SIGNAL or instr.uid in essential:
+            remaining_protected -= 1
+        for succ in sorted(nodes[best].succs):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+
+    assert len(scheduled) == len(nodes), "scheduling lost instructions"
+    block.instructions = [nodes[i].instr for i in scheduled]
+    return block.instructions
+
+
+def schedule_loop(
+    func: Function,
+    loop: Loop,
+    points_to: PointsToResult,
+    syncs: Sequence[DepSync],
+) -> None:
+    """Apply Step 5 scheduling to every block of the loop."""
+    for name in sorted(loop.blocks):
+        schedule_block(func.blocks[name], func.name, points_to, syncs)
+
+
+# -- Step 8: Figure 6 balancing -------------------------------------------------
+
+
+def _instr_cost(instr: Instruction, machine: MachineConfig) -> int:
+    is_float = instr.dest is not None and instr.dest.type is Type.FLOAT
+    return machine.cost_model.cycles(instr.opcode, is_float)
+
+
+def balance_block(
+    block: BasicBlock,
+    func_name: str,
+    points_to: PointsToResult,
+    syncs: Sequence[DepSync],
+    machine: MachineConfig,
+) -> int:
+    """Figure 6 over one block; returns the number of instructions moved.
+
+    "Segments" here are the wait positions of synchronized dependences in
+    the block; the pool of untagged parallel code is whatever Step 5
+    pushed after the last signal.
+    """
+    delta = machine.signal_latency - machine.prefetched_signal_latency
+    moved_total = 0
+
+    for _round in range(256):
+        instrs = block.instructions
+        wait_positions = [
+            i for i, ins in enumerate(instrs) if ins.opcode is Opcode.WAIT
+        ]
+        if len(wait_positions) < 2:
+            return moved_total
+        signal_positions = [
+            i for i, ins in enumerate(instrs) if ins.opcode is Opcode.SIGNAL
+        ]
+        if not signal_positions:
+            return moved_total
+        last_signal = max(signal_positions)
+
+        # Untagged parallel code: movable instructions after the last signal.
+        nodes = build_block_dag(block, func_name, points_to, syncs)
+        essential = _essential_uids(block, syncs)
+        pool = [
+            i
+            for i in range(last_signal + 1, len(instrs))
+            if not instrs[i].is_terminator
+            and not _is_pinned(instrs[i])
+            and instrs[i].uid not in essential
+            and instrs[i].opcode not in _SYNC_OPS
+        ]
+        if not pool:
+            return moved_total
+
+        # Distances between consecutive segments (cycles between a signal
+        # and the next wait).
+        def distances() -> List[Tuple[int, int, int]]:
+            result = []
+            waits = [
+                i for i, ins in enumerate(block.instructions)
+                if ins.opcode is Opcode.WAIT
+            ]
+            for a, b in zip(waits, waits[1:]):
+                gap = sum(
+                    _instr_cost(ins, machine)
+                    for ins in block.instructions[a + 1: b]
+                    if ins.opcode is not Opcode.SIGNAL
+                )
+                result.append((gap, a, b))
+            return result
+
+        dists = distances()
+        if all(gap >= delta for gap, _a, _b in dists):
+            return moved_total
+        dists.sort()
+        gap_j, a_j, b_j = dists[0]
+        limit = dists[1][0] if len(dists) > 1 else delta
+
+        # Move one legal pool instruction just before wait b_j.
+        moved = False
+        for idx in pool:
+            node = nodes[idx]
+            if any(p > last_signal and p not in pool for p in node.preds):
+                continue
+            if any(p >= b_j for p in node.preds if p <= last_signal):
+                continue
+            if any(p in pool for p in node.preds):
+                continue  # keep dependent movables together, move roots first
+            instr = block.instructions[idx]
+            del block.instructions[idx]
+            insert_at = b_j if idx > b_j else b_j - 1
+            block.instructions.insert(insert_at, instr)
+            moved = True
+            moved_total += 1
+            break
+        if not moved:
+            return moved_total
+        new_gap = distances()
+        # Figure 6's bound: do not grow the pair past the next closest.
+        if moved_total and new_gap and min(g for g, _a, _b in new_gap) > max(
+            limit, delta
+        ):
+            return moved_total
+    return moved_total
+
+
+def balance_loop(
+    func: Function,
+    loop: Loop,
+    points_to: PointsToResult,
+    syncs: Sequence[DepSync],
+    machine: MachineConfig,
+) -> int:
+    """Apply the Figure 6 balancing pass to every block of the loop."""
+    moved = 0
+    for name in sorted(loop.blocks):
+        moved += balance_block(
+            func.blocks[name], func.name, points_to, syncs, machine
+        )
+    return moved
+
+
+# -- Step 8: helper-thread wait order ------------------------------------------
+
+
+def helper_wait_order(
+    func: Function, loop: Loop, syncs: Sequence[DepSync]
+) -> List[int]:
+    """The straight-line wait sequence executed by helper threads.
+
+    One wait per synchronized dependence, ordered by the position of the
+    dependence's first wait in a reverse-postorder walk of the loop
+    (``wait(d_i)`` comes after ``wait(d_j)`` when ``wait(d_j)`` is
+    available just before it -- Step 8).
+    """
+    cfg = CFGView(func)
+    order = reverse_postorder(cfg)
+    position: Dict[str, int] = {name: i for i, name in enumerate(order)}
+
+    def first_wait_pos(sync: DepSync) -> Tuple[int, int]:
+        best = (1 << 30, 1 << 30)
+        for name in loop.blocks:
+            block = func.blocks[name]
+            for idx, instr in enumerate(block.instructions):
+                if (
+                    instr.opcode is Opcode.WAIT
+                    and instr.dep_id == sync.dep.index
+                ):
+                    pos = (position.get(name, 1 << 29), idx)
+                    best = min(best, pos)
+                    break
+        return best
+
+    active = [s for s in syncs if s.synchronized]
+    active.sort(key=first_wait_pos)
+    return [s.dep.index for s in active]

@@ -1,0 +1,53 @@
+"""Rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _render(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Plain-text table, columns sized to content."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def format_series(name: str, mapping: Dict[str, float]) -> str:
+    """One labelled series: ``name: k1=v1 k2=v2 ...``."""
+    body = " ".join(f"{k}={v:.2f}" for k, v in mapping.items())
+    return f"{name}: {body}"

@@ -1,0 +1,198 @@
+"""Cached benchmark pipelines for the evaluation.
+
+Running one benchmark end-to-end means: compile train+ref, profile the
+train build, select loops, transform the ref build, execute it on the
+simulated machine.  Several figures share most of that work, so the runner
+memoizes each stage; timing for different core counts or prefetch modes is
+recomputed from recorded traces (:meth:`ParallelExecutor.replay`) without
+re-interpreting the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.loopnest import LoopId
+from repro.bench import benchmark_names, compile_benchmark
+from repro.core.loopinfo import HelixOptions, ParallelizedLoop
+from repro.core.parallelizer import parallelize_module
+from repro.core.selection import (
+    LoopSelection,
+    SelectionConfig,
+    choose_loops,
+    fixed_level_selection,
+)
+from repro.ir import Module
+from repro.runtime.interpreter import ExecutionResult, run_module
+from repro.runtime.machine import MachineConfig, PrefetchMode
+from repro.runtime.parallel import ParallelExecutor, ParallelRunResult
+from repro.runtime.profiler import ProfileData, profile_module
+
+
+@dataclass
+class PipelineRun:
+    """A transformed benchmark plus its executed results."""
+
+    bench: str
+    selection: Optional[LoopSelection]
+    chosen: List[LoopId]
+    transformed: Module
+    infos: List[ParallelizedLoop]
+    executor: ParallelExecutor
+    parallel: ParallelRunResult
+    sequential: ExecutionResult
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel.cycles <= 0:
+            return 1.0
+        return self.sequential.cycles / self.parallel.cycles
+
+    @property
+    def output_matches(self) -> bool:
+        return self.sequential.output == self.parallel.result.output
+
+    def speedup_at(self, machine: MachineConfig) -> float:
+        """Speedup under another machine, from recorded traces."""
+        replayed = self.executor.replay(machine)
+        if replayed.cycles <= 0:
+            return 1.0
+        return self.sequential.cycles / replayed.cycles
+
+    def replay(self, machine: MachineConfig) -> ParallelRunResult:
+        return self.executor.replay(machine)
+
+
+class EvaluationRunner:
+    """Memoizing driver for all experiments."""
+
+    def __init__(self, machine: Optional[MachineConfig] = None) -> None:
+        self.machine = machine or MachineConfig(cores=6)
+        self._modules: Dict[Tuple[str, str], Module] = {}
+        self._profiles: Dict[str, ProfileData] = {}
+        self._sequential: Dict[str, ExecutionResult] = {}
+        self._selections: Dict[Tuple, LoopSelection] = {}
+        self._pipelines: Dict[Tuple, PipelineRun] = {}
+
+    # -- stages ----------------------------------------------------------------
+
+    def module(self, bench: str, scale: str) -> Module:
+        key = (bench, scale)
+        if key not in self._modules:
+            self._modules[key] = compile_benchmark(bench, scale)
+        return self._modules[key]
+
+    def profile(self, bench: str) -> ProfileData:
+        """Training-input profile (fresh module so the ref build stays
+        untouched)."""
+        if bench not in self._profiles:
+            train = compile_benchmark(bench, "train")
+            self._profiles[bench] = profile_module(train, self.machine)
+        return self._profiles[bench]
+
+    def sequential(self, bench: str) -> ExecutionResult:
+        if bench not in self._sequential:
+            self._sequential[bench] = run_module(
+                self.module(bench, "ref"), self.machine
+            )
+        return self._sequential[bench]
+
+    def selection(
+        self,
+        bench: str,
+        signal_cost: Optional[float] = None,
+        unoptimized_signals: bool = False,
+        cores: Optional[int] = None,
+    ) -> LoopSelection:
+        key = (bench, signal_cost, unoptimized_signals, cores)
+        if key not in self._selections:
+            config = SelectionConfig(
+                machine=self.machine,
+                cores=cores or self.machine.cores,
+                signal_cost=signal_cost,
+                unoptimized_signals=unoptimized_signals,
+            )
+            self._selections[key] = choose_loops(
+                self.module(bench, "ref"), self.profile(bench), config
+            )
+        return self._selections[key]
+
+    def fixed_level(self, bench: str, level: int) -> List[LoopId]:
+        return fixed_level_selection(
+            self.module(bench, "ref"), self.profile(bench), level
+        )
+
+    def pipeline(
+        self,
+        bench: str,
+        options: Optional[HelixOptions] = None,
+        prefetch: PrefetchMode = PrefetchMode.HELIX,
+        signal_cost: Optional[float] = None,
+        unoptimized_signals: bool = False,
+        loop_ids: Optional[Sequence[LoopId]] = None,
+        cache_key: Optional[str] = None,
+    ) -> PipelineRun:
+        """Transform + execute one configuration of one benchmark."""
+        options = options or HelixOptions()
+        key = (
+            bench,
+            cache_key
+            or (
+                options.enable_signal_optimization,
+                options.enable_helper_threads,
+                options.enable_prefetch_balancing,
+                options.enable_inlining,
+                prefetch,
+                signal_cost,
+                unoptimized_signals,
+                tuple(loop_ids) if loop_ids is not None else None,
+            ),
+        )
+        if key in self._pipelines:
+            return self._pipelines[key]
+
+        selection = None
+        if loop_ids is None:
+            selection = self.selection(
+                bench,
+                signal_cost=signal_cost,
+                unoptimized_signals=unoptimized_signals,
+            )
+            loop_ids = selection.chosen
+        machine = self.machine.with_prefetch(prefetch)
+        transformed, infos = parallelize_module(
+            self.module(bench, "ref"), loop_ids, machine, options
+        )
+        executor = ParallelExecutor(transformed, infos, machine)
+        parallel = executor.execute()
+        run = PipelineRun(
+            bench=bench,
+            selection=selection,
+            chosen=list(loop_ids),
+            transformed=transformed,
+            infos=infos,
+            executor=executor,
+            parallel=parallel,
+            sequential=self.sequential(bench),
+        )
+        self._pipelines[key] = run
+        return run
+
+    def helix_run(self, bench: str) -> PipelineRun:
+        """The default full-HELIX configuration of one benchmark."""
+        return self.pipeline(bench, cache_key="helix")
+
+    def benches(self) -> List[str]:
+        return benchmark_names()
+
+
+_default: Optional[EvaluationRunner] = None
+
+
+def default_runner() -> EvaluationRunner:
+    """Process-wide shared runner (pytest benchmarks reuse its caches)."""
+    global _default
+    if _default is None:
+        _default = EvaluationRunner()
+    return _default

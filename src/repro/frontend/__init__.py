@@ -1,0 +1,29 @@
+"""MiniC frontend: a C-subset language compiled to the repro IR.
+
+MiniC stands in for GCC4CLI + C in the original HELIX toolchain.  It keeps
+exactly the features the paper's workloads exercise: integers, floats,
+one-dimensional arrays (global and frame-local), pointers with arithmetic,
+functions, and unrestricted (irregular) control flow -- ``if``/``else``,
+``while``, ``for``, ``break``, ``continue``, early ``return``, short-circuit
+booleans.
+
+Typical use::
+
+    from repro.frontend import compile_source
+    module = compile_source(open("program.mc").read())
+"""
+
+from repro.frontend.errors import MiniCError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.lower import compile_source, lower_program
+
+__all__ = [
+    "MiniCError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "lower_program",
+    "compile_source",
+]

@@ -1,0 +1,193 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass
+class Node:
+    """Base AST node with source position."""
+
+    line: int
+    column: int
+
+
+# -- types ---------------------------------------------------------------------
+
+
+@dataclass
+class TypeSpec(Node):
+    """A declared type: base name ('int'/'float'/'void') + pointer flag."""
+
+    base: str
+    is_pointer: bool = False
+
+    def __str__(self) -> str:
+        return self.base + ("*" if self.is_pointer else "")
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class of expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Name(Expr):
+    """A variable reference."""
+
+    ident: str
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator: '-', '!', '*' (deref) or '&' (address-of)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operator (arithmetic, bitwise, comparison, '&&'/'||')."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Index(Expr):
+    """Subscript: ``base[index]`` where base is an array or pointer."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Direct function call (``print`` is a builtin)."""
+
+    callee: str
+    args: List[Expr]
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class of statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Local declaration: scalar (optional initializer) or array."""
+
+    type: TypeSpec
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment ``target op= value`` (op is '' for plain '=')."""
+
+    target: Expr
+    op: str
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    orelse: Optional["Block"] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass
+class For(Stmt):
+    """C-style for; init/step are statements (Assign/ExprStmt) or None."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: "Block"
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    type: TypeSpec
+    name: str
+
+
+@dataclass
+class FuncDef(Node):
+    return_type: TypeSpec
+    name: str
+    params: List[Param]
+    body: Block
+
+
+@dataclass
+class GlobalDecl(Node):
+    """Global scalar or array with optional constant initializer list."""
+
+    type: TypeSpec
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[List[Union[int, float]]] = None
+
+
+@dataclass
+class Program(Node):
+    items: List[Union[GlobalDecl, FuncDef]] = field(default_factory=list)

@@ -1,0 +1,14 @@
+"""Diagnostics for the MiniC frontend."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """A lexical, syntactic or semantic error in a MiniC program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")

@@ -1,0 +1,179 @@
+"""Hand-written lexer for MiniC."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.frontend.errors import MiniCError
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories."""
+
+    IDENT = "ident"
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    value: Union[int, float, None]
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`MiniCError` on bad input.
+
+    Supports ``//`` line comments and ``/* */`` block comments.
+    """
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise MiniCError("unterminated block comment", line, column())
+            line += source.count("\n", i, end)
+            last_newline = source.rfind("\n", i, end)
+            if last_newline >= 0:
+                line_start = last_newline + 1
+            i = end + 2
+            continue
+        start_col = column()
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float:
+                        raise MiniCError("malformed number", line, start_col)
+                    is_float = True
+                j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j >= n or not source[j].isdigit():
+                    raise MiniCError("malformed exponent", line, start_col)
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(
+                    Token(TokenKind.FLOAT_LIT, text, float(text), line, start_col)
+                )
+            else:
+                tokens.append(
+                    Token(TokenKind.INT_LIT, text, int(text), line, start_col)
+                )
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, None, line, start_col))
+            i = j
+            continue
+        for punct in _PUNCTS:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokenKind.PUNCT, punct, None, line, start_col))
+                i += len(punct)
+                break
+        else:
+            raise MiniCError(f"unexpected character {ch!r}", line, start_col)
+    tokens.append(Token(TokenKind.EOF, "", None, line, column()))
+    return tokens

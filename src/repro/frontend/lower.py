@@ -1,0 +1,703 @@
+"""Lowering: MiniC AST -> repro IR.
+
+The lowering is deliberately plain -- one pass, no clever local
+optimization -- because HELIX itself (Step 5) is responsible for the
+scheduling that matters.  Two properties are load-bearing for the rest of
+the system:
+
+* Local scalars live in virtual registers and local arrays in frame
+  symbols, so iteration-private state is invisible to other threads
+  (paper, Step 2: false dependences through registers/stack are excluded).
+* Global variables are always accessed through LOADG/STOREG, so every
+  shared-memory dependence is visible to the dependence analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import MiniCError
+from repro.frontend.parser import parse
+from repro.ir import (
+    BasicBlock,
+    Const,
+    Function,
+    Instruction,
+    IRBuilder,
+    Module,
+    Opcode,
+    Operand,
+    Symbol,
+    Type,
+    VReg,
+    verify_module,
+)
+from repro.ir.operands import operand_type
+
+_BINOP_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+    "<": Opcode.LT,
+    "<=": Opcode.LE,
+    ">": Opcode.GT,
+    ">=": Opcode.GE,
+}
+
+
+@dataclass
+class Value:
+    """A lowered expression: an operand plus, for pointers, the pointee type."""
+
+    operand: Operand
+    pointee: Optional[Type] = None
+
+    @property
+    def type(self) -> Type:
+        return operand_type(self.operand)
+
+
+@dataclass
+class ScalarBinding:
+    """A local scalar bound to a (mutable) virtual register."""
+
+    reg: VReg
+    pointee: Optional[Type] = None
+
+
+@dataclass
+class ArrayBinding:
+    """A local or global array bound to a memory symbol."""
+
+    symbol: Symbol
+
+
+@dataclass
+class GlobalScalarBinding:
+    """A global scalar (size-1 region) accessed through loads/stores."""
+
+    symbol: Symbol
+
+
+Binding = Union[ScalarBinding, ArrayBinding, GlobalScalarBinding]
+
+
+@dataclass
+class Signature:
+    """A function signature resolved during the declaration pass."""
+
+    return_type: Type
+    return_pointee: Optional[Type]
+    param_types: List[Type]
+    param_pointees: List[Optional[Type]]
+
+
+def _resolve_type(spec: ast.TypeSpec) -> Tuple[Type, Optional[Type]]:
+    """Map a TypeSpec to (IR type, pointee type or None)."""
+    base = {"int": Type.INT, "float": Type.FLOAT, "void": Type.VOID}[spec.base]
+    if spec.is_pointer:
+        if base is Type.VOID:
+            raise MiniCError("void* is not supported", spec.line, spec.column)
+        return Type.PTR, base
+    return base, None
+
+
+class FunctionLowerer:
+    """Lowers one MiniC function body into IR."""
+
+    def __init__(
+        self,
+        module: Module,
+        signatures: Dict[str, Signature],
+        globals_env: Dict[str, Binding],
+        func_def: ast.FuncDef,
+    ) -> None:
+        self.module = module
+        self.signatures = signatures
+        self.func_def = func_def
+        sig = signatures[func_def.name]
+        self.func = Function(func_def.name, sig.return_type)
+        self.builder = IRBuilder(self.func)
+        self.scopes: List[Dict[str, Binding]] = [globals_env, {}]
+        #: (continue_target, break_target) stack for loop statements.
+        self.loop_targets: List[Tuple[BasicBlock, BasicBlock]] = []
+        for param, ptype, pointee in zip(
+            func_def.params, sig.param_types, sig.param_pointees
+        ):
+            reg = self.func.add_param(ptype, param.name)
+            self.declare(param.name, ScalarBinding(reg, pointee), param)
+
+    # -- scope management -----------------------------------------------------
+
+    def declare(self, name: str, binding: Binding, node: ast.Node) -> None:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise MiniCError(f"redeclaration of {name!r}", node.line, node.column)
+        scope[name] = binding
+
+    def lookup(self, name: str, node: ast.Node) -> Binding:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise MiniCError(f"undeclared identifier {name!r}", node.line, node.column)
+
+    # -- entry point ----------------------------------------------------------
+
+    def lower(self) -> Function:
+        self.builder.start_block("entry")
+        self.lower_block(self.func_def.body, new_scope=False)
+        if self.builder.block is not None and not self.builder.block.is_terminated:
+            self.emit_default_return()
+        self._terminate_stragglers()
+        self._remove_unreachable_blocks()
+        return self.func
+
+    def emit_default_return(self) -> None:
+        if self.func.return_type is Type.VOID:
+            self.builder.ret()
+        elif self.func.return_type is Type.FLOAT:
+            self.builder.ret(Const.float(0.0))
+        else:
+            self.builder.ret(Const.int(0))
+
+    def _terminate_stragglers(self) -> None:
+        """Blocks left open by break/return paths get a default return."""
+        for block in self.func.block_order():
+            if not block.is_terminated:
+                self.builder.set_block(block)
+                self.emit_default_return()
+
+    def _remove_unreachable_blocks(self) -> None:
+        reachable = {self.func.entry.name}
+        work = [self.func.entry]
+        while work:
+            block = work.pop()
+            for name in block.successor_names():
+                if name not in reachable:
+                    reachable.add(name)
+                    work.append(self.func.blocks[name])
+        for name in list(self.func.blocks):
+            if name not in reachable:
+                self.func.remove_block(name)
+
+    # -- statements ------------------------------------------------------------
+
+    def lower_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for stmt in block.statements:
+            self.lower_statement(stmt)
+            if self.builder.block is not None and self.builder.block.is_terminated:
+                # Code after return/break/continue in this block is dead;
+                # keep lowering it into a fresh unreachable block so errors
+                # are still diagnosed, then let cleanup drop it.
+                self.builder.start_block("dead")
+        if new_scope:
+            self.scopes.pop()
+
+    def lower_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self.lower_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.lower_break(stmt)
+        elif isinstance(stmt, ast.Continue):
+            self.lower_continue(stmt)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise MiniCError(f"unsupported statement {type(stmt).__name__}")
+
+    def lower_var_decl(self, stmt: ast.VarDecl) -> None:
+        var_type, pointee = _resolve_type(stmt.type)
+        if stmt.array_size is not None:
+            if stmt.type.is_pointer:
+                raise MiniCError(
+                    "arrays of pointers are not supported", stmt.line, stmt.column
+                )
+            unique = stmt.name
+            suffix = 0
+            while unique in self.func.locals:
+                suffix += 1
+                unique = f"{stmt.name}.{suffix}"
+            symbol = self.func.add_local_array(unique, var_type, stmt.array_size)
+            self.declare(stmt.name, ArrayBinding(symbol), stmt)
+            return
+        reg = self.func.new_vreg(var_type, stmt.name)
+        self.declare(stmt.name, ScalarBinding(reg, pointee), stmt)
+        if stmt.init is not None:
+            value = self.lower_expr(stmt.init)
+            self.store_scalar(reg, value, stmt)
+        else:
+            zero = Const.float(0.0) if var_type is Type.FLOAT else Const.int(0)
+            self.builder.emit(Instruction(Opcode.MOV, dest=reg, args=(zero,)))
+
+    def store_scalar(self, reg: VReg, value: Value, node: ast.Node) -> None:
+        operand = value.operand
+        if reg.type is Type.PTR:
+            if value.type is not Type.PTR:
+                raise MiniCError(
+                    "cannot assign non-pointer to pointer", node.line, node.column
+                )
+        else:
+            operand = self.builder.coerce(operand, reg.type)
+        self.builder.emit(Instruction(Opcode.MOV, dest=reg, args=(operand,)))
+
+    def lower_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            self.assign_name(stmt, target)
+        elif isinstance(target, ast.Index):
+            self.assign_index(stmt, target)
+        elif isinstance(target, ast.Unary) and target.op == "*":
+            self.assign_deref(stmt, target)
+        else:
+            raise MiniCError("invalid assignment target", stmt.line, stmt.column)
+
+    def _combined(self, stmt: ast.Assign, current: Value) -> Value:
+        """Value to store: plain rhs, or current `op` rhs for compound ops."""
+        rhs = self.lower_expr(stmt.value)
+        if not stmt.op:
+            return rhs
+        return self.apply_binary(stmt.op, current, rhs, stmt)
+
+    def assign_name(self, stmt: ast.Assign, target: ast.Name) -> None:
+        binding = self.lookup(target.ident, target)
+        if isinstance(binding, ScalarBinding):
+            if stmt.op:
+                current = Value(binding.reg, binding.pointee)
+                value = self._combined(stmt, current)
+            else:
+                value = self.lower_expr(stmt.value)
+            self.store_scalar(binding.reg, value, stmt)
+            if binding.reg.type is Type.PTR:
+                binding.pointee = value.pointee or binding.pointee
+        elif isinstance(binding, GlobalScalarBinding):
+            sym = binding.symbol
+            if stmt.op:
+                current = Value(self.builder.loadg(sym))
+                value = self._combined(stmt, current)
+            else:
+                value = self.lower_expr(stmt.value)
+            self.builder.storeg(sym, Const.int(0), value.operand)
+        else:
+            raise MiniCError(
+                f"cannot assign to array {target.ident!r}", stmt.line, stmt.column
+            )
+
+    def assign_index(self, stmt: ast.Assign, target: ast.Index) -> None:
+        base, index = self.lower_place(target)
+        if isinstance(base, Symbol):
+            if stmt.op:
+                current = Value(self.builder.loadg(base, index))
+                value = self._combined(stmt, current)
+            else:
+                value = self.lower_expr(stmt.value)
+            self.builder.storeg(base, index, value.operand)
+        else:
+            pointee = base.pointee or Type.INT
+            if stmt.op:
+                current = Value(self.builder.loadp(base.operand, index, pointee))
+                value = self._combined(stmt, current)
+            else:
+                value = self.lower_expr(stmt.value)
+            operand = self.builder.coerce(value.operand, pointee)
+            self.builder.storep(base.operand, index, operand)
+
+    def assign_deref(self, stmt: ast.Assign, target: ast.Unary) -> None:
+        ptr = self.lower_expr(target.operand)
+        if ptr.type is not Type.PTR:
+            raise MiniCError("cannot dereference non-pointer", stmt.line, stmt.column)
+        pointee = ptr.pointee or Type.INT
+        if stmt.op:
+            current = Value(self.builder.loadp(ptr.operand, Const.int(0), pointee))
+            value = self._combined(stmt, current)
+        else:
+            value = self.lower_expr(stmt.value)
+        operand = self.builder.coerce(value.operand, pointee)
+        self.builder.storep(ptr.operand, Const.int(0), operand)
+
+    def lower_place(
+        self, target: ast.Index
+    ) -> Tuple[Union[Symbol, Value], Operand]:
+        """Resolve ``base[index]`` to (array symbol | pointer value, index)."""
+        index = self.builder.coerce(self.lower_expr(target.index).operand, Type.INT)
+        if isinstance(target.base, ast.Name):
+            binding = self.lookup(target.base.ident, target.base)
+            if isinstance(binding, ArrayBinding):
+                return binding.symbol, index
+            if isinstance(binding, GlobalScalarBinding):
+                raise MiniCError(
+                    f"{target.base.ident!r} is not an array",
+                    target.line,
+                    target.column,
+                )
+        base = self.lower_expr(target.base)
+        if base.type is not Type.PTR:
+            raise MiniCError("subscripted value is not an array or pointer",
+                             target.line, target.column)
+        return base, index
+
+    def lower_if(self, stmt: ast.If) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_block = self.builder.new_block("then")
+        merge_block = self.builder.new_block("endif")
+        else_block = (
+            self.builder.new_block("else") if stmt.orelse is not None else merge_block
+        )
+        self.builder.cbr(cond.operand, then_block, else_block)
+        self.builder.set_block(then_block)
+        self.lower_block(stmt.then)
+        if not self.builder.block.is_terminated:
+            self.builder.br(merge_block)
+        if stmt.orelse is not None:
+            self.builder.set_block(else_block)
+            self.lower_block(stmt.orelse)
+            if not self.builder.block.is_terminated:
+                self.builder.br(merge_block)
+        self.builder.set_block(merge_block)
+
+    def lower_while(self, stmt: ast.While) -> None:
+        header = self.builder.new_block("while")
+        body = self.builder.new_block("body")
+        exit_block = self.builder.new_block("endwhile")
+        self.builder.br(header)
+        self.builder.set_block(header)
+        cond = self.lower_expr(stmt.cond)
+        self.builder.cbr(cond.operand, body, exit_block)
+        self.builder.set_block(body)
+        self.loop_targets.append((header, exit_block))
+        self.lower_block(stmt.body)
+        self.loop_targets.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(header)
+        self.builder.set_block(exit_block)
+
+    def lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.lower_statement(stmt.init)
+        header = self.builder.new_block("for")
+        body = self.builder.new_block("body")
+        step_block = self.builder.new_block("step")
+        exit_block = self.builder.new_block("endfor")
+        self.builder.br(header)
+        self.builder.set_block(header)
+        if stmt.cond is not None:
+            cond = self.lower_expr(stmt.cond)
+            self.builder.cbr(cond.operand, body, exit_block)
+        else:
+            self.builder.br(body)
+        self.builder.set_block(body)
+        self.loop_targets.append((step_block, exit_block))
+        self.lower_block(stmt.body)
+        self.loop_targets.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(step_block)
+        self.builder.set_block(step_block)
+        if stmt.step is not None:
+            self.lower_statement(stmt.step)
+        self.builder.br(header)
+        self.builder.set_block(exit_block)
+
+    def lower_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            if self.func.return_type is not Type.VOID:
+                raise MiniCError(
+                    f"{self.func.name} must return a value", stmt.line, stmt.column
+                )
+            self.builder.ret()
+            return
+        if self.func.return_type is Type.VOID:
+            raise MiniCError(
+                f"{self.func.name} returns void", stmt.line, stmt.column
+            )
+        value = self.lower_expr(stmt.value)
+        if self.func.return_type is Type.PTR:
+            if value.type is not Type.PTR:
+                raise MiniCError("must return a pointer", stmt.line, stmt.column)
+            self.builder.emit(Instruction(Opcode.RET, args=(value.operand,)))
+        else:
+            self.builder.ret(value.operand)
+
+    def lower_break(self, stmt: ast.Break) -> None:
+        if not self.loop_targets:
+            raise MiniCError("break outside loop", stmt.line, stmt.column)
+        self.builder.br(self.loop_targets[-1][1])
+
+    def lower_continue(self, stmt: ast.Continue) -> None:
+        if not self.loop_targets:
+            raise MiniCError("continue outside loop", stmt.line, stmt.column)
+        self.builder.br(self.loop_targets[-1][0])
+
+    # -- expressions -----------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLit):
+            return Value(Const.int(expr.value))
+        if isinstance(expr, ast.FloatLit):
+            return Value(Const.float(expr.value))
+        if isinstance(expr, ast.Name):
+            return self.lower_name(expr)
+        if isinstance(expr, ast.Unary):
+            return self.lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, ast.Index):
+            return self.lower_index(expr)
+        if isinstance(expr, ast.Call):
+            return self.lower_call(expr)
+        raise MiniCError(f"unsupported expression {type(expr).__name__}")
+
+    def lower_name(self, expr: ast.Name) -> Value:
+        binding = self.lookup(expr.ident, expr)
+        if isinstance(binding, ScalarBinding):
+            return Value(binding.reg, binding.pointee)
+        if isinstance(binding, GlobalScalarBinding):
+            return Value(self.builder.loadg(binding.symbol))
+        # Arrays decay to pointers when used as values.
+        sym = binding.symbol
+        return Value(self.builder.lea(sym), sym.elem_type)
+
+    def lower_unary(self, expr: ast.Unary) -> Value:
+        if expr.op == "&":
+            return self.lower_address_of(expr.operand, expr)
+        operand = self.lower_expr(expr.operand)
+        if expr.op == "-":
+            if operand.type is Type.PTR:
+                raise MiniCError("cannot negate pointer", expr.line, expr.column)
+            if isinstance(operand.operand, Const):
+                const = operand.operand
+                if const.type is Type.INT:
+                    return Value(Const.int(-const.value))
+                return Value(Const.float(-const.value))
+            return Value(self.builder.neg(operand.operand))
+        if expr.op == "!":
+            value = self.builder.coerce(operand.operand, Type.INT)
+            return Value(self.builder.logical_not(value))
+        if expr.op == "*":
+            if operand.type is not Type.PTR:
+                raise MiniCError(
+                    "cannot dereference non-pointer", expr.line, expr.column
+                )
+            pointee = operand.pointee or Type.INT
+            return Value(self.builder.loadp(operand.operand, Const.int(0), pointee))
+        raise MiniCError(f"unsupported unary {expr.op!r}", expr.line, expr.column)
+
+    def lower_address_of(self, target: ast.Expr, node: ast.Unary) -> Value:
+        if isinstance(target, ast.Name):
+            binding = self.lookup(target.ident, target)
+            if isinstance(binding, ArrayBinding):
+                sym = binding.symbol
+                return Value(self.builder.lea(sym), sym.elem_type)
+            if isinstance(binding, GlobalScalarBinding):
+                sym = binding.symbol
+                return Value(self.builder.lea(sym), sym.elem_type)
+            raise MiniCError(
+                "cannot take address of register variable", node.line, node.column
+            )
+        if isinstance(target, ast.Index):
+            base, index = self.lower_place(target)
+            if isinstance(base, Symbol):
+                return Value(self.builder.lea(base, index), base.elem_type)
+            return Value(self.builder.ptradd(base.operand, index), base.pointee)
+        raise MiniCError("cannot take address of expression", node.line, node.column)
+
+    def apply_binary(
+        self, op: str, left: Value, right: Value, node: ast.Node
+    ) -> Value:
+        if op in ("&&", "||"):
+            raise MiniCError(
+                "short-circuit op in compound assignment", node.line, node.column
+            )
+        opcode = _BINOP_OPCODES[op]
+        # Pointer arithmetic: ptr +/- int and array-style offsets.
+        if left.type is Type.PTR or right.type is Type.PTR:
+            if op == "+":
+                ptr, offset = (left, right) if left.type is Type.PTR else (right, left)
+                idx = self.builder.coerce(offset.operand, Type.INT)
+                return Value(self.builder.ptradd(ptr.operand, idx), ptr.pointee)
+            if op == "-" and left.type is Type.PTR and right.type is not Type.PTR:
+                idx = self.builder.coerce(right.operand, Type.INT)
+                neg = self.builder.binop(Opcode.SUB, Const.int(0), idx)
+                return Value(self.builder.ptradd(left.operand, neg), left.pointee)
+            raise MiniCError(
+                f"operator {op!r} not defined on pointers", node.line, node.column
+            )
+        return Value(self.builder.binop(opcode, left.operand, right.operand))
+
+    def lower_binary(self, expr: ast.Binary) -> Value:
+        if expr.op in ("&&", "||"):
+            return self.lower_short_circuit(expr)
+        left = self.lower_expr(expr.left)
+        right = self.lower_expr(expr.right)
+        return self.apply_binary(expr.op, left, right, expr)
+
+    def lower_short_circuit(self, expr: ast.Binary) -> Value:
+        """Lower '&&'/'||' with control flow into a 0/1 register."""
+        result = self.func.new_vreg(Type.INT)
+        rhs_block = self.builder.new_block("sc_rhs")
+        done_block = self.builder.new_block("sc_done")
+        short_block = self.builder.new_block("sc_short")
+
+        left = self.lower_expr(expr.left)
+        cond = self.builder.coerce(left.operand, Type.INT)
+        if expr.op == "&&":
+            self.builder.cbr(cond, rhs_block, short_block)
+            short_value = Const.int(0)
+        else:
+            self.builder.cbr(cond, short_block, rhs_block)
+            short_value = Const.int(1)
+
+        self.builder.set_block(short_block)
+        self.builder.emit(Instruction(Opcode.MOV, dest=result, args=(short_value,)))
+        self.builder.br(done_block)
+
+        self.builder.set_block(rhs_block)
+        right = self.lower_expr(expr.right)
+        rhs_value = self.builder.coerce(right.operand, Type.INT)
+        normalized = self.builder.cmp(Opcode.NE, rhs_value, Const.int(0))
+        self.builder.emit(Instruction(Opcode.MOV, dest=result, args=(normalized,)))
+        self.builder.br(done_block)
+
+        self.builder.set_block(done_block)
+        return Value(result)
+
+    def lower_index(self, expr: ast.Index) -> Value:
+        base, index = self.lower_place(expr)
+        if isinstance(base, Symbol):
+            return Value(self.builder.loadg(base, index))
+        pointee = base.pointee or Type.INT
+        return Value(self.builder.loadp(base.operand, index, pointee))
+
+    def lower_call(self, expr: ast.Call) -> Value:
+        if expr.callee == "print":
+            if len(expr.args) != 1:
+                raise MiniCError("print takes one argument", expr.line, expr.column)
+            value = self.lower_expr(expr.args[0])
+            self.builder.print(value.operand)
+            return Value(Const.int(0))
+        sig = self.signatures.get(expr.callee)
+        if sig is None:
+            raise MiniCError(
+                f"call to undefined function {expr.callee!r}",
+                expr.line,
+                expr.column,
+            )
+        if len(expr.args) != len(sig.param_types):
+            raise MiniCError(
+                f"{expr.callee} expects {len(sig.param_types)} args, "
+                f"got {len(expr.args)}",
+                expr.line,
+                expr.column,
+            )
+        lowered: List[Operand] = []
+        for arg, ptype in zip(expr.args, sig.param_types):
+            value = self.lower_expr(arg)
+            if ptype is Type.PTR:
+                if value.type is not Type.PTR:
+                    raise MiniCError(
+                        f"argument to {expr.callee} must be a pointer",
+                        arg.line,
+                        arg.column,
+                    )
+                lowered.append(value.operand)
+            else:
+                lowered.append(self.builder.coerce(value.operand, ptype))
+        dest = None
+        if sig.return_type is not Type.VOID:
+            dest = self.func.new_vreg(sig.return_type)
+        self.builder.emit(
+            Instruction(
+                Opcode.CALL, dest=dest, args=tuple(lowered), callee=expr.callee
+            )
+        )
+        if dest is None:
+            return Value(Const.int(0))
+        return Value(dest, sig.return_pointee)
+
+
+def lower_program(program: ast.Program, name: str = "program") -> Module:
+    """Lower a parsed MiniC program to an IR module (verified)."""
+    module = Module(name)
+    signatures: Dict[str, Signature] = {}
+    globals_env: Dict[str, Binding] = {}
+    func_defs: List[ast.FuncDef] = []
+
+    for item in program.items:
+        if isinstance(item, ast.GlobalDecl):
+            var_type, pointee = _resolve_type(item.type)
+            if pointee is not None:
+                raise MiniCError(
+                    "global pointers are not supported", item.line, item.column
+                )
+            size = item.array_size if item.array_size is not None else 1
+            init = item.init
+            if init is not None and var_type is Type.FLOAT:
+                init = [float(v) for v in init]
+            if init is not None and var_type is Type.INT:
+                for v in init:
+                    if not isinstance(v, int):
+                        raise MiniCError(
+                            f"float initializer for int global {item.name!r}",
+                            item.line,
+                            item.column,
+                        )
+            symbol = module.add_global(item.name, var_type, size, init)
+            if item.array_size is None:
+                globals_env[item.name] = GlobalScalarBinding(symbol)
+            else:
+                globals_env[item.name] = ArrayBinding(symbol)
+        else:
+            return_type, return_pointee = _resolve_type(item.return_type)
+            param_types: List[Type] = []
+            param_pointees: List[Optional[Type]] = []
+            for param in item.params:
+                ptype, pointee = _resolve_type(param.type)
+                param_types.append(ptype)
+                param_pointees.append(pointee)
+            if item.name in signatures:
+                raise MiniCError(
+                    f"redefinition of function {item.name!r}",
+                    item.line,
+                    item.column,
+                )
+            signatures[item.name] = Signature(
+                return_type, return_pointee, param_types, param_pointees
+            )
+            func_defs.append(item)
+
+    for func_def in func_defs:
+        lowerer = FunctionLowerer(module, signatures, globals_env, func_def)
+        module.add_function(lowerer.lower())
+
+    if "main" not in module.functions:
+        raise MiniCError("program has no 'main' function")
+    verify_module(module)
+    return module
+
+
+def compile_source(source: str, name: str = "program") -> Module:
+    """Compile MiniC source text to a verified IR module."""
+    return lower_program(parse(source), name)

@@ -1,0 +1,91 @@
+"""Basic blocks: straight-line instruction sequences with one terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.ir.instructions import Instruction, Opcode
+
+
+class BasicBlock:
+    """A named basic block within a :class:`~repro.ir.function.Function`.
+
+    Successors are derived from the terminator's ``targets`` rather than
+    stored, so splicing passes cannot leave the CFG stale.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's terminator, or None while under construction."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        """Whether the block already ends in BR/CBR/RET."""
+        return self.terminator is not None
+
+    def successor_names(self) -> Tuple[str, ...]:
+        """Names of successor blocks (empty for RET / unterminated)."""
+        term = self.terminator
+        if term is None or term.opcode is Opcode.RET:
+            return ()
+        return term.targets
+
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.is_terminated:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    # -- mutation -----------------------------------------------------------
+
+    def append(self, instr: Instruction) -> Instruction:
+        """Append ``instr``; refuses to add past a terminator."""
+        if self.is_terminated:
+            raise ValueError(f"block {self.name!r} is already terminated")
+        self.instructions.append(instr)
+        return instr
+
+    def insert_before_terminator(self, instr: Instruction) -> Instruction:
+        """Insert ``instr`` just before the terminator (or append)."""
+        if self.is_terminated:
+            self.instructions.insert(len(self.instructions) - 1, instr)
+        else:
+            self.instructions.append(instr)
+        return instr
+
+    def insert(self, index: int, instr: Instruction) -> Instruction:
+        """Insert ``instr`` at ``index`` in the instruction list."""
+        self.instructions.insert(index, instr)
+        return instr
+
+    def remove(self, instr: Instruction) -> None:
+        """Remove ``instr`` from the block (identity match)."""
+        for i, existing in enumerate(self.instructions):
+            if existing is instr:
+                del self.instructions[i]
+                return
+        raise ValueError(f"instruction not in block {self.name!r}")
+
+    def retarget(self, old: str, new: str) -> None:
+        """Rewrite branch targets equal to ``old`` to ``new``."""
+        term = self.terminator
+        if term is not None and old in term.targets:
+            term.targets = tuple(new if t == old else t for t in term.targets)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} instrs)>"

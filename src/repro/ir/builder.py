@@ -1,0 +1,218 @@
+"""IRBuilder: ergonomic construction of IR, used by the frontend and tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import COMPARE_OPCODES, Instruction, Opcode
+from repro.ir.operands import Const, Operand, Symbol, VReg
+from repro.ir.types import Type, common_numeric_type
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block of a function.
+
+    Arithmetic helpers infer result types with C-style promotion and insert
+    ``ITOF`` conversions automatically, mirroring what a simple C frontend
+    (like GCC4CLI in the original system) would emit.
+    """
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.block: Optional[BasicBlock] = None
+
+    # -- positioning -----------------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        """Direct subsequent emissions into ``block``."""
+        self.block = block
+        return block
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a block (does not change the insertion point)."""
+        return self.func.new_block(hint)
+
+    def start_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a block and make it the insertion point."""
+        return self.set_block(self.new_block(hint))
+
+    # -- raw emission ------------------------------------------------------------
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append ``instr`` to the current block."""
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        return self.block.append(instr)
+
+    # -- values ---------------------------------------------------------------
+
+    def coerce(self, value: Operand, to: Type) -> Operand:
+        """Convert ``value`` to type ``to``, emitting ITOF/FTOI if needed."""
+        from repro.ir.operands import operand_type
+
+        have = operand_type(value)
+        if have == to:
+            return value
+        if have is Type.INT and to is Type.FLOAT:
+            if isinstance(value, Const):
+                return Const.float(float(value.value))
+            dst = self.func.new_vreg(Type.FLOAT)
+            self.emit(Instruction(Opcode.ITOF, dest=dst, args=(value,)))
+            return dst
+        if have is Type.FLOAT and to is Type.INT:
+            if isinstance(value, Const):
+                return Const.int(int(value.value))
+            dst = self.func.new_vreg(Type.INT)
+            self.emit(Instruction(Opcode.FTOI, dest=dst, args=(value,)))
+            return dst
+        raise TypeError(f"cannot coerce {have} to {to}")
+
+    def mov(self, value: Operand, name: str = "") -> VReg:
+        """Copy ``value`` into a fresh register."""
+        from repro.ir.operands import operand_type
+
+        dst = self.func.new_vreg(operand_type(value), name)
+        self.emit(Instruction(Opcode.MOV, dest=dst, args=(value,)))
+        return dst
+
+    def binop(self, opcode: Opcode, a: Operand, b: Operand) -> VReg:
+        """Emit a binary operation with C-style type promotion."""
+        from repro.ir.operands import operand_type
+
+        ta, tb = operand_type(a), operand_type(b)
+        if opcode in COMPARE_OPCODES:
+            result_type = Type.INT
+            if ta != tb:
+                promo = common_numeric_type(ta, tb)
+                a, b = self.coerce(a, promo), self.coerce(b, promo)
+        elif opcode in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.MOD):
+            result_type = Type.INT
+            a, b = self.coerce(a, Type.INT), self.coerce(b, Type.INT)
+        elif ta is Type.PTR or tb is Type.PTR:
+            if opcode is not Opcode.ADD and opcode is not Opcode.SUB:
+                raise TypeError("only +/- defined on pointers")
+            result_type = Type.PTR
+        else:
+            result_type = common_numeric_type(ta, tb)
+            a, b = self.coerce(a, result_type), self.coerce(b, result_type)
+        dst = self.func.new_vreg(result_type)
+        self.emit(Instruction(opcode, dest=dst, args=(a, b)))
+        return dst
+
+    def add(self, a: Operand, b: Operand) -> VReg:
+        return self.binop(Opcode.ADD, a, b)
+
+    def sub(self, a: Operand, b: Operand) -> VReg:
+        return self.binop(Opcode.SUB, a, b)
+
+    def mul(self, a: Operand, b: Operand) -> VReg:
+        return self.binop(Opcode.MUL, a, b)
+
+    def div(self, a: Operand, b: Operand) -> VReg:
+        return self.binop(Opcode.DIV, a, b)
+
+    def mod(self, a: Operand, b: Operand) -> VReg:
+        return self.binop(Opcode.MOD, a, b)
+
+    def neg(self, a: Operand) -> VReg:
+        from repro.ir.operands import operand_type
+
+        dst = self.func.new_vreg(operand_type(a))
+        self.emit(Instruction(Opcode.NEG, dest=dst, args=(a,)))
+        return dst
+
+    def logical_not(self, a: Operand) -> VReg:
+        a = self.coerce(a, Type.INT) if not isinstance(a, VReg) or a.type is not Type.INT else a
+        dst = self.func.new_vreg(Type.INT)
+        self.emit(Instruction(Opcode.NOT, dest=dst, args=(a,)))
+        return dst
+
+    def cmp(self, opcode: Opcode, a: Operand, b: Operand) -> VReg:
+        """Emit a comparison producing an int 0/1."""
+        if opcode not in COMPARE_OPCODES:
+            raise ValueError(f"{opcode} is not a comparison")
+        return self.binop(opcode, a, b)
+
+    # -- memory ------------------------------------------------------------------
+
+    def lea(self, sym: Symbol, idx: Operand = Const.int(0)) -> VReg:
+        """Take the address of ``sym[idx]``."""
+        dst = self.func.new_vreg(Type.PTR)
+        self.emit(Instruction(Opcode.LEA, dest=dst, args=(sym, idx)))
+        return dst
+
+    def ptradd(self, ptr: Operand, idx: Operand) -> VReg:
+        """Pointer arithmetic: ``ptr + idx`` elements."""
+        dst = self.func.new_vreg(Type.PTR)
+        self.emit(Instruction(Opcode.PTRADD, dest=dst, args=(ptr, idx)))
+        return dst
+
+    def loadg(self, sym: Symbol, idx: Operand = Const.int(0)) -> VReg:
+        """Direct load ``sym[idx]``."""
+        dst = self.func.new_vreg(sym.elem_type)
+        self.emit(Instruction(Opcode.LOADG, dest=dst, args=(sym, idx)))
+        return dst
+
+    def storeg(self, sym: Symbol, idx: Operand, value: Operand) -> Instruction:
+        """Direct store ``sym[idx] = value``."""
+        value = self.coerce(value, sym.elem_type)
+        return self.emit(Instruction(Opcode.STOREG, args=(sym, idx, value)))
+
+    def loadp(self, ptr: Operand, offset: Operand, elem_type: Type) -> VReg:
+        """Indirect load ``*(ptr + offset)``."""
+        dst = self.func.new_vreg(elem_type)
+        self.emit(Instruction(Opcode.LOADP, dest=dst, args=(ptr, offset)))
+        return dst
+
+    def storep(self, ptr: Operand, offset: Operand, value: Operand) -> Instruction:
+        """Indirect store ``*(ptr + offset) = value``."""
+        return self.emit(Instruction(Opcode.STOREP, args=(ptr, offset, value)))
+
+    # -- calls and control ----------------------------------------------------------
+
+    def call(
+        self,
+        callee: Function,
+        args: Sequence[Operand] = (),
+        name: str = "",
+    ) -> Optional[VReg]:
+        """Call ``callee``; coerces arguments to parameter types."""
+        if len(args) != len(callee.params):
+            raise TypeError(
+                f"call to {callee.name}: {len(args)} args, "
+                f"{len(callee.params)} params"
+            )
+        coerced = tuple(
+            self.coerce(a, p.type) for a, p in zip(args, callee.params)
+        )
+        dest = None
+        if callee.return_type is not Type.VOID:
+            dest = self.func.new_vreg(callee.return_type, name)
+        self.emit(
+            Instruction(Opcode.CALL, dest=dest, args=coerced, callee=callee.name)
+        )
+        return dest
+
+    def ret(self, value: Optional[Operand] = None) -> Instruction:
+        """Return (optionally with a value coerced to the return type)."""
+        args: tuple = ()
+        if value is not None:
+            args = (self.coerce(value, self.func.return_type),)
+        return self.emit(Instruction(Opcode.RET, args=args))
+
+    def br(self, target: BasicBlock) -> Instruction:
+        """Unconditional jump."""
+        return self.emit(Instruction(Opcode.BR, targets=(target.name,)))
+
+    def cbr(self, cond: Operand, then: BasicBlock, orelse: BasicBlock) -> Instruction:
+        """Conditional branch on a non-zero int condition."""
+        cond = self.coerce(cond, Type.INT)
+        return self.emit(
+            Instruction(Opcode.CBR, args=(cond,), targets=(then.name, orelse.name))
+        )
+
+    def print(self, value: Operand) -> Instruction:
+        """Emit observable output (the correctness oracle channel)."""
+        return self.emit(Instruction(Opcode.PRINT, args=(value,)))

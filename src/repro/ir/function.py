@@ -1,0 +1,151 @@
+"""Functions: parameterized CFGs of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.operands import Symbol, VReg
+from repro.ir.types import Type
+
+
+class Function:
+    """A function: name, parameters, local array symbols and a CFG.
+
+    Blocks are kept in an ordered mapping; the first block is the entry.
+    Virtual registers are allocated through :meth:`new_vreg` so uids stay
+    unique within the function even across HELIX cloning passes.
+    """
+
+    def __init__(self, name: str, return_type: Type = Type.VOID) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.params: List[VReg] = []
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.locals: Dict[str, Symbol] = {}
+        self._next_vreg = 0
+        self._next_block = 0
+
+    # -- registers and symbols ----------------------------------------------
+
+    def new_vreg(self, type: Type, name: str = "") -> VReg:
+        """Allocate a fresh virtual register of ``type``."""
+        reg = VReg(self._next_vreg, type, name)
+        self._next_vreg += 1
+        return reg
+
+    def add_param(self, type: Type, name: str) -> VReg:
+        """Declare a parameter; parameters are ordinary registers."""
+        reg = self.new_vreg(type, name)
+        self.params.append(reg)
+        return reg
+
+    def add_local_array(self, name: str, elem_type: Type, size: int) -> Symbol:
+        """Declare a frame-allocated array (private to each activation)."""
+        if name in self.locals:
+            raise ValueError(f"duplicate local array {name!r} in {self.name}")
+        sym = Symbol(name, elem_type, size, function=self.name)
+        self.locals[name] = sym
+        return sym
+
+    # -- blocks ---------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block (first block added)."""
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return next(iter(self.blocks.values()))
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create and register a uniquely named block."""
+        name = f"{hint}{self._next_block}"
+        self._next_block += 1
+        while name in self.blocks:
+            name = f"{hint}{self._next_block}"
+            self._next_block += 1
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        return block
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Register an externally created block under its own name."""
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block {block.name!r} in {self.name}")
+        self.blocks[block.name] = block
+        return block
+
+    def remove_block(self, name: str) -> None:
+        """Remove a block by name (callers must fix dangling branches)."""
+        del self.blocks[name]
+
+    def block_order(self) -> List[BasicBlock]:
+        """Blocks in insertion order (entry first)."""
+        return list(self.blocks.values())
+
+    def set_entry(self, name: str) -> None:
+        """Reorder blocks so ``name`` becomes the entry."""
+        if name not in self.blocks:
+            raise KeyError(name)
+        reordered = {name: self.blocks[name]}
+        for block_name, block in self.blocks.items():
+            if block_name != name:
+                reordered[block_name] = block
+        self.blocks = reordered
+
+    # -- edges ----------------------------------------------------------------
+
+    def successors(self, block: BasicBlock) -> Tuple[BasicBlock, ...]:
+        """Successor blocks of ``block``."""
+        return tuple(self.blocks[n] for n in block.successor_names())
+
+    def predecessor_map(self) -> Dict[str, List[str]]:
+        """Map block name -> predecessor block names (recomputed)."""
+        preds: Dict[str, List[str]] = {name: [] for name in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successor_names():
+                preds[succ].append(block.name)
+        return preds
+
+    # -- traversal --------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in block order."""
+        for block in self.blocks.values():
+            yield from block.instructions
+
+    def find_block_of(self, instr: Instruction) -> Optional[BasicBlock]:
+        """Locate the block containing ``instr`` (identity match)."""
+        for block in self.blocks.values():
+            for existing in block.instructions:
+                if existing is instr:
+                    return block
+        return None
+
+    def instruction_count(self) -> int:
+        """Total number of instructions."""
+        return sum(len(b) for b in self.blocks.values())
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+def clone_function(func: Function, new_name: Optional[str] = None) -> Function:
+    """Deep-copy ``func`` (fresh Instruction uids, same VReg identities).
+
+    Registers are value-objects (frozen dataclasses) so they are shared;
+    instructions and blocks are new objects, making the clone safe to
+    transform independently -- the HELIX loop-selection pass evaluates
+    candidate loops on clones.
+    """
+    clone = Function(new_name or func.name, func.return_type)
+    clone.params = list(func.params)
+    clone.locals = dict(func.locals)
+    clone._next_vreg = func._next_vreg
+    clone._next_block = func._next_block
+    for name, block in func.blocks.items():
+        new_block = BasicBlock(name)
+        new_block.instructions = [instr.clone() for instr in block.instructions]
+        clone.blocks[name] = new_block
+    return clone

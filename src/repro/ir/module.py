@@ -1,0 +1,83 @@
+"""Modules: whole programs (functions + global memory)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ir.function import Function, clone_function
+from repro.ir.operands import Symbol
+from repro.ir.types import Type
+
+
+class Module:
+    """A whole program: global symbols with initializers plus functions.
+
+    ``main`` is the conventional entry point used by the interpreter and
+    the profiler.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, Symbol] = {}
+        self.global_inits: Dict[str, List[Union[int, float]]] = {}
+
+    # -- globals -----------------------------------------------------------
+
+    def add_global(
+        self,
+        name: str,
+        elem_type: Type,
+        size: int = 1,
+        init: Optional[Sequence[Union[int, float]]] = None,
+        synthetic: bool = False,
+    ) -> Symbol:
+        """Declare a global array (scalars are size-1 arrays)."""
+        if name in self.globals:
+            raise ValueError(f"duplicate global {name!r}")
+        sym = Symbol(name, elem_type, size, function=None, synthetic=synthetic)
+        self.globals[name] = sym
+        zero: Union[int, float] = 0 if elem_type is Type.INT else 0.0
+        values = list(init) if init is not None else []
+        if len(values) > size:
+            raise ValueError(f"initializer longer than {name!r} ({size})")
+        values.extend([zero] * (size - len(values)))
+        self.global_inits[name] = values
+        return sym
+
+    # -- functions -----------------------------------------------------------
+
+    def add_function(self, func: Function) -> Function:
+        """Register ``func`` under its own name."""
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    @property
+    def main(self) -> Function:
+        """The program entry point."""
+        try:
+            return self.functions["main"]
+        except KeyError:
+            raise KeyError(f"module {self.name!r} has no 'main' function") from None
+
+    def instruction_count(self) -> int:
+        """Total instructions across all functions."""
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name} ({len(self.functions)} functions, "
+            f"{len(self.globals)} globals)>"
+        )
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a module (see :func:`repro.ir.function.clone_function`)."""
+    clone = Module(module.name)
+    clone.globals = dict(module.globals)
+    clone.global_inits = {k: list(v) for k, v in module.global_inits.items()}
+    for name, func in module.functions.items():
+        clone.functions[name] = clone_function(func)
+    return clone

@@ -1,0 +1,101 @@
+"""Operand kinds: virtual registers, constants and memory symbols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.ir.types import Type
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register.
+
+    Registers are function-local and unlimited in number.  HELIX relies on
+    the fact that registers (and the call stack) are private to each loop
+    iteration's thread, so *false* (WAW/WAR) dependences through them never
+    need synchronization (paper, Step 2).
+
+    ``uid`` is unique within a function; ``name`` is a human-readable hint
+    carried from the frontend (empty for compiler temporaries).
+    """
+
+    uid: int
+    type: Type
+    name: str = ""
+
+    def __str__(self) -> str:
+        if self.name:
+            return f"%{self.name}.{self.uid}"
+        return f"%t{self.uid}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate constant operand."""
+
+    value: Union[int, float]
+    type: Type
+
+    def __post_init__(self) -> None:
+        if self.type is Type.INT and not isinstance(self.value, int):
+            raise TypeError(f"INT constant with non-int value {self.value!r}")
+        if self.type is Type.FLOAT and not isinstance(self.value, (int, float)):
+            raise TypeError(f"FLOAT constant with non-numeric value {self.value!r}")
+
+    @staticmethod
+    def int(value: int) -> "Const":
+        """Shorthand for an integer immediate."""
+        return Const(value, Type.INT)
+
+    @staticmethod
+    def float(value: float) -> "Const":
+        """Shorthand for a floating-point immediate."""
+        return Const(float(value), Type.FLOAT)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named memory region: a global variable/array or a local array.
+
+    Scalars are modelled as arrays of length one.  ``function`` is ``None``
+    for globals and the owning function's name for frame-allocated arrays.
+    Symbols are the abstract locations of the pointer analysis
+    (:mod:`repro.analysis.pointer`).
+    """
+
+    name: str
+    elem_type: Type
+    size: int
+    function: Union[str, None] = None
+    #: Created by the HELIX transformation (thread memory buffers, boundary
+    #: live-variable slots).  Excluded from user-visible memory dumps.
+    synthetic: bool = field(default=False, compare=False)
+
+    @property
+    def is_global(self) -> bool:
+        """Whether this symbol lives in global (shared) memory."""
+        return self.function is None
+
+    @property
+    def size_bytes(self) -> int:
+        """Total storage footprint of the region in bytes."""
+        return self.size * self.elem_type.size_bytes
+
+    def __str__(self) -> str:
+        prefix = "@" if self.is_global else "$"
+        return f"{prefix}{self.name}"
+
+
+Operand = Union[VReg, Const, Symbol]
+
+
+def operand_type(op: Operand) -> Type:
+    """Return the value type of any operand (symbols evaluate to PTR)."""
+    if isinstance(op, Symbol):
+        return Type.PTR
+    return op.type

@@ -1,0 +1,55 @@
+"""Textual dump of the IR (for debugging, docs and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+
+
+def instruction_to_str(instr: Instruction) -> str:
+    """One-line rendering of an instruction."""
+    parts = [instr.opcode.value]
+    if instr.callee is not None:
+        parts.append(f"@{instr.callee}")
+    if instr.dep_id is not None:
+        parts.append(f"#d{instr.dep_id}")
+    operands = ", ".join(str(a) for a in instr.args)
+    if operands:
+        parts.append(operands)
+    if instr.targets:
+        parts.append("-> " + ", ".join(instr.targets))
+    text = " ".join(parts)
+    if instr.dest is not None:
+        return f"{instr.dest} = {text}"
+    return text
+
+
+def function_to_str(func: Function) -> str:
+    """Multi-line rendering of a function."""
+    params = ", ".join(f"{p.type.value} {p}" for p in func.params)
+    lines = [f"func {func.return_type.value} {func.name}({params}) {{"]
+    for sym in func.locals.values():
+        lines.append(f"  local {sym.elem_type.value} {sym}[{sym.size}]")
+    for block in func.blocks.values():
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {instruction_to_str(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_str(module: Module) -> str:
+    """Multi-line rendering of a whole module."""
+    lines = [f"module {module.name}"]
+    for name, sym in module.globals.items():
+        init = module.global_inits.get(name, [])
+        nonzero = [v for v in init if v]
+        suffix = f" = {init[:8]}..." if nonzero and sym.size > 8 else (
+            f" = {init}" if nonzero else ""
+        )
+        lines.append(f"global {sym.elem_type.value} @{name}[{sym.size}]{suffix}")
+    for func in module.functions.values():
+        lines.append("")
+        lines.append(function_to_str(func))
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Scalar type system for the IR.
+
+MiniC (the frontend language) and the IR share this type universe: machine
+integers, floats, pointers into array regions, and ``void`` for functions
+that return nothing.  Word size mirrors the paper's testbed (64-bit Intel),
+which matters only for the ``Bytes_i / CPU_word`` term of the speedup model
+(Equation 1 in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Bytes per CPU word on the modelled machine (Intel i7-980X, 64-bit).
+CPU_WORD_BYTES = 8
+
+
+class Type(enum.Enum):
+    """The IR's scalar value types."""
+
+    INT = "int"
+    FLOAT = "float"
+    PTR = "ptr"
+    VOID = "void"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether arithmetic is defined on this type."""
+        return self in (Type.INT, Type.FLOAT)
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage size of a value of this type, in bytes."""
+        if self is Type.VOID:
+            return 0
+        return CPU_WORD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Type.{self.name}"
+
+
+def common_numeric_type(a: Type, b: Type) -> Type:
+    """Return the result type of a binary arithmetic op on ``a`` and ``b``.
+
+    Follows C's usual arithmetic conversions restricted to our universe:
+    float dominates int.  Raises :class:`TypeError` for non-numeric inputs.
+    """
+    if not (a.is_numeric and b.is_numeric):
+        raise TypeError(f"no common numeric type for {a} and {b}")
+    if Type.FLOAT in (a, b):
+        return Type.FLOAT
+    return Type.INT

@@ -1,0 +1,462 @@
+"""Sequential IR interpreter with a cycle cost model.
+
+The interpreter provides three services:
+
+* **Functional execution** -- running MiniC programs (compiled to IR) to
+  produce observable output; this is the correctness oracle used to check
+  that HELIX-parallelized code computes exactly what the sequential code
+  does.
+* **Cycle accounting** -- every dynamic instruction is charged its
+  :class:`~repro.runtime.machine.CostModel` cost, giving the sequential
+  baseline times of the evaluation.
+* **Hooks** -- block-transition and call events that the profiler
+  (:mod:`repro.runtime.profiler`) and the parallel executor
+  (:mod:`repro.runtime.parallel`) build on.
+
+Integer semantics are C-like: 64-bit two's-complement wrap-around,
+truncating division.  This keeps benchmark programs (hash functions, RNGs)
+deterministic and portable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import BasicBlock, Function, Instruction, Module, Opcode
+from repro.ir.operands import Const, Operand, Symbol, VReg
+from repro.ir.types import Type
+from repro.runtime.machine import MachineConfig
+
+_INT_MASK = (1 << 64) - 1
+_INT_SIGN = 1 << 63
+
+
+def wrap_int(value: int) -> int:
+    """Wrap a Python int to 64-bit two's complement."""
+    value &= _INT_MASK
+    if value & _INT_SIGN:
+        value -= 1 << 64
+    return value
+
+
+def c_div(a: int, b: int) -> int:
+    """C-style integer division (truncates toward zero)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_mod(a: int, b: int) -> int:
+    """C-style remainder (sign of the dividend)."""
+    return a - c_div(a, b) * b
+
+
+class RuntimeFault(Exception):
+    """A dynamic error: division by zero, out-of-bounds access, bad pointer."""
+
+
+class ExecutionLimitExceeded(RuntimeFault):
+    """The instruction budget was exhausted (probable infinite loop)."""
+
+
+class Pointer:
+    """A runtime pointer: a memory region plus an element offset."""
+
+    __slots__ = ("store", "base", "region")
+
+    def __init__(self, store: List, base: int, region: str) -> None:
+        self.store = store
+        self.base = base
+        #: Region name, for diagnostics only.
+        self.region = region
+
+    def offset(self, delta: int) -> "Pointer":
+        return Pointer(self.store, self.base + delta, self.region)
+
+    def read(self, index: int):
+        slot = self.base + index
+        if slot < 0 or slot >= len(self.store):
+            raise RuntimeFault(
+                f"load out of bounds: {self.region}[{slot}] (size {len(self.store)})"
+            )
+        return self.store[slot]
+
+    def write(self, index: int, value) -> None:
+        slot = self.base + index
+        if slot < 0 or slot >= len(self.store):
+            raise RuntimeFault(
+                f"store out of bounds: {self.region}[{slot}] (size {len(self.store)})"
+            )
+        self.store[slot] = value
+
+    def __repr__(self) -> str:
+        return f"<ptr {self.region}+{self.base}>"
+
+
+@dataclass
+class Frame:
+    """One function activation: registers and frame-local array storage."""
+
+    func: Function
+    regs: Dict[int, object] = field(default_factory=dict)
+    local_mem: Dict[str, List] = field(default_factory=dict)
+
+    def local_region(self, symbol: Symbol) -> List:
+        store = self.local_mem.get(symbol.name)
+        if store is None:
+            zero = 0.0 if symbol.elem_type is Type.FLOAT else 0
+            store = [zero] * symbol.size
+            self.local_mem[symbol.name] = store
+        return store
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a program run."""
+
+    output: List[str]
+    cycles: int
+    instructions: int
+    return_value: object = None
+
+    @property
+    def output_text(self) -> str:
+        return "\n".join(self.output)
+
+
+def format_value(value) -> str:
+    """Canonical rendering of a printed value (the oracle format)."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bool):  # pragma: no cover - never produced
+        return str(int(value))
+    return str(value)
+
+
+class Interpreter:
+    """Executes a :class:`~repro.ir.Module` sequentially.
+
+    Subclasses (the parallel executor) may override :meth:`on_block_entry`
+    to observe or redirect control flow, and reuse :meth:`exec_instr` /
+    :meth:`eval_operand` to execute individual instructions.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        machine: Optional[MachineConfig] = None,
+        max_instructions: Optional[int] = 500_000_000,
+    ) -> None:
+        self.module = module
+        self.machine = machine or MachineConfig()
+        self.cost_model = self.machine.cost_model
+        self.max_instructions = max_instructions
+        self.memory: Dict[str, List] = {}
+        self.output: List[str] = []
+        self.cycles = 0
+        self.instructions = 0
+        self.call_depth = 0
+        # Each IR-level call nests a few Python frames; keep the guest
+        # limit comfortably under CPython's recursion limit so runaway
+        # recursion surfaces as a clean RuntimeFault.
+        self.max_call_depth = 200
+        #: Optional hooks; see the profiler for usage.
+        self.block_listener: Optional[
+            Callable[[str, Optional[str], str, int], None]
+        ] = None
+        self.call_listener: Optional[Callable[[str, bool, int], None]] = None
+        self.reset_memory()
+
+    # -- memory ------------------------------------------------------------
+
+    def reset_memory(self) -> None:
+        """(Re)initialize global memory from module initializers."""
+        self.memory = {
+            name: list(init) for name, init in self.module.global_inits.items()
+        }
+
+    def region_of(self, symbol: Symbol, frame: Frame) -> List:
+        if symbol.is_global:
+            store = self.memory.get(symbol.name)
+            if store is None:
+                raise RuntimeFault(f"unknown global {symbol.name!r}")
+            return store
+        return frame.local_region(symbol)
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Sequence = ()) -> ExecutionResult:
+        """Execute ``entry`` to completion and return the result."""
+        self.output = []
+        self.cycles = 0
+        self.instructions = 0
+        self.reset_memory()
+        func = self.module.functions[entry]
+        value = self.call_function(func, list(args))
+        return ExecutionResult(
+            output=list(self.output),
+            cycles=self.cycles,
+            instructions=self.instructions,
+            return_value=value,
+        )
+
+    def call_function(self, func: Function, args: Sequence) -> object:
+        """Run one activation of ``func`` and return its value."""
+        if len(args) != len(func.params):
+            raise RuntimeFault(
+                f"{func.name} called with {len(args)} args, "
+                f"expects {len(func.params)}"
+            )
+        self.call_depth += 1
+        if self.call_depth > self.max_call_depth:
+            raise RuntimeFault("call depth limit exceeded")
+        if self.call_listener is not None:
+            self.call_listener(func.name, True, self.cycles)
+        frame = Frame(func)
+        for param, value in zip(func.params, args):
+            frame.regs[param.uid] = value
+        block = func.entry
+        self.on_block_entry(frame, None, block)
+        value = None
+        while True:
+            outcome = self.exec_block(frame, block)
+            if outcome[0] == "ret":
+                value = outcome[1]
+                break
+            next_block = func.blocks[outcome[1]]
+            self.on_block_entry(frame, block, next_block)
+            block = next_block
+        if self.call_listener is not None:
+            self.call_listener(func.name, False, self.cycles)
+        self.call_depth -= 1
+        return value
+
+    def on_block_entry(
+        self, frame: Frame, prev: Optional[BasicBlock], block: BasicBlock
+    ) -> None:
+        """Hook called on every block entry (including function entry)."""
+        if self.block_listener is not None:
+            self.block_listener(
+                frame.func.name,
+                prev.name if prev is not None else None,
+                block.name,
+                self.cycles,
+            )
+
+    def exec_block(self, frame: Frame, block: BasicBlock) -> Tuple[str, object]:
+        """Execute one block; returns ('ret', value) or ('jump', name)."""
+        for instr in block.instructions:
+            if instr.is_terminator:
+                return self.eval_terminator(frame, instr)
+            self.exec_instr(frame, instr)
+        raise RuntimeFault(f"block {block.name} fell through without terminator")
+
+    # -- instruction execution ------------------------------------------------
+
+    def charge(self, instr: Instruction) -> None:
+        """Account one dynamic instruction's cycles."""
+        is_float = instr.dest is not None and instr.dest.type is Type.FLOAT
+        self.cycles += self.cost_model.cycles(instr.opcode, is_float)
+        self.instructions += 1
+        if (
+            self.max_instructions is not None
+            and self.instructions > self.max_instructions
+        ):
+            raise ExecutionLimitExceeded(
+                f"exceeded {self.max_instructions} instructions"
+            )
+
+    def eval_operand(self, operand: Operand, frame: Frame):
+        if isinstance(operand, Const):
+            return operand.value
+        if isinstance(operand, VReg):
+            try:
+                return frame.regs[operand.uid]
+            except KeyError:
+                raise RuntimeFault(
+                    f"use of undefined register {operand} in {frame.func.name}"
+                ) from None
+        # Symbol operand outside LEA/LOADG/STOREG context: decay to pointer.
+        return Pointer(self.region_of(operand, frame), 0, operand.name)
+
+    def eval_terminator(self, frame: Frame, instr: Instruction) -> Tuple[str, object]:
+        self.charge(instr)
+        if instr.opcode is Opcode.RET:
+            value = self.eval_operand(instr.args[0], frame) if instr.args else None
+            return ("ret", value)
+        if instr.opcode is Opcode.BR:
+            return ("jump", instr.targets[0])
+        # CBR
+        cond = self.eval_operand(instr.args[0], frame)
+        return ("jump", instr.targets[0] if cond != 0 else instr.targets[1])
+
+    def exec_instr(self, frame: Frame, instr: Instruction) -> None:
+        """Execute one non-terminator instruction."""
+        self.charge(instr)
+        opcode = instr.opcode
+        regs = frame.regs
+
+        if opcode is Opcode.MOV:
+            regs[instr.dest.uid] = self.eval_operand(instr.args[0], frame)
+        elif opcode in _BINARY_HANDLERS:
+            a = self.eval_operand(instr.args[0], frame)
+            b = self.eval_operand(instr.args[1], frame)
+            regs[instr.dest.uid] = _BINARY_HANDLERS[opcode](a, b)
+        elif opcode is Opcode.NEG:
+            a = self.eval_operand(instr.args[0], frame)
+            regs[instr.dest.uid] = (
+                wrap_int(-a) if isinstance(a, int) else -a
+            )
+        elif opcode is Opcode.NOT:
+            a = self.eval_operand(instr.args[0], frame)
+            regs[instr.dest.uid] = 1 if a == 0 else 0
+        elif opcode is Opcode.ITOF:
+            regs[instr.dest.uid] = float(self.eval_operand(instr.args[0], frame))
+        elif opcode is Opcode.FTOI:
+            regs[instr.dest.uid] = wrap_int(int(self.eval_operand(instr.args[0], frame)))
+        elif opcode is Opcode.LEA:
+            symbol = instr.args[0]
+            index = self.eval_operand(instr.args[1], frame)
+            store = self.region_of(symbol, frame)
+            regs[instr.dest.uid] = Pointer(store, index, symbol.name)
+        elif opcode is Opcode.PTRADD:
+            ptr = self.eval_operand(instr.args[0], frame)
+            delta = self.eval_operand(instr.args[1], frame)
+            if not isinstance(ptr, Pointer):
+                raise RuntimeFault(f"PTRADD on non-pointer {ptr!r}")
+            regs[instr.dest.uid] = ptr.offset(delta)
+        elif opcode is Opcode.LOADG:
+            symbol = instr.args[0]
+            index = self.eval_operand(instr.args[1], frame)
+            store = self.region_of(symbol, frame)
+            if index < 0 or index >= len(store):
+                raise RuntimeFault(
+                    f"load out of bounds: {symbol.name}[{index}] "
+                    f"(size {len(store)})"
+                )
+            regs[instr.dest.uid] = store[index]
+        elif opcode is Opcode.STOREG:
+            symbol = instr.args[0]
+            index = self.eval_operand(instr.args[1], frame)
+            value = self.eval_operand(instr.args[2], frame)
+            store = self.region_of(symbol, frame)
+            if index < 0 or index >= len(store):
+                raise RuntimeFault(
+                    f"store out of bounds: {symbol.name}[{index}] "
+                    f"(size {len(store)})"
+                )
+            store[index] = value
+        elif opcode is Opcode.LOADP:
+            ptr = self.eval_operand(instr.args[0], frame)
+            index = self.eval_operand(instr.args[1], frame)
+            if not isinstance(ptr, Pointer):
+                raise RuntimeFault(f"LOADP on non-pointer {ptr!r}")
+            regs[instr.dest.uid] = ptr.read(index)
+        elif opcode is Opcode.STOREP:
+            ptr = self.eval_operand(instr.args[0], frame)
+            index = self.eval_operand(instr.args[1], frame)
+            value = self.eval_operand(instr.args[2], frame)
+            if not isinstance(ptr, Pointer):
+                raise RuntimeFault(f"STOREP on non-pointer {ptr!r}")
+            ptr.write(index, value)
+        elif opcode is Opcode.CALL:
+            args = [self.eval_operand(a, frame) for a in instr.args]
+            callee = self.module.functions[instr.callee]
+            value = self.call_function(callee, args)
+            if instr.dest is not None:
+                regs[instr.dest.uid] = value
+        elif opcode is Opcode.PRINT:
+            self.output.append(format_value(self.eval_operand(instr.args[0], frame)))
+        elif opcode in (Opcode.WAIT, Opcode.SIGNAL, Opcode.NEXT_ITER):
+            # Synchronization pseudo-ops are timing-only; functionally inert.
+            self.exec_sync(frame, instr)
+        elif opcode is Opcode.XFER:
+            # Data-forwarding marker; functionally inert, timed by executor.
+            self.exec_xfer(frame, instr)
+        else:  # pragma: no cover - verifier rejects unknown shapes
+            raise RuntimeFault(f"cannot execute opcode {opcode}")
+
+    def exec_sync(self, frame: Frame, instr: Instruction) -> None:
+        """Hook for WAIT/SIGNAL/NEXT_ITER (overridden by the executor)."""
+
+    def exec_xfer(self, frame: Frame, instr: Instruction) -> None:
+        """Hook for XFER data-forwarding markers."""
+
+
+def _cmp_key(value):
+    """Ordering key so int/float compare numerically."""
+    return value
+
+
+def _arith_div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise RuntimeFault("integer division by zero")
+        return c_div(a, b)
+    if b == 0:
+        raise RuntimeFault("float division by zero")
+    return a / b
+
+
+def _arith_mod(a, b):
+    if b == 0:
+        raise RuntimeFault("modulo by zero")
+    return c_mod(a, b)
+
+
+def _shift_left(a, b):
+    if b < 0 or b > 63:
+        raise RuntimeFault(f"shift amount {b} out of range")
+    return wrap_int(a << b)
+
+
+def _shift_right(a, b):
+    if b < 0 or b > 63:
+        raise RuntimeFault(f"shift amount {b} out of range")
+    return a >> b
+
+
+def _add(a, b):
+    result = a + b
+    return wrap_int(result) if isinstance(result, int) else result
+
+
+def _sub(a, b):
+    result = a - b
+    return wrap_int(result) if isinstance(result, int) else result
+
+
+def _mul(a, b):
+    result = a * b
+    return wrap_int(result) if isinstance(result, int) else result
+
+
+_BINARY_HANDLERS = {
+    Opcode.ADD: _add,
+    Opcode.SUB: _sub,
+    Opcode.MUL: _mul,
+    Opcode.DIV: _arith_div,
+    Opcode.MOD: _arith_mod,
+    Opcode.AND: lambda a, b: wrap_int(a & b),
+    Opcode.OR: lambda a, b: wrap_int(a | b),
+    Opcode.XOR: lambda a, b: wrap_int(a ^ b),
+    Opcode.SHL: _shift_left,
+    Opcode.SHR: _shift_right,
+    Opcode.EQ: lambda a, b: 1 if a == b else 0,
+    Opcode.NE: lambda a, b: 1 if a != b else 0,
+    Opcode.LT: lambda a, b: 1 if a < b else 0,
+    Opcode.LE: lambda a, b: 1 if a <= b else 0,
+    Opcode.GT: lambda a, b: 1 if a > b else 0,
+    Opcode.GE: lambda a, b: 1 if a >= b else 0,
+}
+
+
+def run_module(
+    module: Module,
+    machine: Optional[MachineConfig] = None,
+    entry: str = "main",
+    max_instructions: Optional[int] = 500_000_000,
+) -> ExecutionResult:
+    """Convenience: interpret ``module`` sequentially and return the result."""
+    interp = Interpreter(module, machine, max_instructions=max_instructions)
+    return interp.run(entry)

@@ -1,0 +1,492 @@
+"""The parallel executor: timing of HELIX loops on the simulated CMP.
+
+Functionally, a HELIX-transformed module is interpreted exactly like any
+other module -- the inserted ``wait``/``signal``/``next_iter``/``xfer``
+pseudo-ops are semantically inert, and HELIX is non-speculative, so the
+synchronized parallel execution computes precisely what the sequential
+trace computes.  What changes is *time*.
+
+The executor reconstructs the parallel schedule per loop invocation from
+the sequential trace.  This is exact (not an approximation) for HELIX's
+synchronization structure: iterations start in order, and every
+``wait``/``signal`` pair crosses from the thread of iteration *i* to the
+thread of iteration *i+1* on a statically fixed ring, so there is no
+timing feedback into values and per-iteration replay in iteration order
+with per-core clocks reproduces what an event-driven engine would
+compute.
+
+Per iteration the replay carries:
+
+* a per-core clock (round-robin assignment, iteration *i* on core
+  ``i mod N``);
+* a signal timetable from the previous iteration: a ``wait(d)`` at thread
+  time ``t`` completes at ``max(t, ts(d)) + L`` in the pull system, where
+  ``ts`` is when the predecessor signalled and ``L`` the inter-core
+  latency (110 cycles on the modelled i7-980X);
+* the helper thread of the core (Step 8): a prefetch agent that executes
+  the generated wait sequence one signal at a time; a fully prefetched
+  signal costs an L1 hit (4 cycles).  ``MATCHED`` and ``IDEAL`` prefetch
+  modes implement the Section 3.3 comparison points;
+* data forwarding: when the previous iteration actually produced a value
+  a dependence carries (its ``xfer`` producer mark executed), the consumer
+  pays the word-transfer cost ``M``.
+
+Traces can be recorded and *replayed* against other machine
+configurations (core count, prefetch mode, latencies) without re-running
+the program -- the functional trace does not depend on the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.loopnest import LoopId
+from repro.core.communication import is_producer_mark, xfer_words
+from repro.core.loopinfo import ParallelizedLoop
+from repro.ir import BasicBlock, Instruction, Module, Opcode
+from repro.runtime.interpreter import (
+    ExecutionResult,
+    Frame,
+    Interpreter,
+    RuntimeFault,
+)
+from repro.runtime.machine import MachineConfig, PrefetchMode
+
+#: Synthetic dependence id of the control signal (IterationFlag).
+CTRL_DEP = -1
+
+
+@dataclass
+class IterationTrace:
+    """Events of one loop iteration, stamped with interpreter cycles."""
+
+    start_cycles: int
+    end_cycles: int = 0
+    #: (kind, dep_id, abs_cycles): 'w' wait, 's' signal, 'n' next_iter,
+    #: 'x' consumer mark (dep carries data), 'p' producer mark.
+    events: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Words carried per dependence (for 'x' events).
+    words: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class InvocationTrace:
+    """One dynamic invocation of a parallelized loop."""
+
+    loop_id: LoopId
+    start_cycles: int
+    end_cycles: int = 0
+    iterations: List[IterationTrace] = field(default_factory=list)
+    loads: int = 0
+
+
+@dataclass
+class ScheduleResult:
+    """Timing of one invocation under a specific machine."""
+
+    parallel_cycles: int
+    sequential_cycles: int
+    signals: int = 0
+    waits: int = 0
+    wait_stall_cycles: int = 0
+    transfer_words: int = 0
+    segment_cycles: int = 0
+
+
+@dataclass
+class LoopRunStats:
+    """Aggregated runtime statistics of one parallelized loop."""
+
+    loop_id: LoopId
+    invocations: int = 0
+    iterations: int = 0
+    sequential_cycles: int = 0
+    parallel_cycles: int = 0
+    signals: int = 0
+    waits: int = 0
+    wait_stall_cycles: int = 0
+    transfer_words: int = 0
+    loads: int = 0
+    segment_cycles: int = 0
+
+    @property
+    def loop_speedup(self) -> float:
+        if self.parallel_cycles <= 0:
+            return 1.0
+        return self.sequential_cycles / self.parallel_cycles
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Words moved between cores / words consumed by iterations."""
+        if self.loads <= 0:
+            return 0.0
+        return self.transfer_words / self.loads
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of executing a transformed module on the simulated CMP."""
+
+    result: ExecutionResult
+    machine: MachineConfig
+    loop_stats: Dict[LoopId, LoopRunStats] = field(default_factory=dict)
+    traces: List[InvocationTrace] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def output(self) -> List[str]:
+        return self.result.output
+
+
+def schedule_invocation(
+    trace: InvocationTrace,
+    loop: ParallelizedLoop,
+    machine: MachineConfig,
+) -> ScheduleResult:
+    """Reconstruct the parallel schedule of one invocation."""
+    cores = machine.cores
+    latency = machine.signal_latency
+    fast = machine.prefetched_signal_latency
+    mode = machine.effective_prefetch_mode
+    transfer = machine.word_transfer_cycles
+    conf = machine.config_cycles_per_thread * max(cores - 1, 1)
+    # Section 2.3: without total store ordering every synchronizing load
+    # and store needs a memory barrier.
+    barrier = 0 if machine.total_store_ordering else machine.barrier_cycles
+
+    core_free = [float(conf)] * cores
+    helper_free = [0.0] * cores
+    prev_sig: Dict[int, float] = {}
+    prev_produced: Set[int] = set()
+    prev_next_time: Optional[float] = None
+    iteration_ends: List[float] = []
+
+    stats = ScheduleResult(
+        parallel_cycles=0,
+        sequential_cycles=trace.end_cycles - trace.start_cycles,
+    )
+
+    def pull_complete(t: float, ts: float) -> float:
+        return max(t, ts) + latency
+
+    def wait_complete(t: float, ts: float, prefetch_done: Optional[float]) -> float:
+        if mode is PrefetchMode.NONE:
+            return pull_complete(t, ts)
+        if mode is PrefetchMode.IDEAL:
+            return max(t, ts) + fast
+        if prefetch_done is None:
+            return pull_complete(t, ts)
+        return min(pull_complete(t, ts), max(t + fast, prefetch_done))
+
+    for i, iteration in enumerate(trace.iterations):
+        core = i % cores
+
+        # Helper-thread prefetch agenda for this iteration.
+        prefetch_done: Dict[int, float] = {}
+        if mode in (PrefetchMode.HELIX, PrefetchMode.MATCHED) and i > 0:
+            ctrl_agenda = [] if loop.counted else [CTRL_DEP]
+            if mode is PrefetchMode.HELIX:
+                agenda = ctrl_agenda + list(loop.helper_order)
+            else:
+                agenda = ctrl_agenda + [
+                    dep for kind, dep, _at in iteration.events if kind == "w"
+                ]
+            cursor = helper_free[core]
+            for dep in agenda:
+                if dep in prefetch_done:
+                    continue
+                ts = prev_next_time if dep == CTRL_DEP else prev_sig.get(dep)
+                if ts is None:
+                    continue
+                done = max(cursor, ts) + latency
+                prefetch_done[dep] = done
+                cursor = done
+            helper_free[core] = cursor
+
+        # Iteration start: counted loops derive their iteration numbers
+        # locally (Step 3); other loops wait for the predecessor's control
+        # signal (the IterationFlag store).
+        t = core_free[core]
+        if i > 0 and not loop.counted:
+            assert prev_next_time is not None, "iteration without start signal"
+            t = wait_complete(t, prev_next_time, prefetch_done.get(CTRL_DEP))
+
+        cur_sig: Dict[int, float] = {}
+        cur_next: Optional[float] = None
+        waited: Set[int] = set()
+        transferred: Set[int] = set()
+        segment_opens: Dict[int, float] = {}
+        segment_intervals: List[Tuple[float, float]] = []
+        last = iteration.start_cycles
+
+        for kind, dep, at in iteration.events:
+            t += at - last
+            last = at
+            if kind == "w":
+                stats.waits += 1
+                t += barrier
+                if dep in waited or dep in cur_sig:
+                    continue
+                waited.add(dep)
+                if i == 0:
+                    segment_opens[dep] = t
+                    continue
+                ts = prev_sig.get(dep)
+                if ts is None:
+                    segment_opens[dep] = t
+                    continue
+                arrival = wait_complete(t, ts, prefetch_done.get(dep))
+                if arrival > t:
+                    stats.wait_stall_cycles += int(arrival - t)
+                    t = arrival
+                segment_opens[dep] = t
+            elif kind == "s":
+                t += barrier
+                if dep not in cur_sig:
+                    cur_sig[dep] = t
+                    stats.signals += 1
+                    opened = segment_opens.pop(dep, None)
+                    if opened is not None:
+                        segment_intervals.append((opened, t))
+            elif kind == "n":
+                if cur_next is None:
+                    cur_next = t
+                    if not loop.counted:
+                        stats.signals += 1
+            elif kind == "x":
+                if dep in prev_produced and dep not in transferred:
+                    transferred.add(dep)
+                    words = iteration.words.get(dep, 1)
+                    t += words * transfer
+                    stats.transfer_words += words
+            # 'p' producer marks need no timing action.
+
+        t += iteration.end_cycles - last
+        core_free[core] = t
+        iteration_ends.append(t)
+
+        # Merge segment intervals for the busy-time statistic.
+        if segment_intervals:
+            segment_intervals.sort()
+            merged_start, merged_end = segment_intervals[0]
+            for start, end in segment_intervals[1:]:
+                if start <= merged_end:
+                    merged_end = max(merged_end, end)
+                else:
+                    stats.segment_cycles += int(merged_end - merged_start)
+                    merged_start, merged_end = start, end
+            stats.segment_cycles += int(merged_end - merged_start)
+
+        prev_sig = cur_sig
+        prev_next_time = cur_next
+        prev_produced = {
+            dep for kind, dep, _at in iteration.events if kind == "p"
+        }
+
+    # Main thread collects the exit variable and stops parallel threads.
+    finish = max(iteration_ends) if iteration_ends else float(conf)
+    finish += latency + max(cores - 1, 0)
+    stats.parallel_cycles = int(finish)
+    return stats
+
+
+class ParallelExecutor(Interpreter):
+    """Interprets a HELIX-transformed module, reconstructing parallel time.
+
+    ``infos`` are the :class:`ParallelizedLoop` records produced by
+    :func:`repro.core.parallelize_module` for this module.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        infos: Sequence[ParallelizedLoop],
+        machine: Optional[MachineConfig] = None,
+        record_traces: bool = True,
+        max_instructions: Optional[int] = 500_000_000,
+    ) -> None:
+        super().__init__(module, machine, max_instructions=max_instructions)
+        self.infos = list(infos)
+        self.record_traces = record_traces
+        self._by_preheader: Dict[Tuple[str, str], ParallelizedLoop] = {}
+        for info in self.infos:
+            self._by_preheader[(info.func_name, info.par_preheader)] = info
+        self._inv: Optional[InvocationTrace] = None
+        self._inv_info: Optional[ParallelizedLoop] = None
+        self._inv_frame: Optional[Frame] = None
+        self._iter: Optional[IterationTrace] = None
+        self._loads_at_start = 0
+        self.load_count = 0
+        self.loop_stats: Dict[LoopId, LoopRunStats] = {}
+        self.traces: List[InvocationTrace] = []
+
+    # -- interpreter hooks -------------------------------------------------
+
+    def exec_instr(self, frame: Frame, instr: Instruction) -> None:
+        if instr.reads_memory:
+            self.load_count += 1
+        super().exec_instr(frame, instr)
+
+    def on_block_entry(
+        self, frame: Frame, prev: Optional[BasicBlock], block: BasicBlock
+    ) -> None:
+        super().on_block_entry(frame, prev, block)
+        if self._inv is None:
+            info = self._by_preheader.get((frame.func.name, block.name))
+            if info is not None:
+                self._begin_invocation(info, frame)
+            return
+        if frame is not self._inv_frame:
+            return
+        info = self._inv_info
+        if block.name == info.par_header:
+            self._begin_iteration()
+        elif block.name in info.exit_stubs:
+            self._end_invocation()
+
+    def exec_sync(self, frame: Frame, instr: Instruction) -> None:
+        if self._iter is None or frame is not self._inv_frame:
+            return
+        if instr.opcode is Opcode.WAIT:
+            self._iter.events.append(("w", instr.dep_id, self.cycles))
+        elif instr.opcode is Opcode.SIGNAL:
+            self._iter.events.append(("s", instr.dep_id, self.cycles))
+        else:  # NEXT_ITER
+            self._iter.events.append(("n", CTRL_DEP, self.cycles))
+
+    def exec_xfer(self, frame: Frame, instr: Instruction) -> None:
+        if self._iter is None or frame is not self._inv_frame:
+            return
+        dep = instr.dep_id
+        if is_producer_mark(instr):
+            self._iter.events.append(("p", dep, self.cycles))
+        else:
+            self._iter.events.append(("x", dep, self.cycles))
+            self._iter.words[dep] = xfer_words(instr)
+
+    # -- invocation lifecycle -------------------------------------------------
+
+    def _begin_invocation(self, info: ParallelizedLoop, frame: Frame) -> None:
+        self._inv = InvocationTrace(
+            loop_id=info.loop_id, start_cycles=self.cycles
+        )
+        self._inv_info = info
+        self._inv_frame = frame
+        self._iter = None
+        self._loads_at_start = self.load_count
+
+    def _begin_iteration(self) -> None:
+        if self._iter is not None:
+            self._iter.end_cycles = self.cycles
+        self._iter = IterationTrace(start_cycles=self.cycles)
+        self._inv.iterations.append(self._iter)
+
+    def _end_invocation(self) -> None:
+        trace = self._inv
+        info = self._inv_info
+        if self._iter is not None:
+            self._iter.end_cycles = self.cycles
+        trace.end_cycles = self.cycles
+        trace.loads = self.load_count - self._loads_at_start
+        self._inv = None
+        self._inv_info = None
+        self._inv_frame = None
+        self._iter = None
+
+        schedule = schedule_invocation(trace, info, self.machine)
+        # Replace the sequential span with the parallel schedule length.
+        self.cycles = trace.start_cycles + schedule.parallel_cycles
+
+        stats = self.loop_stats.get(info.loop_id)
+        if stats is None:
+            stats = LoopRunStats(loop_id=info.loop_id)
+            self.loop_stats[info.loop_id] = stats
+        _accumulate(stats, trace, schedule)
+        if self.record_traces:
+            self.traces.append(trace)
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Sequence = ()) -> ExecutionResult:
+        self._inv = None
+        self._iter = None
+        self.load_count = 0
+        self.loop_stats = {}
+        self.traces = []
+        return super().run(entry, args)
+
+    def execute(self) -> ParallelRunResult:
+        """Run the program and package the results."""
+        result = self.run()
+        return ParallelRunResult(
+            result=result,
+            machine=self.machine,
+            loop_stats=dict(self.loop_stats),
+            traces=list(self.traces),
+        )
+
+    def replay(self, machine: MachineConfig) -> ParallelRunResult:
+        """Recompute the timing under a different machine from the stored
+        traces, without re-interpreting the program.
+
+        Valid for changes to core count, prefetch mode and latencies (the
+        functional trace is machine-independent); the instruction cost
+        model must stay the same.
+        """
+        if not self.record_traces:
+            raise RuntimeFault("executor was created with record_traces=False")
+        info_by_id = {info.loop_id: info for info in self.infos}
+        adjusted = self.cycles
+        loop_stats: Dict[LoopId, LoopRunStats] = {}
+        for trace in self.traces:
+            info = info_by_id[trace.loop_id]
+            old = schedule_invocation(trace, info, self.machine)
+            new = schedule_invocation(trace, info, machine)
+            adjusted += new.parallel_cycles - old.parallel_cycles
+            stats = loop_stats.setdefault(
+                trace.loop_id, LoopRunStats(loop_id=trace.loop_id)
+            )
+            _accumulate(stats, trace, new)
+        result = ExecutionResult(
+            output=list(self.output),
+            cycles=adjusted,
+            instructions=self.instructions,
+        )
+        return ParallelRunResult(
+            result=result,
+            machine=machine,
+            loop_stats=loop_stats,
+            traces=list(self.traces),
+        )
+
+
+def _accumulate(
+    stats: LoopRunStats, trace: InvocationTrace, schedule: ScheduleResult
+) -> None:
+    stats.invocations += 1
+    stats.iterations += len(trace.iterations)
+    stats.sequential_cycles += schedule.sequential_cycles
+    stats.parallel_cycles += schedule.parallel_cycles
+    stats.signals += schedule.signals
+    stats.waits += schedule.waits
+    stats.wait_stall_cycles += schedule.wait_stall_cycles
+    stats.transfer_words += schedule.transfer_words
+    stats.loads += trace.loads
+    stats.segment_cycles += schedule.segment_cycles
+
+
+def run_parallel(
+    module: Module,
+    infos: Sequence[ParallelizedLoop],
+    machine: Optional[MachineConfig] = None,
+    record_traces: bool = True,
+) -> ParallelRunResult:
+    """Convenience wrapper: execute a transformed module."""
+    executor = ParallelExecutor(
+        module, infos, machine, record_traces=record_traces
+    )
+    return executor.execute()

@@ -1,0 +1,213 @@
+"""Profiling runs (training inputs) feeding the loop-selection heuristic.
+
+The profiler interprets the program once and collects what Section 2.2
+needs:
+
+* per-loop invocation and iteration counts (``Invoc_i``, and the iteration
+  count that prices control signals ``C-Sig_i``);
+* per-loop inclusive and self cycle counts (the ``T`` attribute of the
+  selection algorithm derives from these);
+* per-block execution counts (used to weight sequential-segment
+  instructions when computing ``P_i``);
+* average inclusive cycles per function call (to price CALL instructions
+  inside loops);
+* the dynamic loop nesting graph (profiled subgraph of the static one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.loopnest import (
+    DynamicLoopNestGraph,
+    LoopId,
+    StaticLoopNestGraph,
+    build_static_loop_nest_graph,
+)
+from repro.analysis.loops import Loop
+from repro.ir import Instruction, Module, Opcode
+from repro.ir.types import Type
+from repro.runtime.interpreter import ExecutionResult, Interpreter
+from repro.runtime.machine import MachineConfig
+
+
+@dataclass
+class LoopProfile:
+    """Dynamic statistics of one loop."""
+
+    loop_id: LoopId
+    invocations: int = 0
+    iterations: int = 0
+    #: Cycles while the loop was active anywhere on the loop stack
+    #: (includes subloops and callees).
+    total_cycles: int = 0
+    #: Cycles while the loop was the innermost active loop.
+    self_cycles: int = 0
+
+    @property
+    def iterations_per_invocation(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.iterations / self.invocations
+
+
+@dataclass
+class ProfileData:
+    """Everything collected by one profiling run."""
+
+    module: Module
+    result: ExecutionResult
+    loops: Dict[LoopId, LoopProfile] = field(default_factory=dict)
+    block_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    func_inclusive_cycles: Dict[str, int] = field(default_factory=dict)
+    func_activations: Dict[str, int] = field(default_factory=dict)
+    dynamic_nesting: DynamicLoopNestGraph = field(
+        default_factory=DynamicLoopNestGraph
+    )
+
+    @property
+    def total_cycles(self) -> int:
+        return self.result.cycles
+
+    def loop(self, loop_id: LoopId) -> LoopProfile:
+        return self.loops.get(loop_id, LoopProfile(loop_id))
+
+    def block_count(self, func_name: str, block_name: str) -> int:
+        return self.block_counts.get((func_name, block_name), 0)
+
+    def call_avg_cycles(self, func_name: str) -> float:
+        """Average inclusive cycles of one activation of ``func_name``."""
+        count = self.func_activations.get(func_name, 0)
+        if count == 0:
+            return 0.0
+        return self.func_inclusive_cycles.get(func_name, 0) / count
+
+    def instruction_cost(
+        self, machine: MachineConfig, func_name: str, instr: Instruction
+    ) -> float:
+        """Expected dynamic cost of one execution of ``instr``.
+
+        CALLs are priced at the callee's profiled average inclusive time;
+        everything else uses the machine cost model.
+        """
+        if instr.opcode is Opcode.CALL and instr.callee is not None:
+            inner = self.call_avg_cycles(instr.callee)
+            return machine.cost_model.cycles(Opcode.CALL) + inner
+        is_float = instr.dest is not None and instr.dest.type is Type.FLOAT
+        return machine.cost_model.cycles(instr.opcode, is_float)
+
+
+class _ProfilingHarness:
+    """Wires interpreter hooks to the profile accumulators."""
+
+    def __init__(self, nest: StaticLoopNestGraph, data: ProfileData) -> None:
+        self.nest = nest
+        self.data = data
+        #: Stack of (activation id, Loop) for every active loop, across
+        #: function activations.
+        self.loop_stack: List[Tuple[int, Loop]] = []
+        self.activation_stack: List[int] = [0]
+        self.next_activation = 1
+        self.last_cycles = 0
+        #: func name -> (active count, cycles at first entry).
+        self.recursion: Dict[str, Tuple[int, int]] = {}
+
+    # -- time attribution --------------------------------------------------
+
+    def _sync(self, cycles: int) -> None:
+        delta = cycles - self.last_cycles
+        if delta and self.loop_stack:
+            for _aid, loop in self.loop_stack:
+                self._profile(loop).total_cycles += delta
+            self._profile(self.loop_stack[-1][1]).self_cycles += delta
+        self.last_cycles = cycles
+
+    def _profile(self, loop: Loop) -> LoopProfile:
+        profile = self.data.loops.get(loop.id)
+        if profile is None:
+            profile = LoopProfile(loop.id)
+            self.data.loops[loop.id] = profile
+        return profile
+
+    # -- listeners ------------------------------------------------------------
+
+    def on_block(
+        self, func_name: str, prev: Optional[str], block: str, cycles: int
+    ) -> None:
+        self._sync(cycles)
+        key = (func_name, block)
+        self.data.block_counts[key] = self.data.block_counts.get(key, 0) + 1
+
+        forest = self.nest.forests.get(func_name)
+        if forest is None:
+            return
+        activation = self.activation_stack[-1]
+
+        # Pop loops of this activation that no longer contain the block.
+        while self.loop_stack:
+            aid, top = self.loop_stack[-1]
+            if aid != activation or block in top.blocks:
+                break
+            self.loop_stack.pop()
+
+        loop = forest.by_header.get(block)
+        if loop is None:
+            return
+        if self.loop_stack:
+            aid, top = self.loop_stack[-1]
+            if aid == activation and top is loop:
+                # Back edge: a new iteration of the active loop.
+                self._profile(loop).iterations += 1
+                return
+        parent = self.loop_stack[-1][1].id if self.loop_stack else None
+        self.loop_stack.append((activation, loop))
+        profile = self._profile(loop)
+        profile.invocations += 1
+        profile.iterations += 1
+        self.data.dynamic_nesting.record(parent, loop.id)
+
+    def on_call(self, func_name: str, entering: bool, cycles: int) -> None:
+        self._sync(cycles)
+        if entering:
+            self.activation_stack.append(self.next_activation)
+            self.next_activation += 1
+            count, first = self.recursion.get(func_name, (0, 0))
+            if count == 0:
+                first = cycles
+            self.recursion[func_name] = (count + 1, first)
+            self.data.func_activations[func_name] = (
+                self.data.func_activations.get(func_name, 0) + 1
+            )
+        else:
+            activation = self.activation_stack.pop()
+            while self.loop_stack and self.loop_stack[-1][0] == activation:
+                self.loop_stack.pop()
+            count, first = self.recursion[func_name]
+            if count == 1:
+                self.data.func_inclusive_cycles[func_name] = (
+                    self.data.func_inclusive_cycles.get(func_name, 0)
+                    + cycles
+                    - first
+                )
+            self.recursion[func_name] = (count - 1, first)
+
+
+def profile_module(
+    module: Module,
+    machine: Optional[MachineConfig] = None,
+    nest: Optional[StaticLoopNestGraph] = None,
+    max_instructions: Optional[int] = 500_000_000,
+) -> ProfileData:
+    """Run ``module`` once under instrumentation and return the profile."""
+    machine = machine or MachineConfig()
+    nest = nest or build_static_loop_nest_graph(module)
+    interp = Interpreter(module, machine, max_instructions=max_instructions)
+    data = ProfileData(module=module, result=None)  # type: ignore[arg-type]
+    harness = _ProfilingHarness(nest, data)
+    interp.block_listener = harness.on_block
+    interp.call_listener = harness.on_call
+    result = interp.run()
+    harness._sync(interp.cycles)
+    data.result = result
+    return data

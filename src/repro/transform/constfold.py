@@ -1,0 +1,198 @@
+"""Constant folding and algebraic simplification.
+
+Part of the generic optimization suite (ILDJIT's role in the original
+system).  Folds arithmetic over constant operands with the interpreter's
+own semantics (64-bit wrap-around, C division), simplifies identities
+(``x+0``, ``x*1``, ``x*0``), and turns constant conditional branches into
+unconditional ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir import Function, Instruction, Module, Opcode
+from repro.ir.operands import Const, Operand, VReg
+from repro.ir.types import Type
+
+
+def _fold_binary(opcode: Opcode, a, b):
+    """Evaluate a binary opcode over Python values, or None if undefined."""
+    from repro.runtime.interpreter import _BINARY_HANDLERS, RuntimeFault
+
+    handler = _BINARY_HANDLERS.get(opcode)
+    if handler is None:
+        return None
+    try:
+        return handler(a, b)
+    except (RuntimeFault, ZeroDivisionError):
+        return None
+
+
+def _const_for(value, type_: Type) -> Const:
+    if type_ is Type.FLOAT:
+        return Const.float(float(value))
+    return Const.int(int(value))
+
+
+def _algebraic(instr: Instruction) -> Optional[Operand]:
+    """Identity simplifications returning a replacement operand."""
+    a, b = instr.args
+    if instr.opcode is Opcode.ADD:
+        if isinstance(b, Const) and b.value == 0:
+            return a
+        if isinstance(a, Const) and a.value == 0:
+            return b
+    elif instr.opcode is Opcode.SUB:
+        if isinstance(b, Const) and b.value == 0:
+            return a
+    elif instr.opcode is Opcode.MUL:
+        if isinstance(b, Const) and b.value == 1:
+            return a
+        if isinstance(a, Const) and a.value == 1:
+            return b
+        if (
+            isinstance(b, Const)
+            and b.value == 0
+            and instr.dest is not None
+        ):
+            return _const_for(0, instr.dest.type)
+    elif instr.opcode in (Opcode.DIV,):
+        if isinstance(b, Const) and b.value == 1:
+            return a
+    elif instr.opcode in (Opcode.OR, Opcode.XOR):
+        if isinstance(b, Const) and b.value == 0:
+            return a
+    elif instr.opcode in (Opcode.SHL, Opcode.SHR):
+        if isinstance(b, Const) and b.value == 0:
+            return a
+    return None
+
+
+_BINARY_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.EQ,
+        Opcode.NE,
+        Opcode.LT,
+        Opcode.LE,
+        Opcode.GT,
+        Opcode.GE,
+    }
+)
+
+
+def fold_constants(func: Function) -> int:
+    """One folding pass over ``func``; returns the number of rewrites.
+
+    Uses a per-block view of known-constant registers (registers written
+    exactly once in the whole function with a constant also participate,
+    which covers the frontend's materialized literals).
+    """
+    rewrites = 0
+
+    # Registers defined exactly once, by a constant MOV.
+    def_count: Dict[int, int] = {}
+    const_defs: Dict[int, Const] = {}
+    for instr in func.instructions():
+        if instr.dest is not None:
+            def_count[instr.dest.uid] = def_count.get(instr.dest.uid, 0) + 1
+            if instr.opcode is Opcode.MOV and isinstance(instr.args[0], Const):
+                const_defs[instr.dest.uid] = instr.args[0]
+    global_consts = {
+        uid: c for uid, c in const_defs.items() if def_count[uid] == 1
+    }
+
+    for block in func.blocks.values():
+        local_consts: Dict[int, Const] = {}
+
+        def resolve(op: Operand) -> Operand:
+            if isinstance(op, VReg):
+                if op.uid in local_consts:
+                    return local_consts[op.uid]
+                if op.uid in global_consts:
+                    return global_consts[op.uid]
+            return op
+
+        new_instrs = []
+        for instr in block.instructions:
+            args = tuple(resolve(a) for a in instr.args)
+            changed = any(x is not y for x, y in zip(args, instr.args))
+
+            if instr.opcode in _BINARY_OPS and instr.dest is not None:
+                a, b = args
+                if isinstance(a, Const) and isinstance(b, Const):
+                    value = _fold_binary(instr.opcode, a.value, b.value)
+                    if value is not None:
+                        folded = _const_for(value, instr.dest.type)
+                        new_instrs.append(
+                            Instruction(
+                                Opcode.MOV, dest=instr.dest, args=(folded,)
+                            )
+                        )
+                        local_consts[instr.dest.uid] = folded
+                        rewrites += 1
+                        continue
+                temp = instr.clone(args=args) if changed else instr
+                replacement = _algebraic(temp)
+                if replacement is not None:
+                    new_instrs.append(
+                        Instruction(
+                            Opcode.MOV, dest=instr.dest, args=(replacement,)
+                        )
+                    )
+                    if isinstance(replacement, Const):
+                        local_consts[instr.dest.uid] = replacement
+                    else:
+                        local_consts.pop(instr.dest.uid, None)
+                    rewrites += 1
+                    continue
+
+            if instr.opcode is Opcode.NEG and isinstance(args[0], Const):
+                value = args[0].value
+                folded = _const_for(
+                    -value if isinstance(value, float) else -value,
+                    instr.dest.type,
+                )
+                new_instrs.append(
+                    Instruction(Opcode.MOV, dest=instr.dest, args=(folded,))
+                )
+                local_consts[instr.dest.uid] = folded
+                rewrites += 1
+                continue
+
+            if instr.opcode is Opcode.CBR and isinstance(args[0], Const):
+                taken = instr.targets[0] if args[0].value != 0 else instr.targets[1]
+                new_instrs.append(Instruction(Opcode.BR, targets=(taken,)))
+                rewrites += 1
+                continue
+
+            if changed:
+                instr = instr.clone(args=args)
+                rewrites += 1
+
+            # Track constants flowing through MOVs inside the block.
+            if instr.dest is not None:
+                if instr.opcode is Opcode.MOV and isinstance(
+                    instr.args[0], Const
+                ):
+                    local_consts[instr.dest.uid] = instr.args[0]
+                else:
+                    local_consts.pop(instr.dest.uid, None)
+            new_instrs.append(instr)
+        block.instructions = new_instrs
+    return rewrites
+
+
+def fold_constants_module(module: Module) -> int:
+    """Fold constants in every function."""
+    return sum(fold_constants(f) for f in module.functions.values())

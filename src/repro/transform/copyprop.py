@@ -1,0 +1,129 @@
+"""Copy propagation and CFG simplification.
+
+``propagate_copies`` forwards ``x = mov y`` within basic blocks (safe in
+the non-SSA IR as long as neither side is redefined in between).
+``simplify_cfg`` merges straight-line block chains and removes
+unreachable blocks, shrinking the code the HELIX passes must scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir import Function, Module, Opcode
+from repro.ir.operands import Const, Operand, VReg
+
+
+def propagate_copies(func: Function) -> int:
+    """Intra-block copy propagation; returns the number of uses rewritten."""
+    rewrites = 0
+    for block in func.blocks.values():
+        # uid -> operand it currently copies (register or constant).
+        copies: Dict[int, Operand] = {}
+        new_instrs = []
+        for instr in block.instructions:
+            def resolve(op: Operand) -> Operand:
+                seen: Set[int] = set()
+                while isinstance(op, VReg) and op.uid in copies:
+                    if op.uid in seen:  # defensive: cyclic copies
+                        break
+                    seen.add(op.uid)
+                    op = copies[op.uid]
+                return op
+
+            args = tuple(resolve(a) for a in instr.args)
+            if any(x is not y for x, y in zip(args, instr.args)):
+                instr = instr.clone(args=args)
+                rewrites += 1
+
+            if instr.dest is not None:
+                uid = instr.dest.uid
+                # Any redefinition invalidates copies of and through uid.
+                copies.pop(uid, None)
+                stale = [
+                    k
+                    for k, v in copies.items()
+                    if isinstance(v, VReg) and v.uid == uid
+                ]
+                for k in stale:
+                    del copies[k]
+                if instr.opcode is Opcode.MOV:
+                    source = instr.args[0]
+                    if isinstance(source, (VReg, Const)):
+                        if not (
+                            isinstance(source, VReg) and source.uid == uid
+                        ):
+                            copies[uid] = source
+            new_instrs.append(instr)
+        block.instructions = new_instrs
+    return rewrites
+
+
+def simplify_cfg(func: Function) -> int:
+    """Merge trivial chains and drop unreachable blocks; returns removals."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+
+        # Drop unreachable blocks.
+        reachable = {func.entry.name}
+        work = [func.entry.name]
+        while work:
+            name = work.pop()
+            for succ in func.blocks[name].successor_names():
+                if succ not in reachable:
+                    reachable.add(succ)
+                    work.append(succ)
+        for name in list(func.blocks):
+            if name not in reachable:
+                func.remove_block(name)
+                removed += 1
+                changed = True
+
+        # Merge A -> B when A ends in BR B and B has exactly one pred.
+        preds: Dict[str, list] = {name: [] for name in func.blocks}
+        for name, block in func.blocks.items():
+            for succ in block.successor_names():
+                preds[succ].append(name)
+        for name in list(func.blocks):
+            block = func.blocks.get(name)
+            if block is None:
+                continue
+            term = block.terminator
+            if term is None or term.opcode is not Opcode.BR:
+                continue
+            succ_name = term.targets[0]
+            if succ_name == name or succ_name == func.entry.name:
+                continue
+            if preds.get(succ_name) != [name]:
+                continue
+            succ = func.blocks[succ_name]
+            block.instructions = block.instructions[:-1] + succ.instructions
+            func.remove_block(succ_name)
+            removed += 1
+            changed = True
+            break  # predecessor map is stale; recompute
+    return removed
+
+
+def optimize_module(module: Module) -> Dict[str, int]:
+    """Run the generic pipeline (fold, propagate, DCE, simplify) to a
+    fixed point; returns per-pass rewrite counts."""
+    from repro.transform.constfold import fold_constants
+    from repro.transform.dce import eliminate_dead_code
+
+    totals = {"folded": 0, "copies": 0, "dce": 0, "cfg": 0}
+    for func in module.functions.values():
+        for _ in range(8):
+            folded = fold_constants(func)
+            copies = propagate_copies(func)
+            dce = eliminate_dead_code(func)
+            cfg = simplify_cfg(func)
+            totals["folded"] += folded
+            totals["copies"] += copies
+            totals["dce"] += dce
+            totals["cfg"] += cfg
+            if not (folded or copies or dce or cfg):
+                break
+    return totals

@@ -1,0 +1,150 @@
+"""Loop normalization (HELIX Step 1).
+
+Brings a natural loop into the paper's normal form:
+
+* a unique *preheader* (single edge into the header from outside);
+* a unique *latch* carrying the only back edge;
+* a partition of the loop blocks into the **prologue** -- the minimum set
+  of instructions that must execute to decide whether the next iteration's
+  prologue executes (formally: blocks *not* post-dominated, within the
+  loop, by the unified latch) -- and the **body** (the rest).  Loop exits
+  can only originate in the prologue; once control crosses a
+  prologue->body edge, the next iteration is certain to start.
+
+The partition is what Step 3 needs: ``NEXT_ITER`` is inserted on every
+prologue->body crossing (each crossed exactly once per completing
+iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.loops import Loop
+from repro.ir import Function, Instruction, Opcode
+
+
+@dataclass
+class NormalizedLoop:
+    """The result of normalizing one loop."""
+
+    func: Function
+    header: str
+    preheader: str
+    latch: str
+    blocks: Set[str]
+    prologue_blocks: Set[str] = field(default_factory=set)
+    body_blocks: Set[str] = field(default_factory=set)
+    #: Edges (prologue block -> body block) where iteration i+1 may start.
+    crossing_edges: List[Tuple[str, str]] = field(default_factory=list)
+    #: Exit edges (block inside -> first block outside).
+    exit_edges: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def _ensure_preheader(func: Function, loop: Loop, cfg: CFGView) -> Tuple[str, CFGView]:
+    """Create (or find) the unique preheader of ``loop``."""
+    outside_preds = [
+        p for p in cfg.preds[loop.header] if p not in loop.blocks
+    ]
+    if len(outside_preds) == 1:
+        pred = func.blocks[outside_preds[0]]
+        term = pred.terminator
+        if term is not None and term.opcode is Opcode.BR:
+            return outside_preds[0], cfg
+    pre = func.new_block("pre")
+    pre.append(Instruction(Opcode.BR, targets=(loop.header,)))
+    for pred_name in outside_preds:
+        func.blocks[pred_name].retarget(loop.header, pre.name)
+    return pre.name, CFGView(func)
+
+
+def _ensure_single_latch(
+    func: Function, loop: Loop, cfg: CFGView
+) -> Tuple[str, CFGView]:
+    """Merge multiple back edges through one unified latch block."""
+    latches = sorted(loop.latches)
+    if len(latches) == 1:
+        latch_block = func.blocks[latches[0]]
+        term = latch_block.terminator
+        if term is not None and term.opcode is Opcode.BR:
+            return latches[0], cfg
+    latch = func.new_block("latch")
+    latch.append(Instruction(Opcode.BR, targets=(loop.header,)))
+    for name in latches:
+        func.blocks[name].retarget(loop.header, latch.name)
+    loop.blocks.add(latch.name)
+    loop.latches = {latch.name}
+    return latch.name, CFGView(func)
+
+
+def _loop_post_dominators(
+    func: Function, loop_blocks: Set[str], header: str, latch: str, cfg: CFGView
+) -> Set[str]:
+    """Blocks of the loop post-dominated by ``latch`` *within* the loop.
+
+    Computed directly: a block is post-dominated by the latch iff every
+    path from it that stays in the iteration (no back edge) reaches the
+    latch rather than leaving the loop.  Equivalently: the block cannot
+    reach an exit edge without first passing through the latch.
+    """
+    # Backward reachability to "escape" (an exit edge source's exiting
+    # branch) without passing through the latch.
+    can_escape: Set[str] = set()
+    work: List[str] = []
+    for name in loop_blocks:
+        if name == latch:
+            continue
+        for succ in cfg.succs[name]:
+            if succ not in loop_blocks:
+                can_escape.add(name)
+                work.append(name)
+                break
+    while work:
+        node = work.pop()
+        for pred in cfg.preds[node]:
+            if pred in loop_blocks and pred != latch and pred not in can_escape:
+                can_escape.add(pred)
+                work.append(pred)
+    return {name for name in loop_blocks if name not in can_escape and name != latch} | {
+        latch
+    }
+
+
+def normalize_loop(func: Function, loop: Loop) -> NormalizedLoop:
+    """Normalize ``loop`` in place and return the region description."""
+    cfg = CFGView(func)
+    preheader, cfg = _ensure_preheader(func, loop, cfg)
+    latch, cfg = _ensure_single_latch(func, loop, cfg)
+
+    post_dominated = _loop_post_dominators(func, loop.blocks, loop.header, latch, cfg)
+    body = set(post_dominated)
+    prologue = {name for name in loop.blocks if name not in body}
+
+    # An exit-free loop would have an empty prologue; keep the header in
+    # the prologue so iteration hand-off still has a well-defined point.
+    if not prologue:
+        prologue = {loop.header}
+        body.discard(loop.header)
+
+    crossing = []
+    exits = []
+    for name in sorted(loop.blocks):
+        for succ in cfg.succs[name]:
+            if name in prologue and succ in body:
+                crossing.append((name, succ))
+            if succ not in loop.blocks:
+                exits.append((name, succ))
+
+    return NormalizedLoop(
+        func=func,
+        header=loop.header,
+        preheader=preheader,
+        latch=latch,
+        blocks=set(loop.blocks),
+        prologue_blocks=prologue,
+        body_blocks=body,
+        crossing_edges=crossing,
+        exit_edges=exits,
+    )

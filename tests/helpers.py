@@ -1,0 +1,57 @@
+"""Shared test utilities: quick CFG and program construction."""
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.frontend import compile_source
+from repro.ir import BasicBlock, Function, Instruction, Module, Opcode
+from repro.ir.operands import Const
+from repro.ir.types import Type
+
+
+def build_cfg(edges: Dict[str, Sequence[str]], entry: str = "A") -> Function:
+    """Build a function whose CFG matches ``edges``.
+
+    Blocks with zero successors get RET, one gets BR, two get CBR (on a
+    constant condition -- these functions are for structural analyses, not
+    execution).
+    """
+    func = Function("test")
+    names = list(edges)
+    for target_list in edges.values():
+        for name in target_list:
+            if name not in names:
+                names.append(name)
+    ordered = [entry] + [n for n in names if n != entry]
+    for name in ordered:
+        func.add_block(BasicBlock(name))
+    for name in ordered:
+        block = func.blocks[name]
+        targets = tuple(edges.get(name, ()))
+        if len(targets) == 0:
+            block.append(Instruction(Opcode.RET))
+        elif len(targets) == 1:
+            block.append(Instruction(Opcode.BR, targets=targets))
+        elif len(targets) == 2:
+            block.append(
+                Instruction(Opcode.CBR, args=(Const.int(1),), targets=targets)
+            )
+        else:
+            raise ValueError("at most two successors per block")
+    return func
+
+
+def compile_and_find_loop(source: str, func_name: str, header_contains: str):
+    """Compile MiniC and return (module, function, loop) for the loop whose
+    header name contains ``header_contains``."""
+    from repro.analysis.loops import find_loops
+
+    module = compile_source(source)
+    func = module.functions[func_name]
+    forest = find_loops(func)
+    for loop in forest:
+        if header_contains in loop.header:
+            return module, func, loop
+    raise AssertionError(
+        f"no loop with header containing {header_contains!r}; "
+        f"headers: {[l.header for l in forest]}"
+    )

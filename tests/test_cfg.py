@@ -1,0 +1,78 @@
+"""Tests for CFG views and traversals."""
+
+from repro.analysis.cfg import (
+    CFGView,
+    postorder,
+    reachable_blocks,
+    reachable_within,
+    reverse_postorder,
+)
+
+from tests.helpers import build_cfg
+
+DIAMOND = {"A": ["B", "C"], "B": ["D"], "C": ["D"], "D": []}
+LOOP = {"A": ["H"], "H": ["B", "X"], "B": ["H"], "X": []}
+
+
+class TestCFGView:
+    def test_successors_and_predecessors(self):
+        cfg = CFGView(build_cfg(DIAMOND))
+        assert cfg.successors("A") == ("B", "C")
+        assert sorted(cfg.predecessors("D")) == ["B", "C"]
+        assert cfg.predecessors("A") == []
+
+    def test_exits(self):
+        cfg = CFGView(build_cfg(DIAMOND))
+        assert cfg.exits == ("D",)
+
+    def test_entry(self):
+        cfg = CFGView(build_cfg(DIAMOND))
+        assert cfg.entry == "A"
+
+    def test_contains(self):
+        cfg = CFGView(build_cfg(DIAMOND))
+        assert "B" in cfg and "Z" not in cfg
+
+
+class TestOrders:
+    def test_postorder_ends_at_entry(self):
+        cfg = CFGView(build_cfg(DIAMOND))
+        order = postorder(cfg)
+        assert order[-1] == "A"
+        assert set(order) == {"A", "B", "C", "D"}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = CFGView(build_cfg(DIAMOND))
+        order = reverse_postorder(cfg)
+        assert order[0] == "A"
+        # A topological-ish property: D after both B and C.
+        assert order.index("D") > order.index("B")
+        assert order.index("D") > order.index("C")
+
+    def test_postorder_handles_loops(self):
+        cfg = CFGView(build_cfg(LOOP))
+        order = postorder(cfg)
+        assert set(order) == {"A", "H", "B", "X"}
+
+
+class TestReachability:
+    def test_reachable_blocks(self):
+        graph = dict(DIAMOND)
+        graph["Z"] = []  # unreachable island
+        cfg = CFGView(build_cfg(graph))
+        assert reachable_blocks(cfg) == {"A", "B", "C", "D"}
+
+    def test_reachable_within_blocks_back_edge(self):
+        cfg = CFGView(build_cfg(LOOP))
+        allowed = frozenset({"H", "B"})
+        # Which loop blocks can reach B without the back edge B->H?
+        region = reachable_within(cfg, ["B"], allowed, {("B", "H")})
+        assert region == {"H", "B"}
+        # And with target H itself, B cannot reach it (edge blocked).
+        region = reachable_within(cfg, ["H"], allowed, {("B", "H")})
+        assert region == {"H"}
+
+    def test_reachable_within_respects_allowed(self):
+        cfg = CFGView(build_cfg(DIAMOND))
+        region = reachable_within(cfg, ["D"], frozenset({"B", "D"}))
+        assert region == {"B", "D"}

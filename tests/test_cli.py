@@ -1,0 +1,57 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+int total;
+void main() {
+    int i;
+    for (i = 0; i < 40; i++) {
+        int k = 0;
+        int f = 0;
+        while (k < 30) { f = f + (k ^ i); k++; }
+        total = (total + f) % 9973;
+    }
+    print(total);
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_run_prints_output(program_file, capsys):
+    assert main(["run", program_file]) == 0
+    out = capsys.readouterr().out
+    assert out.strip().isdigit()
+
+
+def test_ir_dump(program_file, capsys):
+    assert main(["ir", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "func void main" in out
+    assert "loadg" in out or "storeg" in out
+
+
+def test_parallelize_reports_speedup(program_file, capsys):
+    assert main(["parallelize", program_file, "--cores", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "output identical:  True" in out
+
+
+def test_bench_command(capsys):
+    assert main(["bench", "mcf", "--cores", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "speedup" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,179 @@
+"""Tests for the interpreter: semantics, faults, accounting."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import Function, Instruction, IRBuilder, Module, Opcode
+from repro.ir.operands import Const, VReg
+from repro.ir.types import Type
+from repro.runtime import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    RuntimeFault,
+    run_module,
+)
+from repro.runtime.interpreter import c_div, c_mod, format_value, wrap_int
+from repro.runtime.machine import MachineConfig
+
+
+class TestIntSemantics:
+    def test_wrap_int_identity_in_range(self):
+        assert wrap_int(42) == 42
+        assert wrap_int(-42) == -42
+
+    def test_wrap_int_at_boundaries(self):
+        assert wrap_int(2**63 - 1) == 2**63 - 1
+        assert wrap_int(2**63) == -(2**63)
+        assert wrap_int(-(2**63) - 1) == 2**63 - 1
+
+    def test_wrap_int_overflow(self):
+        assert wrap_int(2**64) == 0
+        assert wrap_int(2**64 + 5) == 5
+
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)],
+    )
+    def test_c_division(self, a, b, q, r):
+        assert c_div(a, b) == q
+        assert c_mod(a, b) == r
+
+
+class TestFaults:
+    def run_body(self, body, decls=""):
+        module = compile_source(f"{decls}\nvoid main() {{ {body} }}")
+        return run_module(module)
+
+    def test_division_by_zero(self):
+        with pytest.raises(RuntimeFault):
+            self.run_body("int z = 0; print(1 / z);")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(RuntimeFault):
+            self.run_body("int z = 0; print(1 % z);")
+
+    def test_load_out_of_bounds(self):
+        with pytest.raises(RuntimeFault):
+            self.run_body("print(a[10]);", decls="int a[4];")
+
+    def test_store_out_of_bounds(self):
+        with pytest.raises(RuntimeFault):
+            self.run_body("a[-1] = 1;", decls="int a[4];")
+
+    def test_pointer_out_of_bounds(self):
+        with pytest.raises(RuntimeFault):
+            self.run_body("int *p = &a[3]; p[2] = 1;", decls="int a[4];")
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(RuntimeFault):
+            self.run_body("int s = 70; print(1 << s);")
+
+    def test_instruction_limit(self):
+        module = compile_source("void main() { while (1) { } }")
+        with pytest.raises(ExecutionLimitExceeded):
+            run_module(module, max_instructions=10_000)
+
+    def test_call_depth_limit(self):
+        module = compile_source(
+            "int f(int n) { return f(n + 1); } void main() { print(f(0)); }"
+        )
+        with pytest.raises(RuntimeFault):
+            run_module(module)
+
+
+class TestAccounting:
+    def test_cycles_accumulate(self):
+        module = compile_source("void main() { print(1 + 2); }")
+        result = run_module(module)
+        assert result.cycles > 0
+        assert result.instructions > 0
+
+    def test_mul_costs_more_than_add(self):
+        add = run_module(
+            compile_source("void main() { int a = 1; int b = a + a; }")
+        ).cycles
+        mul = run_module(
+            compile_source("void main() { int a = 1; int b = a * a; }")
+        ).cycles
+        assert mul > add
+
+    def test_float_arithmetic_costs_extra(self):
+        int_run = run_module(
+            compile_source("void main() { int a = 1; int b = a + a; }")
+        ).cycles
+        float_run = run_module(
+            compile_source("void main() { float a = 1.0; float b = a + a; }")
+        ).cycles
+        assert float_run > int_run
+
+    def test_deterministic_across_runs(self):
+        module = compile_source(
+            """
+            int a[8];
+            void main() {
+                int i;
+                for (i = 0; i < 8; i++) { a[i] = i * 3; }
+                print(a[7]);
+            }
+            """
+        )
+        first = run_module(module)
+        second = run_module(module)
+        assert first.output == second.output
+        assert first.cycles == second.cycles
+
+    def test_memory_reset_between_runs(self):
+        module = compile_source(
+            "int g;\nvoid main() { g = g + 1; print(g); }"
+        )
+        interp = Interpreter(module)
+        assert interp.run().output == ["1"]
+        assert interp.run().output == ["1"]
+
+
+class TestHooks:
+    def test_block_listener_sees_entry(self):
+        module = compile_source(
+            "void main() { int i; for (i = 0; i < 3; i++) { } }"
+        )
+        events = []
+        interp = Interpreter(module)
+        interp.block_listener = lambda f, p, b, c: events.append((f, p, b))
+        interp.run()
+        assert events[0][1] is None  # function entry has no predecessor
+        headers = [e for e in events if e[2].startswith("for")]
+        assert len(headers) == 4  # 3 iterations + final exit test
+
+    def test_call_listener_pairs(self):
+        module = compile_source(
+            "int f() { return 1; } void main() { print(f() + f()); }"
+        )
+        events = []
+        interp = Interpreter(module)
+        interp.call_listener = lambda name, entering, c: events.append(
+            (name, entering)
+        )
+        interp.run()
+        assert events.count(("f", True)) == 2
+        assert events.count(("f", False)) == 2
+        assert events[0] == ("main", True)
+        assert events[-1] == ("main", False)
+
+
+class TestFormatting:
+    def test_int_format(self):
+        assert format_value(42) == "42"
+        assert format_value(-3) == "-3"
+
+    def test_float_format(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(1 / 3) == "0.333333"
+
+    def test_return_value_surfaced(self):
+        module = Module()
+        func = Function("main", Type.INT)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.start_block("entry")
+        b.ret(Const.int(9))
+        assert run_module(module).return_value == 9

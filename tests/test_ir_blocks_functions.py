@@ -1,0 +1,225 @@
+"""Tests for BasicBlock, Function, Module and their cloning."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Function,
+    Instruction,
+    Module,
+    Opcode,
+)
+from repro.ir.function import clone_function
+from repro.ir.module import clone_module
+from repro.ir.operands import Const, VReg
+from repro.ir.types import Type
+
+
+def mov(dest, value):
+    return Instruction(Opcode.MOV, dest=dest, args=(Const.int(value),))
+
+
+class TestBasicBlock:
+    def test_append_and_iterate(self):
+        block = BasicBlock("b")
+        r = VReg(0, Type.INT)
+        block.append(mov(r, 1))
+        block.append(Instruction(Opcode.RET))
+        assert len(block) == 2
+        assert block.is_terminated
+
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.RET))
+        with pytest.raises(ValueError):
+            block.append(mov(VReg(0, Type.INT), 1))
+
+    def test_successor_names(self):
+        block = BasicBlock("b")
+        block.append(
+            Instruction(Opcode.CBR, args=(Const.int(1),), targets=("x", "y"))
+        )
+        assert block.successor_names() == ("x", "y")
+
+    def test_ret_has_no_successors(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.RET))
+        assert block.successor_names() == ()
+
+    def test_unterminated_block(self):
+        block = BasicBlock("b")
+        assert block.terminator is None
+        assert block.successor_names() == ()
+
+    def test_insert_before_terminator(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.BR, targets=("x",)))
+        instr = mov(VReg(0, Type.INT), 5)
+        block.insert_before_terminator(instr)
+        assert block.instructions[0] is instr
+
+    def test_retarget(self):
+        block = BasicBlock("b")
+        block.append(
+            Instruction(Opcode.CBR, args=(Const.int(0),), targets=("x", "y"))
+        )
+        block.retarget("x", "z")
+        assert block.successor_names() == ("z", "y")
+
+    def test_remove(self):
+        block = BasicBlock("b")
+        instr = mov(VReg(0, Type.INT), 1)
+        block.append(instr)
+        block.remove(instr)
+        assert len(block) == 0
+
+    def test_remove_missing_raises(self):
+        block = BasicBlock("b")
+        with pytest.raises(ValueError):
+            block.remove(mov(VReg(0, Type.INT), 1))
+
+    def test_body_excludes_terminator(self):
+        block = BasicBlock("b")
+        block.append(mov(VReg(0, Type.INT), 1))
+        block.append(Instruction(Opcode.RET))
+        assert len(block.body()) == 1
+
+
+class TestFunction:
+    def test_vreg_allocation_is_unique(self):
+        func = Function("f")
+        regs = {func.new_vreg(Type.INT).uid for _ in range(10)}
+        assert len(regs) == 10
+
+    def test_params_are_registers(self):
+        func = Function("f")
+        p = func.add_param(Type.FLOAT, "x")
+        assert p in func.params and p.type is Type.FLOAT
+
+    def test_entry_is_first_block(self):
+        func = Function("f")
+        first = func.new_block("a")
+        func.new_block("b")
+        assert func.entry is first
+
+    def test_entry_without_blocks_raises(self):
+        with pytest.raises(ValueError):
+            Function("f").entry
+
+    def test_new_block_names_unique(self):
+        func = Function("f")
+        names = {func.new_block().name for _ in range(5)}
+        assert len(names) == 5
+
+    def test_duplicate_block_rejected(self):
+        func = Function("f")
+        func.add_block(BasicBlock("x"))
+        with pytest.raises(ValueError):
+            func.add_block(BasicBlock("x"))
+
+    def test_local_arrays(self):
+        func = Function("f")
+        sym = func.add_local_array("buf", Type.INT, 8)
+        assert sym.function == "f" and not sym.is_global
+        with pytest.raises(ValueError):
+            func.add_local_array("buf", Type.INT, 8)
+
+    def test_predecessor_map(self):
+        func = Function("f")
+        a = func.new_block("a")
+        b = func.new_block("b")
+        a.append(Instruction(Opcode.BR, targets=(b.name,)))
+        b.append(Instruction(Opcode.RET))
+        preds = func.predecessor_map()
+        assert preds[b.name] == [a.name]
+        assert preds[a.name] == []
+
+    def test_find_block_of(self):
+        func = Function("f")
+        a = func.new_block("a")
+        instr = mov(func.new_vreg(Type.INT), 1)
+        a.append(instr)
+        assert func.find_block_of(instr) is a
+        assert func.find_block_of(mov(VReg(99, Type.INT), 0)) is None
+
+    def test_set_entry_reorders(self):
+        func = Function("f")
+        func.new_block("a")
+        b = func.new_block("b")
+        func.set_entry(b.name)
+        assert func.entry is b
+
+
+class TestCloneFunction:
+    def build(self):
+        func = Function("f", Type.INT)
+        r = func.new_vreg(Type.INT, "x")
+        block = func.new_block("entry")
+        block.append(mov(r, 3))
+        block.append(Instruction(Opcode.RET, args=(r,)))
+        return func
+
+    def test_clone_is_independent(self):
+        func = self.build()
+        clone = clone_function(func)
+        clone.blocks["entry0"].instructions.pop()
+        assert len(func.blocks["entry0"].instructions) == 2
+
+    def test_clone_has_fresh_instruction_uids(self):
+        func = self.build()
+        clone = clone_function(func)
+        original_uids = {i.uid for i in func.instructions()}
+        clone_uids = {i.uid for i in clone.instructions()}
+        assert not (original_uids & clone_uids)
+
+    def test_clone_shares_register_identities(self):
+        func = self.build()
+        clone = clone_function(func, "g")
+        assert clone.name == "g"
+        orig = next(iter(func.instructions())).dest
+        cloned = next(iter(clone.instructions())).dest
+        assert orig == cloned
+
+
+class TestModule:
+    def test_global_initializer_padding(self):
+        module = Module()
+        module.add_global("g", Type.INT, 4, init=[1, 2])
+        assert module.global_inits["g"] == [1, 2, 0, 0]
+
+    def test_global_float_default(self):
+        module = Module()
+        module.add_global("f", Type.FLOAT, 2)
+        assert module.global_inits["f"] == [0.0, 0.0]
+
+    def test_oversized_initializer_rejected(self):
+        module = Module()
+        with pytest.raises(ValueError):
+            module.add_global("g", Type.INT, 1, init=[1, 2])
+
+    def test_duplicate_global_rejected(self):
+        module = Module()
+        module.add_global("g", Type.INT)
+        with pytest.raises(ValueError):
+            module.add_global("g", Type.INT)
+
+    def test_main_accessor(self):
+        module = Module()
+        with pytest.raises(KeyError):
+            module.main
+        func = Function("main")
+        module.add_function(func)
+        assert module.main is func
+
+    def test_clone_module_deep(self):
+        module = Module()
+        module.add_global("g", Type.INT, 2, init=[5, 6])
+        func = Function("main")
+        block = func.new_block("entry")
+        block.append(Instruction(Opcode.RET))
+        module.add_function(func)
+        clone = clone_module(module)
+        clone.global_inits["g"][0] = 99
+        assert module.global_inits["g"][0] == 5
+        clone.functions["main"].blocks["entry0"].instructions.pop()
+        assert len(module.functions["main"].blocks["entry0"].instructions) == 1

@@ -1,0 +1,171 @@
+"""Tests for the IRBuilder convenience API."""
+
+import pytest
+
+from repro.ir import Function, IRBuilder, Module, Opcode, verify_module
+from repro.ir.operands import Const, VReg
+from repro.ir.types import Type
+
+
+def builder():
+    func = Function("f")
+    b = IRBuilder(func)
+    b.start_block("entry")
+    return func, b
+
+
+class TestCoercion:
+    def test_int_to_float_register(self):
+        func, b = builder()
+        r = func.new_vreg(Type.INT)
+        out = b.coerce(r, Type.FLOAT)
+        assert out.type is Type.FLOAT
+        assert b.block.instructions[-1].opcode is Opcode.ITOF
+
+    def test_int_to_float_constant_folds(self):
+        _, b = builder()
+        out = b.coerce(Const.int(3), Type.FLOAT)
+        assert isinstance(out, Const) and out.value == 3.0
+
+    def test_float_to_int_truncation_const(self):
+        _, b = builder()
+        out = b.coerce(Const.float(3.9), Type.INT)
+        assert out.value == 3
+
+    def test_identity_coercion_emits_nothing(self):
+        func, b = builder()
+        r = func.new_vreg(Type.INT)
+        assert b.coerce(r, Type.INT) is r
+        assert len(b.block.instructions) == 0
+
+    def test_ptr_coercion_rejected(self):
+        func, b = builder()
+        p = func.new_vreg(Type.PTR)
+        with pytest.raises(TypeError):
+            b.coerce(p, Type.INT)
+
+
+class TestArithmetic:
+    def test_add_int(self):
+        _, b = builder()
+        out = b.add(Const.int(1), Const.int(2))
+        assert out.type is Type.INT
+
+    def test_mixed_promotes_to_float(self):
+        func, b = builder()
+        r = func.new_vreg(Type.INT)
+        out = b.add(r, Const.float(1.0))
+        assert out.type is Type.FLOAT
+        # The int register must have been converted.
+        assert any(
+            i.opcode is Opcode.ITOF for i in b.block.instructions
+        )
+
+    def test_comparison_yields_int(self):
+        _, b = builder()
+        out = b.cmp(Opcode.LT, Const.float(1.0), Const.float(2.0))
+        assert out.type is Type.INT
+
+    def test_cmp_rejects_non_comparison(self):
+        _, b = builder()
+        with pytest.raises(ValueError):
+            b.cmp(Opcode.ADD, Const.int(1), Const.int(2))
+
+    def test_bitwise_forces_int(self):
+        _, b = builder()
+        out = b.binop(Opcode.AND, Const.int(6), Const.int(3))
+        assert out.type is Type.INT
+
+    def test_pointer_arithmetic_restricted(self):
+        func, b = builder()
+        p = func.new_vreg(Type.PTR)
+        with pytest.raises(TypeError):
+            b.binop(Opcode.MUL, p, Const.int(2))
+
+
+class TestMemoryAndControl:
+    def test_memory_roundtrip_shape(self):
+        module = Module()
+        g = module.add_global("g", Type.INT, 4)
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.start_block("entry")
+        b.storeg(g, Const.int(1), Const.int(42))
+        v = b.loadg(g, Const.int(1))
+        b.print(v)
+        b.ret()
+        verify_module(module)
+
+    def test_store_coerces_value(self):
+        module = Module()
+        g = module.add_global("f", Type.FLOAT, 1)
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.start_block("entry")
+        store = b.storeg(g, Const.int(0), Const.int(7))
+        assert store.args[2].type is Type.FLOAT
+        b.ret()
+        verify_module(module)
+
+    def test_cbr_targets(self):
+        func, b = builder()
+        then = b.new_block("t")
+        orelse = b.new_block("e")
+        br = b.cbr(Const.int(1), then, orelse)
+        assert br.targets == (then.name, orelse.name)
+
+    def test_call_arity_checked(self):
+        module = Module()
+        callee = Function("g", Type.INT)
+        callee.add_param(Type.INT, "x")
+        module.add_function(callee)
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.start_block("entry")
+        with pytest.raises(TypeError):
+            b.call(callee, [])
+
+    def test_call_returns_typed_register(self):
+        module = Module()
+        callee = Function("g", Type.FLOAT)
+        module.add_function(callee)
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.start_block("entry")
+        out = b.call(callee, [])
+        assert out is not None and out.type is Type.FLOAT
+
+    def test_void_call_returns_none(self):
+        module = Module()
+        callee = Function("g", Type.VOID)
+        module.add_function(callee)
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.start_block("entry")
+        assert b.call(callee, []) is None
+
+    def test_emit_without_block_raises(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        with pytest.raises(ValueError):
+            b.ret()
+
+    def test_lea_and_ptradd(self):
+        module = Module()
+        g = module.add_global("g", Type.INT, 8)
+        func = Function("main")
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.start_block("entry")
+        p = b.lea(g, Const.int(2))
+        q = b.ptradd(p, Const.int(1))
+        v = b.loadp(q, Const.int(0), Type.INT)
+        b.storep(q, Const.int(1), v)
+        b.ret()
+        assert p.type is Type.PTR and q.type is Type.PTR
+        verify_module(module)

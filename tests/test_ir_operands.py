@@ -1,0 +1,68 @@
+"""Tests for IR operands: registers, constants, symbols."""
+
+import pytest
+
+from repro.ir.operands import Const, Symbol, VReg, operand_type
+from repro.ir.types import Type
+
+
+class TestVReg:
+    def test_str_with_name(self):
+        assert str(VReg(3, Type.INT, "count")) == "%count.3"
+
+    def test_str_anonymous(self):
+        assert str(VReg(7, Type.FLOAT)) == "%t7"
+
+    def test_equality_is_structural(self):
+        assert VReg(1, Type.INT, "a") == VReg(1, Type.INT, "a")
+        assert VReg(1, Type.INT) != VReg(2, Type.INT)
+
+    def test_hashable(self):
+        regs = {VReg(1, Type.INT), VReg(2, Type.INT), VReg(1, Type.INT)}
+        assert len(regs) == 2
+
+
+class TestConst:
+    def test_int_shorthand(self):
+        c = Const.int(42)
+        assert c.value == 42 and c.type is Type.INT
+
+    def test_float_shorthand_coerces(self):
+        c = Const.float(3)
+        assert c.value == 3.0 and isinstance(c.value, float)
+
+    def test_int_const_rejects_float_value(self):
+        with pytest.raises(TypeError):
+            Const(1.5, Type.INT)
+
+    def test_str(self):
+        assert str(Const.int(-7)) == "-7"
+
+
+class TestSymbol:
+    def test_global_symbol(self):
+        sym = Symbol("data", Type.INT, 64)
+        assert sym.is_global
+        assert str(sym) == "@data"
+        assert sym.size_bytes == 64 * 8
+
+    def test_local_symbol(self):
+        sym = Symbol("buf", Type.FLOAT, 16, function="main")
+        assert not sym.is_global
+        assert str(sym) == "$buf"
+
+    def test_synthetic_flag_not_in_equality(self):
+        a = Symbol("s", Type.INT, 1, synthetic=True)
+        b = Symbol("s", Type.INT, 1, synthetic=False)
+        assert a == b
+
+
+class TestOperandType:
+    def test_reg(self):
+        assert operand_type(VReg(0, Type.FLOAT)) is Type.FLOAT
+
+    def test_const(self):
+        assert operand_type(Const.int(1)) is Type.INT
+
+    def test_symbol_decays_to_pointer(self):
+        assert operand_type(Symbol("g", Type.INT, 4)) is Type.PTR

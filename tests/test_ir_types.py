@@ -1,0 +1,44 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import CPU_WORD_BYTES, Type, common_numeric_type
+
+
+class TestType:
+    def test_numeric_types(self):
+        assert Type.INT.is_numeric
+        assert Type.FLOAT.is_numeric
+
+    def test_non_numeric_types(self):
+        assert not Type.PTR.is_numeric
+        assert not Type.VOID.is_numeric
+
+    def test_void_has_no_size(self):
+        assert Type.VOID.size_bytes == 0
+
+    def test_scalar_sizes_are_word_sized(self):
+        assert Type.INT.size_bytes == CPU_WORD_BYTES
+        assert Type.FLOAT.size_bytes == CPU_WORD_BYTES
+        assert Type.PTR.size_bytes == CPU_WORD_BYTES
+
+    def test_word_size_matches_testbed(self):
+        # The i7-980X is a 64-bit machine; Equation 1 divides by this.
+        assert CPU_WORD_BYTES == 8
+
+
+class TestCommonNumericType:
+    def test_int_int(self):
+        assert common_numeric_type(Type.INT, Type.INT) is Type.INT
+
+    def test_float_dominates(self):
+        assert common_numeric_type(Type.INT, Type.FLOAT) is Type.FLOAT
+        assert common_numeric_type(Type.FLOAT, Type.INT) is Type.FLOAT
+        assert common_numeric_type(Type.FLOAT, Type.FLOAT) is Type.FLOAT
+
+    @pytest.mark.parametrize("bad", [Type.PTR, Type.VOID])
+    def test_non_numeric_rejected(self, bad):
+        with pytest.raises(TypeError):
+            common_numeric_type(bad, Type.INT)
+        with pytest.raises(TypeError):
+            common_numeric_type(Type.INT, bad)

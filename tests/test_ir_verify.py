@@ -1,0 +1,132 @@
+"""Tests for the IR structural verifier."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Function,
+    Instruction,
+    IRVerificationError,
+    Module,
+    Opcode,
+    verify_function,
+    verify_module,
+)
+from repro.ir.operands import Const, Symbol, VReg
+from repro.ir.types import Type
+
+
+def empty_main():
+    module = Module()
+    func = Function("main")
+    block = func.new_block("entry")
+    block.append(Instruction(Opcode.RET))
+    module.add_function(func)
+    return module, func
+
+
+def test_clean_module_passes():
+    module, _ = empty_main()
+    verify_module(module)
+
+
+def test_missing_terminator_detected():
+    module, func = empty_main()
+    func.new_block("dangling")
+    errors = verify_function(func, module)
+    assert any("lacks a terminator" in e for e in errors)
+
+
+def test_branch_to_unknown_block():
+    module, func = empty_main()
+    extra = func.new_block("x")
+    extra.append(Instruction(Opcode.BR, targets=("nowhere",)))
+    errors = verify_function(func, module)
+    assert any("unknown block" in e for e in errors)
+
+
+def test_terminator_in_middle_detected():
+    module, func = empty_main()
+    block = func.blocks["entry0"]
+    block.instructions.insert(0, Instruction(Opcode.RET))
+    errors = verify_function(func, module)
+    assert any("terminator not at block end" in e for e in errors)
+
+
+def test_bad_arity_detected():
+    module, func = empty_main()
+    block = func.blocks["entry0"]
+    block.instructions.insert(
+        0,
+        Instruction(Opcode.ADD, dest=func.new_vreg(Type.INT), args=(Const.int(1),)),
+    )
+    errors = verify_function(func, module)
+    assert any("arity" in e for e in errors)
+
+
+def test_missing_dest_detected():
+    module, func = empty_main()
+    block = func.blocks["entry0"]
+    block.instructions.insert(
+        0, Instruction(Opcode.ADD, args=(Const.int(1), Const.int(2)))
+    )
+    errors = verify_function(func, module)
+    assert any("destination" in e for e in errors)
+
+
+def test_call_to_unknown_function():
+    module, func = empty_main()
+    block = func.blocks["entry0"]
+    block.instructions.insert(0, Instruction(Opcode.CALL, callee="ghost"))
+    errors = verify_function(func, module)
+    assert any("unknown function" in e for e in errors)
+
+
+def test_call_arity_mismatch():
+    module, func = empty_main()
+    callee = Function("g")
+    callee.add_param(Type.INT, "x")
+    entry = callee.new_block("entry")
+    entry.append(Instruction(Opcode.RET))
+    module.add_function(callee)
+    func.blocks["entry0"].instructions.insert(
+        0, Instruction(Opcode.CALL, callee="g", args=())
+    )
+    errors = verify_function(func, module)
+    assert any("arity" in e for e in errors)
+
+
+def test_wait_without_dep_id():
+    module, func = empty_main()
+    func.blocks["entry0"].instructions.insert(0, Instruction(Opcode.WAIT))
+    errors = verify_function(func, module)
+    assert any("without dep_id" in e for e in errors)
+
+
+def test_unknown_symbol_reference():
+    module, func = empty_main()
+    ghost = Symbol("ghost", Type.INT, 1)
+    func.blocks["entry0"].instructions.insert(
+        0,
+        Instruction(
+            Opcode.LOADG, dest=func.new_vreg(Type.INT), args=(ghost, Const.int(0))
+        ),
+    )
+    errors = verify_function(func, module)
+    assert any("unknown symbol" in e for e in errors)
+
+
+def test_ret_with_value_in_void_function():
+    module, func = empty_main()
+    func.blocks["entry0"].instructions[-1] = Instruction(
+        Opcode.RET, args=(Const.int(1),)
+    )
+    errors = verify_function(func, module)
+    assert any("RET arity" in e for e in errors)
+
+
+def test_verify_module_raises():
+    module, func = empty_main()
+    func.new_block("dangling")
+    with pytest.raises(IRVerificationError):
+        verify_module(module)

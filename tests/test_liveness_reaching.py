@@ -1,0 +1,161 @@
+"""Tests for liveness and reaching definitions."""
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.reaching import compute_reaching_defs
+from repro.frontend import compile_source
+
+
+def named_uid(func, name):
+    """Find the uid of the frontend-named register ``name``."""
+    for instr in func.instructions():
+        if instr.dest is not None and instr.dest.name == name:
+            return instr.dest.uid
+        for reg in instr.uses():
+            if reg.name == name:
+                return reg.uid
+    raise AssertionError(f"no register named {name}")
+
+
+class TestLiveness:
+    def test_loop_carried_value_live_at_header(self):
+        module = compile_source(
+            """
+            void main() {
+                int s = 0;
+                int i;
+                for (i = 0; i < 4; i++) { s = s + i; }
+                print(s);
+            }
+            """
+        )
+        func = module.functions["main"]
+        live = compute_liveness(func)
+        s_uid = named_uid(func, "s")
+        header = next(n for n in func.blocks if n.startswith("for"))
+        assert s_uid in live.live_at_entry(header)
+
+    def test_dead_after_last_use(self):
+        module = compile_source(
+            """
+            void main() {
+                int a = 1;
+                print(a);
+                int b = 2;
+                print(b);
+            }
+            """
+        )
+        func = module.functions["main"]
+        live = compute_liveness(func)
+        entry = func.entry.name
+        # Nothing is live at function exit.
+        assert live.live_at_exit(entry) == frozenset()
+
+    def test_branch_arm_uses_propagate(self):
+        module = compile_source(
+            """
+            void main() {
+                int x = 5;
+                int flag = 1;
+                if (flag) { print(x); } else { print(0); }
+            }
+            """
+        )
+        func = module.functions["main"]
+        live = compute_liveness(func)
+        x_uid = named_uid(func, "x")
+        then_block = next(n for n in func.blocks if n.startswith("then"))
+        assert x_uid in live.live_at_entry(then_block)
+
+    def test_params_recorded(self):
+        module = compile_source(
+            "int f(int a) { return a; } void main() { print(f(1)); }"
+        )
+        func = module.functions["f"]
+        live = compute_liveness(func)
+        assert func.params[0].uid in live.regs
+
+
+class TestReachingDefs:
+    def test_single_def_reaches_use(self):
+        module = compile_source(
+            """
+            void main() {
+                int x = 1;
+                print(x);
+            }
+            """
+        )
+        func = module.functions["main"]
+        reach = compute_reaching_defs(func)
+        x_uid = named_uid(func, "x")
+        entry = func.entry.name
+        instrs = func.blocks[entry].instructions
+        print_idx = next(
+            i for i, instr in enumerate(instrs) if instr.opcode.value == "print"
+        )
+        defs = reach.defs_reaching_use(entry, print_idx, x_uid)
+        assert len(defs) == 1
+
+    def test_branch_defs_both_reach_merge(self):
+        module = compile_source(
+            """
+            void main() {
+                int x = 0;
+                int c = 1;
+                if (c) { x = 1; } else { x = 2; }
+                print(x);
+            }
+            """
+        )
+        func = module.functions["main"]
+        reach = compute_reaching_defs(func)
+        x_uid = named_uid(func, "x")
+        merge = next(n for n in func.blocks if n.startswith("endif"))
+        defs = reach.reach_in[merge]
+        x_defs = [d for d in defs if d[2] == x_uid]
+        assert len(x_defs) == 2
+
+    def test_redefinition_kills(self):
+        module = compile_source(
+            """
+            void main() {
+                int x = 1;
+                x = 2;
+                print(x);
+            }
+            """
+        )
+        func = module.functions["main"]
+        reach = compute_reaching_defs(func)
+        x_uid = named_uid(func, "x")
+        entry = func.entry.name
+        instrs = func.blocks[entry].instructions
+        print_idx = next(
+            i for i, instr in enumerate(instrs) if instr.opcode.value == "print"
+        )
+        defs = reach.defs_reaching_use(entry, print_idx, x_uid)
+        assert len(defs) == 1
+        # The surviving def is the later one.
+        _block, index, _uid = defs[0]
+        assert instrs[index].args[0].value == 2
+
+    def test_loop_def_reaches_header(self):
+        module = compile_source(
+            """
+            void main() {
+                int s = 0;
+                int i;
+                for (i = 0; i < 3; i++) { s = s + 1; }
+                print(s);
+            }
+            """
+        )
+        func = module.functions["main"]
+        reach = compute_reaching_defs(func)
+        s_uid = named_uid(func, "s")
+        header = next(n for n in func.blocks if n.startswith("for"))
+        s_defs = [d for d in reach.reach_in[header] if d[2] == s_uid]
+        # Both the init and the in-loop def reach the header.
+        assert len(s_defs) == 2

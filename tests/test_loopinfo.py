@@ -1,0 +1,70 @@
+"""Tests for the ParallelizedLoop metadata and HelixOptions."""
+
+import pytest
+
+from repro.analysis.dependence import DataDependence, DependenceKind
+from repro.core.loopinfo import DepSync, HelixOptions, ParallelizedLoop
+
+
+def make_dep(index, kind=DependenceKind.RAW):
+    return DataDependence(
+        index=index, kind=kind, location="g", sources=[], sinks=[]
+    )
+
+
+def make_info(**kwargs):
+    return ParallelizedLoop(
+        loop_id=("main", "L"),
+        func_name="main",
+        seq_header="L",
+        guard_block="g",
+        par_preheader="pp",
+        par_header="ph",
+        par_latch="lt",
+        **kwargs,
+    )
+
+
+class TestParallelizedLoop:
+    def test_synchronized_deps_filter(self):
+        info = make_info()
+        a = DepSync(dep=make_dep(0), region=frozenset({"b"}))
+        b = DepSync(dep=make_dep(1), region=frozenset({"b"}))
+        b.synchronized = False
+        info.deps = [a, b]
+        assert info.synchronized_deps == [a]
+        assert info.segments_per_iteration == 1
+
+    def test_dep_by_index(self):
+        info = make_info()
+        sync = DepSync(dep=make_dep(7), region=frozenset())
+        info.deps = [sync]
+        assert info.dep_by_index(7) is sync
+        with pytest.raises(KeyError):
+            info.dep_by_index(0)
+
+    def test_code_size(self):
+        info = make_info()
+        info.par_instruction_count = 100
+        assert info.code_size_bytes() == 400
+        assert info.code_size_bytes(bytes_per_instruction=8) == 800
+
+    def test_default_options(self):
+        options = HelixOptions()
+        assert options.enable_signal_optimization
+        assert options.enable_helper_threads
+        assert options.enable_prefetch_balancing
+        assert options.enable_inlining
+        assert options.enable_segment_scheduling
+
+
+class TestDepSync:
+    def test_index_delegates_to_dep(self):
+        sync = DepSync(dep=make_dep(3), region=frozenset())
+        assert sync.index == 3
+
+    def test_defaults(self):
+        sync = DepSync(dep=make_dep(0), region=frozenset())
+        assert sync.synchronized
+        assert sync.covered_by is None
+        assert sync.wait_instrs == [] and sync.signal_instrs == []

@@ -1,0 +1,168 @@
+"""Tests for the speedup model (Equation 1 and the refined estimate)."""
+
+import pytest
+
+from repro.analysis.loopnest import LoopId
+from repro.core.model import (
+    LoopModelInputs,
+    SpeedupModel,
+    speedup_from_fractions,
+)
+from repro.runtime.machine import MachineConfig
+
+
+def make_loop(
+    total=100_000.0,
+    parallel=90_000.0,
+    segment=5_000.0,
+    prologue=5_000.0,
+    iterations=1000,
+    invocations=1,
+    segments=1,
+    words=0.0,
+    counted=True,
+):
+    return LoopModelInputs(
+        loop_id=("main", "L"),
+        invocations=invocations,
+        iterations=iterations,
+        total_cycles=total,
+        parallel_cycles=parallel,
+        segment_cycles=segment,
+        prologue_cycles=prologue,
+        segments_per_iteration=segments,
+        transfer_words_per_iteration=words,
+        counted=counted,
+    )
+
+
+def model(signal_cost=None, program=1_000_000.0):
+    return SpeedupModel(
+        MachineConfig(cores=6), program_cycles=program, signal_cost=signal_cost
+    )
+
+
+class TestEquationOne:
+    def test_pure_amdahl(self):
+        assert speedup_from_fractions(1.0, 4) == pytest.approx(4.0)
+        assert speedup_from_fractions(0.5, 4) == pytest.approx(1.6)
+        assert speedup_from_fractions(0.0, 4) == pytest.approx(1.0)
+
+    def test_overhead_reduces_speedup(self):
+        with_o = speedup_from_fractions(0.9, 6, overhead_fraction=0.1)
+        without = speedup_from_fractions(0.9, 6)
+        assert with_o < without
+
+    def test_program_speedup_bounded_by_cores(self):
+        m = model()
+        loop = make_loop(parallel=999_000.0, total=1_000_000.0)
+        m2 = SpeedupModel(MachineConfig(cores=6), 1_000_000.0)
+        assert m2.program_speedup([loop], 6) <= 6.0
+
+    def test_signal_counts(self):
+        m = model()
+        loop = make_loop(counted=False, segments=2, iterations=100, invocations=5)
+        # C-Sig 100 + D-Sig 200 + start/stop (6-1)*2*5.
+        assert m.signals(loop, 6) == 100 + 200 + 50
+
+    def test_counted_loops_skip_control_signals(self):
+        m = model()
+        loop = make_loop(counted=True, segments=2, iterations=100, invocations=5)
+        assert m.signals(loop, 6) == 200 + 50
+
+
+class TestEffectiveSignalCost:
+    def test_fixed_cost_respected(self):
+        m = model(signal_cost=110.0)
+        assert m.effective_signal_cost(make_loop(), 6) == 110.0
+        m0 = model(signal_cost=0.0)
+        assert m0.effective_signal_cost(make_loop(), 6) == 0.0
+
+    def test_slack_gives_prefetched_latency(self):
+        # 1000 cycles/iteration on 6 cores, tiny segment: plenty of slack.
+        loop = make_loop(
+            total=1_000_000.0, parallel=990_000.0, segment=5_000.0,
+            prologue=5_000.0, iterations=1000,
+        )
+        m = model()
+        assert m.effective_signal_cost(loop, 6) == 4.0
+
+    def test_tight_loop_pays_pull_latency(self):
+        loop = make_loop(
+            total=30_000.0, parallel=25_000.0, segment=4_000.0,
+            prologue=1_000.0, iterations=1000,
+        )
+        m = model()
+        assert m.effective_signal_cost(loop, 6) == 110.0
+
+    def test_transfer_consumes_slack(self):
+        lush = make_loop(
+            total=1_000_000.0, parallel=990_000.0, segment=5_000.0,
+            iterations=1000, words=0.0,
+        )
+        heavy = make_loop(
+            total=1_000_000.0, parallel=990_000.0, segment=5_000.0,
+            iterations=1000, words=1.0,
+        )
+        m = model()
+        assert m.effective_signal_cost(heavy, 6) >= m.effective_signal_cost(
+            lush, 6
+        )
+
+
+class TestRefinedEstimate:
+    def test_doall_close_to_ideal_division(self):
+        loop = make_loop(
+            total=600_000.0, parallel=600_000.0, segment=0.0, prologue=0.0,
+            segments=0, iterations=1000,
+        )
+        m = model()
+        estimate = m.refined_parallel_cycles(loop, 6)
+        assert estimate == pytest.approx(600_000.0 / 6, rel=0.05)
+
+    def test_chain_bound_loop_does_not_scale(self):
+        # Tiny iterations with a segment: serialized by the chain.
+        loop = make_loop(
+            total=30_000.0, parallel=24_000.0, segment=5_000.0,
+            prologue=1_000.0, iterations=1000, segments=1,
+        )
+        m = model()
+        est6 = m.refined_parallel_cycles(loop, 6)
+        # At least latency per iteration.
+        assert est6 >= 1000 * 110
+
+    def test_saved_cycles_never_negative(self):
+        loop = make_loop(
+            total=1_000.0, parallel=500.0, segment=400.0, prologue=100.0,
+            iterations=10, segments=3, words=2.0,
+        )
+        m = model()
+        assert m.saved_cycles(loop, 6) == 0.0
+
+    def test_saved_cycles_zero_on_one_core(self):
+        assert model().saved_cycles(make_loop(), 1) == 0.0
+
+    def test_more_cores_save_more_when_parallel(self):
+        loop = make_loop(
+            total=600_000.0, parallel=590_000.0, segment=5_000.0,
+            prologue=5_000.0, iterations=500,
+        )
+        m = model()
+        assert m.saved_cycles(loop, 6) > m.saved_cycles(loop, 2) > 0
+
+    def test_invocation_overhead_discourages_tiny_invocations(self):
+        chunky = make_loop(iterations=1000, invocations=1)
+        choppy = make_loop(iterations=1000, invocations=500)
+        m = model()
+        assert m.refined_parallel_cycles(choppy, 6) > m.refined_parallel_cycles(
+            chunky, 6
+        )
+
+    def test_underestimated_latency_makes_bad_loops_look_good(self):
+        tight = make_loop(
+            total=30_000.0, parallel=25_000.0, segment=4_000.0,
+            prologue=1_000.0, iterations=1000,
+        )
+        honest = model(signal_cost=None)
+        naive = model(signal_cost=0.0)
+        assert naive.saved_cycles(tight, 6) > honest.saved_cycles(tight, 6)

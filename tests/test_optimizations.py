@@ -1,0 +1,175 @@
+"""Tests for the generic optimization passes (fold/copyprop/simplify)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import Opcode, verify_module
+from repro.runtime import run_module
+from repro.transform.constfold import fold_constants, fold_constants_module
+from repro.transform.copyprop import (
+    optimize_module,
+    propagate_copies,
+    simplify_cfg,
+)
+
+
+def check_preserves(source):
+    """Optimize and assert output identity; returns (module, baseline)."""
+    module = compile_source(source)
+    baseline = run_module(module).output
+    stats = optimize_module(module)
+    verify_module(module)
+    assert run_module(module).output == baseline
+    return module, stats
+
+
+class TestConstantFolding:
+    def test_folds_literal_arithmetic(self):
+        module = compile_source("void main() { print(2 + 3 * 4); }")
+        before = run_module(module)
+        folded = fold_constants_module(module)
+        assert folded > 0
+        assert run_module(module).output == before.output
+        # All arithmetic should be gone.
+        main = module.functions["main"]
+        assert not any(
+            i.opcode in (Opcode.ADD, Opcode.MUL) for i in main.instructions()
+        )
+
+    def test_respects_wraparound(self):
+        source = """
+        void main() {
+            int a = 9223372036854775807;
+            print(a + 1);
+        }
+        """
+        module, _ = check_preserves(source)
+
+    def test_division_by_zero_not_folded(self):
+        # The fold must not evaluate UB at compile time; the fault stays
+        # a runtime fault.
+        source = """
+        void main() {
+            int z = 0;
+            int guard = 0;
+            if (guard) { print(7 / z); }
+            print(1);
+        }
+        """
+        module, _ = check_preserves(source)
+
+    def test_constant_branch_becomes_jump(self):
+        module = compile_source(
+            "void main() { if (1) { print(1); } else { print(2); } }"
+        )
+        fold_constants_module(module)
+        main = module.functions["main"]
+        assert not any(
+            i.opcode is Opcode.CBR for i in main.instructions()
+        )
+        assert run_module(module).output == ["1"]
+
+    def test_algebraic_identities(self):
+        source = """
+        void main() {
+            int x = 7;
+            print(x + 0);
+            print(x * 1);
+            print(x - 0);
+            print(x * 0);
+        }
+        """
+        module, stats = check_preserves(source)
+        assert stats["folded"] > 0
+
+
+class TestCopyPropagation:
+    def test_chain_collapses(self):
+        module = compile_source(
+            """
+            void main() {
+                int a = 5;
+                int b = a;
+                int c = b;
+                print(c);
+            }
+            """
+        )
+        rewrites = propagate_copies(module.functions["main"])
+        assert rewrites > 0
+        assert run_module(module).output == ["5"]
+
+    def test_redefinition_invalidates(self):
+        source = """
+        void main() {
+            int a = 1;
+            int b = a;
+            a = 2;
+            print(b);
+            print(a);
+        }
+        """
+        module, _ = check_preserves(source)
+        assert run_module(module).output == ["1", "2"]
+
+    def test_transitive_invalidation(self):
+        source = """
+        void main() {
+            int a = 1;
+            int b = a;
+            int c = b;
+            b = 9;
+            print(c);
+        }
+        """
+        module, _ = check_preserves(source)
+
+
+class TestSimplifyCfg:
+    def test_merges_chains(self):
+        module = compile_source(
+            "void main() { if (1) { print(1); } print(2); }"
+        )
+        fold_constants_module(module)
+        removed = simplify_cfg(module.functions["main"])
+        assert removed > 0
+        assert run_module(module).output == ["1", "2"]
+
+    def test_keeps_loops_intact(self):
+        source = """
+        void main() {
+            int s = 0;
+            int i;
+            for (i = 0; i < 5; i++) { s += i; }
+            print(s);
+        }
+        """
+        module, _ = check_preserves(source)
+        assert run_module(module).output == ["10"]
+
+
+class TestPipeline:
+    @pytest.mark.parametrize(
+        "bench", ["mcf", "art", "gzip"]
+    )
+    def test_benchmarks_survive_optimization(self, bench):
+        from repro.bench import compile_benchmark
+
+        module = compile_benchmark(bench, "train")
+        baseline = run_module(module)
+        stats = optimize_module(module)
+        verify_module(module)
+        result = run_module(module)
+        assert result.output == baseline.output
+        # The optimizer should both do something and reduce work.
+        assert sum(stats.values()) > 0
+        assert result.instructions <= baseline.instructions
+
+    def test_optimized_module_still_parallelizes(self):
+        from repro import MachineConfig, parallelize_and_run
+        from repro.bench import compile_benchmark
+
+        module = compile_benchmark("twolf", "train")
+        optimize_module(module)
+        result = parallelize_and_run(module, MachineConfig(cores=4))
+        assert result.output_matches
