@@ -153,3 +153,20 @@ class DynamicLoopNestGraph:
 
     def __contains__(self, loop_id: LoopId) -> bool:
         return loop_id in self.graph
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": [list(n) for n in self.nodes()],
+            "edges": sorted(
+                [list(a), list(b)] for a, b in self.graph.edges
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DynamicLoopNestGraph":
+        nest = cls()
+        for node in data["nodes"]:
+            nest.graph.add_node(tuple(node))
+        for parent, child in data["edges"]:
+            nest.graph.add_edge(tuple(parent), tuple(child))
+        return nest

@@ -14,6 +14,7 @@ preserving the paper's profile-on-train / measure-on-ref methodology.
 from repro.bench.suite import (
     BENCHMARKS,
     BenchmarkSpec,
+    benchmark_fingerprint,
     benchmark_names,
     compile_benchmark,
     get_benchmark,
@@ -22,6 +23,7 @@ from repro.bench.suite import (
 __all__ = [
     "BENCHMARKS",
     "BenchmarkSpec",
+    "benchmark_fingerprint",
     "benchmark_names",
     "get_benchmark",
     "compile_benchmark",

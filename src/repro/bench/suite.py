@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.bench.programs import (
     ammp,
@@ -184,3 +185,20 @@ def compile_benchmark(name: str, scale: str = "ref") -> Module:
 
     spec = get_benchmark(name)
     return compile_source(spec.source(scale), f"{name}.{scale}")
+
+
+_fingerprints: Dict[Tuple[str, str], str] = {}
+
+
+def benchmark_fingerprint(name: str, scale: str = "ref") -> str:
+    """Content hash of one benchmark's source at ``scale``.
+
+    The evaluation disk cache keys every artifact on this, so editing a
+    benchmark program invalidates exactly that benchmark's entries.
+    """
+    key = (name, scale)
+    if key not in _fingerprints:
+        source = get_benchmark(name).source(scale)
+        digest = hashlib.sha256(f"{name}.{scale}\0{source}".encode())
+        _fingerprints[key] = digest.hexdigest()[:24]
+    return _fingerprints[key]

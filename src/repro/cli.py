@@ -6,7 +6,10 @@ Commands:
 * ``parallelize FILE.mc``    -- full HELIX pipeline + simulated speedup.
 * ``ir FILE.mc``             -- dump the compiled IR.
 * ``bench NAME``             -- run one of the 13 suite benchmarks.
-* ``suite``                  -- Figure 9 over the whole suite.
+* ``suite``                  -- Figure 9 over the whole suite; supports
+  ``--jobs N`` (process-parallel pipelines), ``--cache-dir PATH``
+  (persistent artifact cache), ``--stats`` (per-stage wall-clock and
+  cache-hit counters) and ``--report PATH`` (JSON record).
 """
 
 from __future__ import annotations
@@ -73,11 +76,29 @@ def cmd_bench(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    from repro.evaluation import figures
-    from repro.evaluation.runner import EvaluationRunner
+    from pathlib import Path as _Path
 
-    runner = EvaluationRunner(MachineConfig(cores=6))
-    print(figures.figure9(runner).render())
+    from repro.evaluation.parallel_runner import effective_jobs, run_suite
+    from repro.evaluation.reporting import format_stage_stats
+
+    fig9, report, _runner = run_suite(
+        machine=MachineConfig(cores=args.cores),
+        jobs=effective_jobs(args.jobs),
+        cache_dir=args.cache_dir,
+    )
+    print(fig9.render())
+    if args.stats:
+        print()
+        print(format_stage_stats(report.stages))
+        print(f"suite wall-clock: {report.wall_seconds:.2f}s "
+              f"(jobs={report.jobs})")
+    if args.report:
+        try:
+            _Path(args.report).write_text(report.to_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 1
+        print(f"report written to {args.report}", file=sys.stderr)
     return 0
 
 
@@ -106,6 +127,31 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("suite", help="Figure 9 across the whole suite")
+    p.add_argument("--cores", type=int, default=6)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="benchmark pipelines to run in parallel processes "
+        "(0 = one per CPU)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent evaluation cache directory (warm runs skip "
+        "all interpretation)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage wall-clock and cache-hit counters",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable JSON report",
+    )
     p.set_defaults(func=cmd_suite)
 
     args = parser.parse_args(argv)

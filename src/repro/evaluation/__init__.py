@@ -1,7 +1,13 @@
 """Evaluation harness: regenerates every table and figure of the paper.
 
 * :mod:`repro.evaluation.runner` -- cached benchmark pipelines (compile,
-  profile, select, transform, execute, replay).
+  profile, select, transform, execute, replay) with per-stage
+  observability counters.
+* :mod:`repro.evaluation.cache` -- content-addressed disk cache that
+  persists interpretation artifacts across processes and runs.
+* :mod:`repro.evaluation.parallel_runner` -- fans independent benchmark
+  pipelines out over worker processes and merges them back through the
+  shared disk cache.
 * :mod:`repro.evaluation.figures` -- one driver per experiment:
   Figure 9 (speedups), Table 1 (loop characteristics), Figure 10
   (Step 6/8 ablation), Section 3.3 (prefetching study), Section 3.4
@@ -11,14 +17,27 @@
 * :mod:`repro.evaluation.reporting` -- ASCII tables and statistics.
 """
 
-from repro.evaluation.runner import EvaluationRunner, default_runner
-from repro.evaluation.reporting import format_table, geomean
+from repro.evaluation.cache import EvaluationCache, code_version
+from repro.evaluation.runner import (
+    EvaluationRunner,
+    StageStats,
+    default_runner,
+)
+from repro.evaluation.reporting import (
+    format_stage_stats,
+    format_table,
+    geomean,
+)
 from repro.evaluation import figures
 
 __all__ = [
+    "EvaluationCache",
     "EvaluationRunner",
+    "StageStats",
+    "code_version",
     "default_runner",
     "figures",
+    "format_stage_stats",
     "format_table",
     "geomean",
 ]

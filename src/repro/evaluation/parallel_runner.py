@@ -1,0 +1,182 @@
+"""Process-parallel evaluation of the benchmark suite.
+
+The per-benchmark pipelines are independent until the figures aggregate
+them, so the suite fans out over a :class:`ProcessPoolExecutor`: each
+worker runs one benchmark's compile -> profile -> select -> transform ->
+execute chain against a *shared* :class:`EvaluationCache` directory and
+persists every interpretation artifact there.  The parent then replays
+the same stage requests through its own :class:`EvaluationRunner`; they
+all hit the freshly written disk entries, which merges the workers'
+results into the parent's in-memory caches without pickling live
+modules or executors across processes.
+
+Determinism: all stage artifacts are exact (recorded traces, not
+timings), so ``--jobs N`` produces byte-identical figure output to a
+sequential run -- only the wall-clock differs.  Workers that share one
+machine also share the cache directory safely (atomic writes; at worst
+two workers duplicate one computation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation import figures
+from repro.evaluation.cache import EvaluationCache, code_version
+from repro.evaluation.runner import EvaluationRunner, StageStats
+from repro.runtime.machine import MachineConfig
+
+
+@dataclass
+class BenchOutcome:
+    """One worker's (or inline run's) per-benchmark accounting."""
+
+    bench: str
+    wall_seconds: float
+    output_matches: bool
+    stages: Dict[str, dict]
+
+    def as_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "wall_seconds": self.wall_seconds,
+            "output_matches": self.output_matches,
+            "stages": self.stages,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """Machine-readable record of one suite evaluation.
+
+    ``to_json`` is what ``python -m repro suite --report PATH`` writes;
+    the bench trajectory tracks these files across PRs.
+    """
+
+    jobs: int
+    cores: int
+    cache_dir: Optional[str]
+    code_version: str
+    wall_seconds: float = 0.0
+    #: bench -> core count (as str, JSON keys) -> speedup.
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    geomeans: Dict[str, float] = field(default_factory=dict)
+    benches: List[BenchOutcome] = field(default_factory=list)
+    #: Aggregated stage counters: parent runner + all workers.
+    stages: Dict[str, dict] = field(default_factory=dict)
+    #: Disk traffic of the parent's cache, per artifact kind.
+    cache_traffic: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "cores": self.cores,
+            "cache_dir": self.cache_dir,
+            "code_version": self.code_version,
+            "wall_seconds": self.wall_seconds,
+            "speedups": self.speedups,
+            "geomeans": self.geomeans,
+            "benches": [b.as_dict() for b in self.benches],
+            "stages": self.stages,
+            "cache_traffic": self.cache_traffic,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def _run_bench(bench: str, machine: MachineConfig, cache_root: str) -> dict:
+    """Worker entry point: one benchmark, results persisted to the
+    shared cache.  Returns accounting only (artifacts travel by disk)."""
+    start = time.perf_counter()
+    runner = EvaluationRunner(machine, cache=EvaluationCache(cache_root))
+    run = runner.helix_run(bench)
+    return BenchOutcome(
+        bench=bench,
+        wall_seconds=time.perf_counter() - start,
+        output_matches=run.output_matches,
+        stages=runner.stats.as_dict(),
+    ).as_dict()
+
+
+def run_suite(
+    machine: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    benches: Optional[Sequence[str]] = None,
+):
+    """Evaluate the suite, optionally in parallel and/or disk-cached.
+
+    Returns ``(figure9, report, runner)``: the rendered-figure result,
+    the :class:`SuiteReport`, and the warm parent runner (reusable for
+    further figures against the same caches).
+    """
+    machine = machine or MachineConfig(cores=6)
+    start = time.perf_counter()
+
+    scratch = None
+    cache_root = cache_dir
+    if jobs > 1 and cache_root is None:
+        # Workers hand artifacts to the parent through the cache, so
+        # parallel mode always needs one; default to a scratch directory
+        # that vanishes with the run.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-eval-cache-")
+        cache_root = scratch.name
+
+    try:
+        cache = EvaluationCache(cache_root) if cache_root else None
+        runner = EvaluationRunner(machine, cache=cache)
+        if benches is not None:
+            bench_list = list(benches)
+            runner.benches = lambda: bench_list  # type: ignore[method-assign]
+        report = SuiteReport(
+            jobs=jobs,
+            cores=machine.cores,
+            cache_dir=cache_dir,
+            code_version=code_version(),
+        )
+
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_run_bench, bench, machine, cache_root)
+                    for bench in runner.benches()
+                ]
+                # Completion order is racy; report in suite order.
+                for future in futures:
+                    report.benches.append(BenchOutcome(**future.result()))
+
+        fig9 = figures.figure9(runner)
+
+        stats = StageStats()
+        for outcome in report.benches:
+            stats.merge(outcome.stages)
+        stats.merge(runner.stats.as_dict())
+        report.stages = stats.as_dict()
+        report.speedups = {
+            bench: {str(cores): speedup for cores, speedup in row.items()}
+            for bench, row in fig9.speedups.items()
+        }
+        report.geomeans = {
+            str(cores): fig9.geomean(cores) for cores in fig9.core_counts
+        }
+        if cache is not None:
+            report.cache_traffic = cache.traffic()
+        report.wall_seconds = time.perf_counter() - start
+        return fig9, report, runner
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+
+def effective_jobs(requested: int) -> int:
+    """Clamp a ``--jobs`` request to something sane for this host."""
+    if requested < 1:
+        return max(1, os.cpu_count() or 1)
+    return requested

@@ -51,3 +51,28 @@ def format_series(name: str, mapping: Dict[str, float]) -> str:
     """One labelled series: ``name: k1=v1 k2=v2 ...``."""
     body = " ".join(f"{k}={v:.2f}" for k, v in mapping.items())
     return f"{name}: {body}"
+
+
+def format_stage_stats(stages: Dict[str, Dict[str, Union[int, float]]]) -> str:
+    """Observability table for ``--stats``: one row per pipeline stage.
+
+    ``stages`` is :meth:`repro.evaluation.runner.StageStats.as_dict`
+    output (possibly merged across worker processes).
+    """
+    rows: List[List[Cell]] = []
+    for stage, data in stages.items():
+        rows.append(
+            [
+                stage,
+                int(data["requests"]),
+                int(data["computes"]),
+                int(data["memory_hits"]),
+                int(data["disk_hits"]),
+                float(data["wall_seconds"]),
+            ]
+        )
+    return format_table(
+        ["stage", "requests", "computed", "memory-hit", "disk-hit", "seconds"],
+        rows,
+        title="Pipeline stage statistics",
+    )

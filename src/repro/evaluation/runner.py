@@ -3,18 +3,31 @@
 Running one benchmark end-to-end means: compile train+ref, profile the
 train build, select loops, transform the ref build, execute it on the
 simulated machine.  Several figures share most of that work, so the runner
-memoizes each stage; timing for different core counts or prefetch modes is
-recomputed from recorded traces (:meth:`ParallelExecutor.replay`) without
-re-interpreting the program.
+memoizes each stage in memory; timing for different core counts or
+prefetch modes is recomputed from recorded traces
+(:meth:`ParallelExecutor.replay`) without re-interpreting the program.
+
+With a :class:`~repro.evaluation.cache.EvaluationCache` attached, the
+three interpretation stages (profile, sequential run, parallel execution)
+and the compiled modules also persist across processes: a warm cache
+turns a multi-minute suite run into seconds of JSON loading plus the
+cheap pure-compute stages (selection, transformation), which are always
+re-derived rather than stored.
+
+Every stage records per-stage wall-clock and hit counters in
+:attr:`EvaluationRunner.stats`; ``python -m repro suite --stats`` renders
+them and the JSON report embeds them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.loopnest import LoopId
-from repro.bench import benchmark_names, compile_benchmark
+from repro.bench import benchmark_fingerprint, benchmark_names, compile_benchmark
 from repro.core.loopinfo import HelixOptions, ParallelizedLoop
 from repro.core.parallelizer import parallelize_module
 from repro.core.selection import (
@@ -23,11 +36,105 @@ from repro.core.selection import (
     choose_loops,
     fixed_level_selection,
 )
+from repro.evaluation.cache import (
+    EvaluationCache,
+    code_version,
+    fingerprint,
+    pipeline_fingerprint,
+)
 from repro.ir import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import module_to_str
 from repro.runtime.interpreter import ExecutionResult, run_module
 from repro.runtime.machine import MachineConfig, PrefetchMode
-from repro.runtime.parallel import ParallelExecutor, ParallelRunResult
+from repro.runtime.parallel import (
+    InvocationTrace,
+    LoopRunStats,
+    ParallelExecutor,
+    ParallelRunResult,
+)
 from repro.runtime.profiler import ProfileData, profile_module
+
+#: Pipeline stages, in execution order (keys of :class:`StageStats`).
+STAGES = (
+    "compile",
+    "profile",
+    "sequential",
+    "selection",
+    "transform",
+    "execute",
+)
+
+
+@dataclass
+class StageTally:
+    """Observability counters of one pipeline stage."""
+
+    #: Full recomputations (cold: the stage actually ran).
+    computes: int = 0
+    #: Served from this runner's in-memory memo.
+    memory_hits: int = 0
+    #: Reconstructed from the disk cache (no interpretation).
+    disk_hits: int = 0
+    #: Wall-clock spent in this stage (computes + disk loads; memory
+    #: hits are effectively free and charged as zero).
+    wall_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.computes + self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "computes": self.computes,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class StageStats:
+    """Per-stage counters collected by an :class:`EvaluationRunner`."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageTally] = {}
+
+    def tally(self, stage: str) -> StageTally:
+        tally = self.stages.get(stage)
+        if tally is None:
+            tally = StageTally()
+            self.stages[stage] = tally
+        return tally
+
+    def record(self, stage: str, outcome: str, seconds: float = 0.0) -> None:
+        """Count one stage request: ``outcome`` is ``compute``,
+        ``memory`` or ``disk``."""
+        tally = self.tally(stage)
+        if outcome == "compute":
+            tally.computes += 1
+        elif outcome == "memory":
+            tally.memory_hits += 1
+        elif outcome == "disk":
+            tally.disk_hits += 1
+        else:  # pragma: no cover - caller bug
+            raise ValueError(f"unknown stage outcome {outcome!r}")
+        tally.wall_seconds += seconds
+
+    def merge(self, stages: Dict[str, dict]) -> None:
+        """Fold another runner's :meth:`as_dict` in (cross-process
+        aggregation for the parallel suite runner)."""
+        for stage, data in stages.items():
+            tally = self.tally(stage)
+            tally.computes += data["computes"]
+            tally.memory_hits += data["memory_hits"]
+            tally.disk_hits += data["disk_hits"]
+            tally.wall_seconds += data["wall_seconds"]
+
+    def as_dict(self) -> Dict[str, dict]:
+        order = [s for s in STAGES if s in self.stages]
+        order += [s for s in sorted(self.stages) if s not in STAGES]
+        return {stage: self.stages[stage].as_dict() for stage in order}
 
 
 @dataclass
@@ -65,38 +172,116 @@ class PipelineRun:
 
 
 class EvaluationRunner:
-    """Memoizing driver for all experiments."""
+    """Memoizing driver for all experiments.
 
-    def __init__(self, machine: Optional[MachineConfig] = None) -> None:
+    ``cache`` (optional) adds a persistent layer under the in-memory
+    memos; see :mod:`repro.evaluation.cache` for the key contents.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineConfig] = None,
+        cache: Optional[EvaluationCache] = None,
+    ) -> None:
         self.machine = machine or MachineConfig(cores=6)
+        self.cache = cache
+        self.stats = StageStats()
         self._modules: Dict[Tuple[str, str], Module] = {}
         self._profiles: Dict[str, ProfileData] = {}
         self._sequential: Dict[str, ExecutionResult] = {}
         self._selections: Dict[Tuple, LoopSelection] = {}
         self._pipelines: Dict[Tuple, PipelineRun] = {}
 
+    # -- cache plumbing --------------------------------------------------------
+
+    def _disk_key(self, bench: str, scales: Sequence[str], extra: dict) -> str:
+        """Key of one disk artifact: code version + benchmark sources at
+        the scales the stage consumed + stage-specific components."""
+        return fingerprint(
+            {
+                "code": code_version(),
+                "bench": bench,
+                "sources": {
+                    scale: benchmark_fingerprint(bench, scale)
+                    for scale in scales
+                },
+                **extra,
+            }
+        )
+
+    def _disk_load(self, kind: str, key: str) -> Optional[dict]:
+        if self.cache is None:
+            return None
+        return self.cache.load(kind, key)
+
+    def _disk_store(self, kind: str, key: str, payload: dict) -> None:
+        if self.cache is not None:
+            self.cache.store(kind, key, payload)
+
     # -- stages ----------------------------------------------------------------
 
     def module(self, bench: str, scale: str) -> Module:
         key = (bench, scale)
-        if key not in self._modules:
-            self._modules[key] = compile_benchmark(bench, scale)
-        return self._modules[key]
+        if key in self._modules:
+            self.stats.record("compile", "memory")
+            return self._modules[key]
+        start = time.perf_counter()
+        disk_key = self._disk_key(bench, (scale,), {"kind": "module"})
+        payload = self._disk_load("module", disk_key)
+        if payload is not None:
+            module = parse_module(payload["ir"])
+            outcome = "disk"
+        else:
+            module = compile_benchmark(bench, scale)
+            self._disk_store("module", disk_key, {"ir": module_to_str(module)})
+            outcome = "compute"
+        self._modules[key] = module
+        self.stats.record("compile", outcome, time.perf_counter() - start)
+        return module
 
     def profile(self, bench: str) -> ProfileData:
-        """Training-input profile (fresh module so the ref build stays
-        untouched)."""
-        if bench not in self._profiles:
-            train = compile_benchmark(bench, "train")
-            self._profiles[bench] = profile_module(train, self.machine)
-        return self._profiles[bench]
+        """Training-input profile (on the train build, so the ref build
+        stays the untouched sequential baseline)."""
+        if bench in self._profiles:
+            self.stats.record("profile", "memory")
+            return self._profiles[bench]
+        train = self.module(bench, "train")
+        start = time.perf_counter()
+        disk_key = self._disk_key(
+            bench, ("train",), {"kind": "profile", "machine": self.machine}
+        )
+        payload = self._disk_load("profile", disk_key)
+        if payload is not None:
+            data = ProfileData.from_dict(payload, train)
+            outcome = "disk"
+        else:
+            data = profile_module(train, self.machine)
+            self._disk_store("profile", disk_key, data.to_dict())
+            outcome = "compute"
+        self._profiles[bench] = data
+        self.stats.record("profile", outcome, time.perf_counter() - start)
+        return data
 
     def sequential(self, bench: str) -> ExecutionResult:
-        if bench not in self._sequential:
-            self._sequential[bench] = run_module(
-                self.module(bench, "ref"), self.machine
-            )
-        return self._sequential[bench]
+        if bench in self._sequential:
+            self.stats.record("sequential", "memory")
+            return self._sequential[bench]
+        ref = self.module(bench, "ref")
+        start = time.perf_counter()
+        disk_key = self._disk_key(
+            bench, ("ref",), {"kind": "sequential", "machine": self.machine}
+        )
+        payload = self._disk_load("sequential", disk_key)
+        if payload is not None:
+            result = ExecutionResult.from_dict(payload)
+            outcome = "disk"
+        else:
+            result = run_module(ref, self.machine)
+            self._disk_store("sequential", disk_key, result.to_dict())
+            outcome = "compute"
+        self._sequential[bench] = result
+        self.stats.record("sequential", outcome, time.perf_counter() - start)
+        return result
 
     def selection(
         self,
@@ -106,17 +291,22 @@ class EvaluationRunner:
         cores: Optional[int] = None,
     ) -> LoopSelection:
         key = (bench, signal_cost, unoptimized_signals, cores)
-        if key not in self._selections:
-            config = SelectionConfig(
-                machine=self.machine,
-                cores=cores or self.machine.cores,
-                signal_cost=signal_cost,
-                unoptimized_signals=unoptimized_signals,
-            )
-            self._selections[key] = choose_loops(
-                self.module(bench, "ref"), self.profile(bench), config
-            )
-        return self._selections[key]
+        if key in self._selections:
+            self.stats.record("selection", "memory")
+            return self._selections[key]
+        module = self.module(bench, "ref")
+        profile = self.profile(bench)
+        start = time.perf_counter()
+        config = SelectionConfig(
+            machine=self.machine,
+            cores=cores or self.machine.cores,
+            signal_cost=signal_cost,
+            unoptimized_signals=unoptimized_signals,
+        )
+        selection = choose_loops(module, profile, config)
+        self._selections[key] = selection
+        self.stats.record("selection", "compute", time.perf_counter() - start)
+        return selection
 
     def fixed_level(self, bench: str, level: int) -> List[LoopId]:
         return fixed_level_selection(
@@ -135,21 +325,16 @@ class EvaluationRunner:
     ) -> PipelineRun:
         """Transform + execute one configuration of one benchmark."""
         options = options or HelixOptions()
-        key = (
-            bench,
-            cache_key
-            or (
-                options.enable_signal_optimization,
-                options.enable_helper_threads,
-                options.enable_prefetch_balancing,
-                options.enable_inlining,
-                prefetch,
-                signal_cost,
-                unoptimized_signals,
-                tuple(loop_ids) if loop_ids is not None else None,
-            ),
+        # The configuration fingerprint is always part of the key: a
+        # string ``cache_key`` only namespaces it, so two calls sharing
+        # a label but differing in options/prefetch/selection knobs can
+        # never collide.
+        config_fp = pipeline_fingerprint(
+            options, prefetch, signal_cost, unoptimized_signals, loop_ids
         )
+        key = (bench, config_fp, cache_key)
         if key in self._pipelines:
+            self.stats.record("execute", "memory")
             return self._pipelines[key]
 
         selection = None
@@ -161,11 +346,58 @@ class EvaluationRunner:
             )
             loop_ids = selection.chosen
         machine = self.machine.with_prefetch(prefetch)
+        module = self.module(bench, "ref")
+        sequential = self.sequential(bench)
+
+        start = time.perf_counter()
         transformed, infos = parallelize_module(
-            self.module(bench, "ref"), loop_ids, machine, options
+            module, loop_ids, machine, options
         )
+        self.stats.record("transform", "compute", time.perf_counter() - start)
+
         executor = ParallelExecutor(transformed, infos, machine)
-        parallel = executor.execute()
+        start = time.perf_counter()
+        disk_key = self._disk_key(
+            bench,
+            ("train", "ref"),
+            {
+                "kind": "pipeline",
+                "machine": self.machine,
+                "config": config_fp,
+                "loops": [list(l) for l in loop_ids],
+            },
+        )
+        payload = self._disk_load("pipeline", disk_key)
+        if payload is not None:
+            parallel = executor.restore_run(
+                ExecutionResult.from_dict(payload["result"]),
+                [InvocationTrace.from_dict(t) for t in payload["traces"]],
+                {
+                    stats.loop_id: stats
+                    for stats in (
+                        LoopRunStats.from_dict(s)
+                        for s in payload["loop_stats"]
+                    )
+                },
+            )
+            outcome = "disk"
+        else:
+            parallel = executor.execute()
+            self._disk_store(
+                "pipeline",
+                disk_key,
+                {
+                    "result": parallel.result.to_dict(),
+                    "loop_stats": [
+                        s.to_dict()
+                        for _, s in sorted(parallel.loop_stats.items())
+                    ],
+                    "traces": [t.to_dict() for t in parallel.traces],
+                },
+            )
+            outcome = "compute"
+        self.stats.record("execute", outcome, time.perf_counter() - start)
+
         run = PipelineRun(
             bench=bench,
             selection=selection,
@@ -174,7 +406,7 @@ class EvaluationRunner:
             infos=infos,
             executor=executor,
             parallel=parallel,
-            sequential=self.sequential(bench),
+            sequential=sequential,
         )
         self._pipelines[key] = run
         return run
@@ -191,8 +423,14 @@ _default: Optional[EvaluationRunner] = None
 
 
 def default_runner() -> EvaluationRunner:
-    """Process-wide shared runner (pytest benchmarks reuse its caches)."""
+    """Process-wide shared runner (pytest benchmarks reuse its caches).
+
+    Set ``REPRO_EVAL_CACHE=<dir>`` to give it a persistent disk cache
+    (CI keys one on the source hash via ``actions/cache``).
+    """
     global _default
     if _default is None:
-        _default = EvaluationRunner()
+        root = os.environ.get("REPRO_EVAL_CACHE")
+        cache = EvaluationCache(root) if root else None
+        _default = EvaluationRunner(cache=cache)
     return _default

@@ -123,6 +123,28 @@ class ExecutionResult:
     def output_text(self) -> str:
         return "\n".join(self.output)
 
+    def to_dict(self) -> dict:
+        """JSON-stable representation for the evaluation disk cache.
+
+        ``return_value`` must be JSON-representable (int/float/str/None);
+        entry points of the benchmark suite only ever return those.
+        """
+        return {
+            "output": list(self.output),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "return_value": self.return_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionResult":
+        return cls(
+            output=list(data["output"]),
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            return_value=data.get("return_value"),
+        )
+
 
 def format_value(value) -> str:
     """Canonical rendering of a printed value (the oracle format)."""

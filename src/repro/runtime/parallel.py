@@ -69,6 +69,27 @@ class IterationTrace:
     #: Words carried per dependence (for 'x' events).
     words: Dict[int, int] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-stable representation (tuples become lists, int keys
+        become strings; :meth:`from_dict` restores both)."""
+        return {
+            "start_cycles": self.start_cycles,
+            "end_cycles": self.end_cycles,
+            "events": [list(event) for event in self.events],
+            "words": {str(dep): words for dep, words in self.words.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationTrace":
+        return cls(
+            start_cycles=data["start_cycles"],
+            end_cycles=data["end_cycles"],
+            events=[
+                (kind, int(dep), int(at)) for kind, dep, at in data["events"]
+            ],
+            words={int(dep): int(n) for dep, n in data["words"].items()},
+        )
+
 
 @dataclass
 class InvocationTrace:
@@ -79,6 +100,27 @@ class InvocationTrace:
     end_cycles: int = 0
     iterations: List[IterationTrace] = field(default_factory=list)
     loads: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "loop_id": list(self.loop_id),
+            "start_cycles": self.start_cycles,
+            "end_cycles": self.end_cycles,
+            "loads": self.loads,
+            "iterations": [it.to_dict() for it in self.iterations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InvocationTrace":
+        return cls(
+            loop_id=tuple(data["loop_id"]),
+            start_cycles=data["start_cycles"],
+            end_cycles=data["end_cycles"],
+            loads=data["loads"],
+            iterations=[
+                IterationTrace.from_dict(it) for it in data["iterations"]
+            ],
+        )
 
 
 @dataclass
@@ -122,6 +164,27 @@ class LoopRunStats:
         if self.loads <= 0:
             return 0.0
         return self.transfer_words / self.loads
+
+    def to_dict(self) -> dict:
+        return {
+            "loop_id": list(self.loop_id),
+            "invocations": self.invocations,
+            "iterations": self.iterations,
+            "sequential_cycles": self.sequential_cycles,
+            "parallel_cycles": self.parallel_cycles,
+            "signals": self.signals,
+            "waits": self.waits,
+            "wait_stall_cycles": self.wait_stall_cycles,
+            "transfer_words": self.transfer_words,
+            "loads": self.loads,
+            "segment_cycles": self.segment_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoopRunStats":
+        data = dict(data)
+        data["loop_id"] = tuple(data["loop_id"])
+        return cls(**data)
 
 
 @dataclass
@@ -287,8 +350,15 @@ def schedule_invocation(
             dep for kind, dep, _at in iteration.events if kind == "p"
         }
 
+    if not iteration_ends:
+        # Zero-iteration invocation: the loop body never ran, so no
+        # threads were configured and nothing needs collecting -- the
+        # invocation costs exactly its sequential span.
+        stats.parallel_cycles = stats.sequential_cycles
+        return stats
+
     # Main thread collects the exit variable and stops parallel threads.
-    finish = max(iteration_ends) if iteration_ends else float(conf)
+    finish = max(iteration_ends)
     finish += latency + max(cores - 1, 0)
     stats.parallel_cycles = int(finish)
     return stats
@@ -413,7 +483,10 @@ class ParallelExecutor(Interpreter):
 
     def run(self, entry: str = "main", args: Sequence = ()) -> ExecutionResult:
         self._inv = None
+        self._inv_info = None
+        self._inv_frame = None
         self._iter = None
+        self._loads_at_start = 0
         self.load_count = 0
         self.loop_stats = {}
         self.traces = []
@@ -422,6 +495,31 @@ class ParallelExecutor(Interpreter):
     def execute(self) -> ParallelRunResult:
         """Run the program and package the results."""
         result = self.run()
+        return ParallelRunResult(
+            result=result,
+            machine=self.machine,
+            loop_stats=dict(self.loop_stats),
+            traces=list(self.traces),
+        )
+
+    def restore_run(
+        self,
+        result: ExecutionResult,
+        traces: Sequence[InvocationTrace],
+        loop_stats: Dict[LoopId, LoopRunStats],
+    ) -> ParallelRunResult:
+        """Adopt a previously recorded run (e.g. loaded from the
+        evaluation disk cache) as if :meth:`execute` had just produced
+        it, so :meth:`replay` works without re-interpreting the program.
+
+        The caller is responsible for passing traces recorded from an
+        identical module under an identical cost model.
+        """
+        self.output = list(result.output)
+        self.cycles = result.cycles
+        self.instructions = result.instructions
+        self.traces = list(traces)
+        self.loop_stats = dict(loop_stats)
         return ParallelRunResult(
             result=result,
             machine=self.machine,

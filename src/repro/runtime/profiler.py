@@ -51,6 +51,21 @@ class LoopProfile:
             return 0.0
         return self.iterations / self.invocations
 
+    def to_dict(self) -> dict:
+        return {
+            "loop_id": list(self.loop_id),
+            "invocations": self.invocations,
+            "iterations": self.iterations,
+            "total_cycles": self.total_cycles,
+            "self_cycles": self.self_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoopProfile":
+        data = dict(data)
+        data["loop_id"] = tuple(data["loop_id"])
+        return cls(**data)
+
 
 @dataclass
 class ProfileData:
@@ -96,6 +111,43 @@ class ProfileData:
             return machine.cost_model.cycles(Opcode.CALL) + inner
         is_float = instr.dest is not None and instr.dest.type is Type.FLOAT
         return machine.cost_model.cycles(instr.opcode, is_float)
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation, *excluding* the profiled module.
+
+        The module is large and reproducible from the benchmark source;
+        :meth:`from_dict` takes it back as an argument so a disk cache
+        only needs to store the dynamic statistics.
+        """
+        return {
+            "result": self.result.to_dict(),
+            "loops": [p.to_dict() for _, p in sorted(self.loops.items())],
+            "block_counts": [
+                [func, block, count]
+                for (func, block), count in sorted(self.block_counts.items())
+            ],
+            "func_inclusive_cycles": dict(self.func_inclusive_cycles),
+            "func_activations": dict(self.func_activations),
+            "dynamic_nesting": self.dynamic_nesting.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, module: Module) -> "ProfileData":
+        loops = [LoopProfile.from_dict(p) for p in data["loops"]]
+        return cls(
+            module=module,
+            result=ExecutionResult.from_dict(data["result"]),
+            loops={p.loop_id: p for p in loops},
+            block_counts={
+                (func, block): count
+                for func, block, count in data["block_counts"]
+            },
+            func_inclusive_cycles=dict(data["func_inclusive_cycles"]),
+            func_activations=dict(data["func_activations"]),
+            dynamic_nesting=DynamicLoopNestGraph.from_dict(
+                data["dynamic_nesting"]
+            ),
+        )
 
 
 class _ProfilingHarness:

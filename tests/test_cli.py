@@ -55,3 +55,39 @@ def test_bench_command(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_suite_cache_stats_report(monkeypatch, tmp_path, capsys):
+    import json
+
+    from repro.bench import suite as bench_suite
+    from repro.evaluation import runner as runner_mod
+
+    spec = bench_suite.BenchmarkSpec(
+        "tinycli", "synthetic CLI test bench", lambda scale: PROGRAM, 1.0, "test"
+    )
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "tinycli", spec)
+    monkeypatch.setattr(runner_mod, "benchmark_names", lambda: ["tinycli"])
+
+    cache_dir = str(tmp_path / "cache")
+    report = tmp_path / "suite.json"
+    argv = [
+        "suite", "--cores", "4", "--cache-dir", cache_dir,
+        "--stats", "--report", str(report),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9" in out
+    assert "Pipeline stage statistics" in out
+    cold = json.loads(report.read_text())
+    assert "tinycli" in cold["speedups"]
+    assert cold["stages"]["execute"]["computes"] == 1
+
+    # Warm re-run: identical figure output, all interpretation cached.
+    assert main(argv) == 0
+    warm_out = capsys.readouterr().out
+    warm = json.loads(report.read_text())
+    assert warm_out.split("Pipeline")[0] == out.split("Pipeline")[0]
+    assert warm["stages"]["execute"]["computes"] == 0
+    assert warm["stages"]["execute"]["disk_hits"] == 1
+    assert warm["wall_seconds"] < cold["wall_seconds"] * 1.5

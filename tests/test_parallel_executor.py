@@ -113,6 +113,21 @@ class TestSpeedups:
         assert stats.signals > 0
         assert stats.sequential_cycles > stats.parallel_cycles
 
+    def test_rerun_resets_invocation_state(self):
+        # Regression: run() used to leave _inv_info/_inv_frame from the
+        # previous run, so a re-run could misattribute its first
+        # invocation.  Two runs of one executor must agree exactly.
+        module, transformed, infos, machine = transform(SEQUENTIAL_SEGMENT)
+        executor = ParallelExecutor(transformed, infos, machine)
+        first = executor.execute()
+        second = executor.execute()
+        assert second.result.output == first.result.output
+        assert second.result.cycles == first.result.cycles
+        assert second.loop_stats == first.loop_stats
+        assert len(second.traces) == len(first.traces)
+        for a, b in zip(first.traces, second.traces):
+            assert a.to_dict() == b.to_dict()
+
 
 class TestReplay:
     def test_replay_matches_direct_execution(self):
@@ -177,10 +192,23 @@ class TestScheduleInvocation:
     def machine(self, cores=2, mode=PrefetchMode.NONE):
         return MachineConfig(cores=cores, prefetch_mode=mode)
 
-    def test_empty_invocation_costs_configuration(self):
-        trace = InvocationTrace(loop_id=("f", "L"), start_cycles=0, end_cycles=0)
+    def test_empty_invocation_costs_sequential_span(self):
+        # Regression: zero-iteration invocations used to be charged the
+        # full thread-configuration cost; they cost their sequential
+        # span (the loop body never ran, nothing was configured).
+        trace = InvocationTrace(
+            loop_id=("f", "L"), start_cycles=100, end_cycles=130
+        )
         result = schedule_invocation(trace, make_loop_info(), self.machine())
-        assert result.parallel_cycles > 0
+        assert result.sequential_cycles == 30
+        assert result.parallel_cycles == 30
+
+    def test_empty_invocation_never_charged_configuration(self):
+        machine = self.machine(cores=6)
+        trace = InvocationTrace(loop_id=("f", "L"), start_cycles=0, end_cycles=5)
+        result = schedule_invocation(trace, make_loop_info(), machine)
+        conf = machine.config_cycles_per_thread * (machine.cores - 1)
+        assert result.parallel_cycles == 5 < conf
 
     def test_counted_doall_divides_by_cores(self):
         # 8 iterations of 100 cycles, no sync events, 4 cores.
