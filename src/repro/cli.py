@@ -6,6 +6,10 @@ Commands:
 * ``parallelize FILE.mc``    -- full HELIX pipeline + simulated speedup.
 * ``ir FILE.mc``             -- dump the compiled IR.
 * ``bench NAME``             -- run one of the 13 suite benchmarks.
+* ``bench-interp``           -- time the tree-walking vs pre-decoded
+  interpreter backends and write ``BENCH_interp.json``; ``--quick``
+  restricts to a small CI-friendly subset, ``--min-speedup X`` fails
+  the run if any program's speedup drops below ``X``.
 * ``suite``                  -- Figure 9 over the whole suite; supports
   ``--jobs N`` (process-parallel pipelines), ``--cache-dir PATH``
   (persistent artifact cache), ``--stats`` (per-stage wall-clock and
@@ -75,6 +79,36 @@ def cmd_bench(args) -> int:
     return 0 if result.output_matches else 1
 
 
+def cmd_bench_interp(args) -> int:
+    from repro.evaluation.interp_bench import QUICK_BENCHES, run_interp_bench
+
+    benches = args.benches
+    if not benches:
+        benches = list(QUICK_BENCHES) if args.quick else None
+    report = run_interp_bench(
+        benches=benches,
+        scale=args.scale,
+        repeat=args.repeat,
+        progress=lambda name: print(f"timing {name}...", file=sys.stderr),
+    )
+    print(report.render())
+    if args.out:
+        try:
+            Path(args.out).write_text(report.to_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 1
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.min_speedup is not None and report.min_speedup < args.min_speedup:
+        print(
+            f"error: min speedup {report.min_speedup:.2f}x below "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_suite(args) -> int:
     from pathlib import Path as _Path
 
@@ -125,6 +159,49 @@ def main(argv=None) -> int:
     p.add_argument("name")
     p.add_argument("--cores", type=int, default=6)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "bench-interp",
+        help="time tree-walking vs pre-decoded interpreter backends",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small representative subset (CI smoke)",
+    )
+    p.add_argument(
+        "--benches",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="explicit benchmark names (overrides --quick)",
+    )
+    p.add_argument(
+        "--scale",
+        choices=("train", "ref"),
+        default="train",
+        help="benchmark input scale (default train)",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="timing runs per backend; minimum is reported",
+    )
+    p.add_argument(
+        "--out",
+        default="BENCH_interp.json",
+        metavar="PATH",
+        help="JSON report path (empty string disables)",
+    )
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero if any program speedup is below X",
+    )
+    p.set_defaults(func=cmd_bench_interp)
 
     p = sub.add_parser("suite", help="Figure 9 across the whole suite")
     p.add_argument("--cores", type=int, default=6)

@@ -1,0 +1,191 @@
+"""Interpreter backend microbenchmarks (``repro bench-interp``).
+
+Times the tree-walking and pre-decoded interpreter backends on the same
+compiled modules and reports per-program and aggregate speedups.  Every
+timed pair is also a differential check: the two backends must produce
+identical :class:`ExecutionResult`\\ s or the run aborts.
+
+The harness measures the *uninstrumented* sequential path — the oracle
+path the tentpole optimisation targets — with wall-clock taken as the
+minimum over ``repeat`` runs (minimum, not mean: interpreter timing
+noise is one-sided).  Throughput is dynamic instructions per second;
+both backends execute the exact same dynamic instruction stream, so the
+throughput ratio equals the wall-clock speedup.
+
+The JSON report (``BENCH_interp.json`` by convention) accumulates the
+repo's perf trajectory across PRs: CI uploads one per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench import benchmark_names, compile_benchmark
+from repro.ir import Module
+from repro.runtime.interpreter import run_module
+from repro.runtime.machine import MachineConfig
+
+#: Benchmarks used by ``--quick`` (CI smoke): a small mix of control-
+#: and memory-heavy programs that decodes + runs in a few seconds.
+QUICK_BENCHES = ("gzip", "mcf", "equake", "bzip2")
+
+
+@dataclass
+class ProgramTiming:
+    """Timed comparison of both backends on one program."""
+
+    name: str
+    instructions: int
+    tree_seconds: float
+    decoded_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.decoded_seconds <= 0:
+            return float("inf")
+        return self.tree_seconds / self.decoded_seconds
+
+    @property
+    def tree_ips(self) -> float:
+        return self.instructions / self.tree_seconds if self.tree_seconds else 0.0
+
+    @property
+    def decoded_ips(self) -> float:
+        if self.decoded_seconds <= 0:
+            return 0.0
+        return self.instructions / self.decoded_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "instructions": self.instructions,
+            "tree_seconds": self.tree_seconds,
+            "decoded_seconds": self.decoded_seconds,
+            "tree_instr_per_sec": self.tree_ips,
+            "decoded_instr_per_sec": self.decoded_ips,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class InterpBenchReport:
+    """Everything one ``bench-interp`` invocation measured."""
+
+    scale: str
+    repeat: int
+    programs: List[ProgramTiming] = field(default_factory=list)
+
+    @property
+    def geomean_speedup(self) -> float:
+        if not self.programs:
+            return 1.0
+        product = 1.0
+        for timing in self.programs:
+            product *= timing.speedup
+        return product ** (1.0 / len(self.programs))
+
+    @property
+    def min_speedup(self) -> float:
+        if not self.programs:
+            return 1.0
+        return min(t.speedup for t in self.programs)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.programs)
+
+    @property
+    def aggregate_speedup(self) -> float:
+        """Total-time ratio: weights each program by its runtime."""
+        tree = sum(t.tree_seconds for t in self.programs)
+        decoded = sum(t.decoded_seconds for t in self.programs)
+        if decoded <= 0:
+            return float("inf")
+        return tree / decoded
+
+    def as_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "repeat": self.repeat,
+            "programs": [t.as_dict() for t in self.programs],
+            "summary": {
+                "total_instructions": self.total_instructions,
+                "geomean_speedup": self.geomean_speedup,
+                "aggregate_speedup": self.aggregate_speedup,
+                "min_speedup": self.min_speedup,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    def render(self) -> str:
+        lines = [
+            f"{'program':<10} {'instructions':>13} {'tree s':>8} "
+            f"{'decoded s':>9} {'speedup':>8}"
+        ]
+        for t in self.programs:
+            lines.append(
+                f"{t.name:<10} {t.instructions:>13,} {t.tree_seconds:>8.3f} "
+                f"{t.decoded_seconds:>9.3f} {t.speedup:>7.2f}x"
+            )
+        lines.append(
+            f"{'geomean':<10} {self.total_instructions:>13,} "
+            f"{sum(t.tree_seconds for t in self.programs):>8.3f} "
+            f"{sum(t.decoded_seconds for t in self.programs):>9.3f} "
+            f"{self.geomean_speedup:>7.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def _time_backend(
+    module: Module, machine: MachineConfig, backend: str, repeat: int
+):
+    """Minimum wall-clock over ``repeat`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = run_module(module, machine, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_interp_bench(
+    benches: Optional[Sequence[str]] = None,
+    scale: str = "train",
+    repeat: int = 1,
+    machine: Optional[MachineConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> InterpBenchReport:
+    """Time both backends on ``benches`` and differential-check them.
+
+    Raises :class:`AssertionError` if the backends ever disagree — the
+    benchmark doubles as an end-to-end identity check.
+    """
+    machine = machine or MachineConfig()
+    names = list(benches) if benches is not None else benchmark_names()
+    report = InterpBenchReport(scale=scale, repeat=repeat)
+    for name in names:
+        if progress:
+            progress(name)
+        module = compile_benchmark(name, scale)
+        tree_s, tree_r = _time_backend(module, machine, "tree", repeat)
+        decoded_s, decoded_r = _time_backend(module, machine, "decoded", repeat)
+        if tree_r.to_dict() != decoded_r.to_dict():  # pragma: no cover
+            raise AssertionError(
+                f"backend divergence on {name!r}: "
+                f"tree={tree_r.to_dict()} decoded={decoded_r.to_dict()}"
+            )
+        report.programs.append(
+            ProgramTiming(
+                name=name,
+                instructions=tree_r.instructions,
+                tree_seconds=tree_s,
+                decoded_seconds=decoded_s,
+            )
+        )
+    return report

@@ -182,9 +182,14 @@ class EvaluationRunner:
         self,
         machine: Optional[MachineConfig] = None,
         cache: Optional[EvaluationCache] = None,
+        interp_backend: str = "auto",
     ) -> None:
         self.machine = machine or MachineConfig(cores=6)
         self.cache = cache
+        #: Interpreter backend for every interpretation stage ("auto",
+        #: "decoded" or "tree"); cache keys are backend-independent
+        #: because both backends produce identical results.
+        self.interp_backend = interp_backend
         self.stats = StageStats()
         self._modules: Dict[Tuple[str, str], Module] = {}
         self._profiles: Dict[str, ProfileData] = {}
@@ -255,7 +260,9 @@ class EvaluationRunner:
             data = ProfileData.from_dict(payload, train)
             outcome = "disk"
         else:
-            data = profile_module(train, self.machine)
+            data = profile_module(
+                train, self.machine, backend=self.interp_backend
+            )
             self._disk_store("profile", disk_key, data.to_dict())
             outcome = "compute"
         self._profiles[bench] = data
@@ -276,7 +283,7 @@ class EvaluationRunner:
             result = ExecutionResult.from_dict(payload)
             outcome = "disk"
         else:
-            result = run_module(ref, self.machine)
+            result = run_module(ref, self.machine, backend=self.interp_backend)
             self._disk_store("sequential", disk_key, result.to_dict())
             outcome = "compute"
         self._sequential[bench] = result
@@ -355,7 +362,9 @@ class EvaluationRunner:
         )
         self.stats.record("transform", "compute", time.perf_counter() - start)
 
-        executor = ParallelExecutor(transformed, infos, machine)
+        executor = ParallelExecutor(
+            transformed, infos, machine, backend=self.interp_backend
+        )
         start = time.perf_counter()
         disk_key = self._disk_key(
             bench,

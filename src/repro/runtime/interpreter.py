@@ -16,6 +16,19 @@ The interpreter provides three services:
 Integer semantics are C-like: 64-bit two's-complement wrap-around,
 truncating division.  This keeps benchmark programs (hash functions, RNGs)
 deterministic and portable.
+
+Two execution backends share these semantics (selected per activation by
+:meth:`Interpreter.call_function`):
+
+* the **tree-walker** in this module -- simple, hookable everywhere, and
+  the reference for subclasses that override the core execution methods;
+* the **pre-decoded backend** (:mod:`repro.runtime.precompile`) -- each
+  function is lowered once to slot-allocated, closure-compiled blocks and
+  runs several times faster.  It is selected automatically whenever it
+  can reproduce the tree-walker bit-for-bit: uninstrumented runs use its
+  fast variant, listener/hook users (profiler, parallel executor) its
+  hooked variant, and subclasses that override ``exec_instr``-level
+  methods fall back to the tree-walker.
 """
 
 from __future__ import annotations
@@ -150,17 +163,36 @@ def format_value(value) -> str:
     """Canonical rendering of a printed value (the oracle format)."""
     if isinstance(value, float):
         return f"{value:.6g}"
-    if isinstance(value, bool):  # pragma: no cover - never produced
-        return str(int(value))
     return str(value)
+
+
+#: Overriding any of these (class- or instance-level) disables the decoded
+#: backend: its closures fuse exactly this logic, so a replacement must run
+#: on the tree-walker to take effect.
+_TREE_FORCING = frozenset(
+    {"exec_block", "exec_instr", "eval_operand", "eval_terminator", "charge"}
+)
+
+#: Overriding any of these selects the decoded backend's *hooked* variant,
+#: which calls them at the same points as the tree-walker.
+_HOOK_FORCING = frozenset({"on_block_entry", "exec_sync", "exec_xfer"})
+
+#: Backend modes resolved per activation.
+_BACKEND_TREE, _BACKEND_HOOKED, _BACKEND_FAST = 0, 1, 2
 
 
 class Interpreter:
     """Executes a :class:`~repro.ir.Module` sequentially.
 
     Subclasses (the parallel executor) may override :meth:`on_block_entry`
-    to observe or redirect control flow, and reuse :meth:`exec_instr` /
+    to observe control flow, and reuse :meth:`exec_instr` /
     :meth:`eval_operand` to execute individual instructions.
+
+    ``backend`` selects the execution engine: ``"auto"`` (default) uses
+    the pre-decoded backend whenever it is bit-identical to the
+    tree-walker and falls back otherwise, ``"tree"`` always tree-walks,
+    and ``"decoded"`` asserts that the decoded backend is usable (raising
+    ``ValueError`` for subclasses that override core execution methods).
     """
 
     def __init__(
@@ -168,7 +200,10 @@ class Interpreter:
         module: Module,
         machine: Optional[MachineConfig] = None,
         max_instructions: Optional[int] = 500_000_000,
+        backend: str = "auto",
     ) -> None:
+        if backend not in ("auto", "decoded", "tree"):
+            raise ValueError(f"unknown interpreter backend {backend!r}")
         self.module = module
         self.machine = machine or MachineConfig()
         self.cost_model = self.machine.cost_model
@@ -187,15 +222,54 @@ class Interpreter:
             Callable[[str, Optional[str], str, int], None]
         ] = None
         self.call_listener: Optional[Callable[[str, bool, int], None]] = None
+        #: Count LOADG/LOADP executions into :attr:`load_count` (the
+        #: parallel executor prices data forwarding from this).
+        self.count_loads = False
+        self.load_count = 0
+        self.backend = backend
+        cls = type(self)
+        core_overrides = sorted(
+            name
+            for name in _TREE_FORCING
+            if getattr(cls, name) is not getattr(Interpreter, name)
+        )
+        core_overridden = bool(core_overrides)
+        if backend == "decoded" and core_overridden:
+            raise ValueError(
+                f"{cls.__name__} overrides core execution methods "
+                f"({', '.join(core_overrides)}); the decoded backend "
+                "cannot honor them"
+            )
+        self._force_tree = backend == "tree" or core_overridden
+        self._class_hooked = any(
+            getattr(cls, name) is not getattr(Interpreter, name)
+            for name in _HOOK_FORCING
+        )
+        #: (function name, hooked, counting loads) -> DecodedFunction.
+        self._decoded: Dict[Tuple[str, bool, bool], object] = {}
+        # Imported here (not at module top) to break the import cycle;
+        # by construction time repro.runtime is fully initialized.
+        from repro.runtime import precompile
+
+        self._precompile = precompile
         self.reset_memory()
 
     # -- memory ------------------------------------------------------------
 
     def reset_memory(self) -> None:
-        """(Re)initialize global memory from module initializers."""
-        self.memory = {
-            name: list(init) for name, init in self.module.global_inits.items()
-        }
+        """(Re)initialize global memory from module initializers.
+
+        Regions are reset *in place* so their backing lists stay stable
+        across runs -- the decoded backend resolves global symbols to
+        these lists at decode time.
+        """
+        memory = self.memory
+        for name, init in self.module.global_inits.items():
+            store = memory.get(name)
+            if store is None:
+                memory[name] = list(init)
+            else:
+                store[:] = init
 
     def region_of(self, symbol: Symbol, frame: Frame) -> List:
         if symbol.is_global:
@@ -212,6 +286,9 @@ class Interpreter:
         self.output = []
         self.cycles = 0
         self.instructions = 0
+        # A prior run that faulted mid-call left call_depth raised; reset
+        # so re-running the same instance never trips the limit early.
+        self.call_depth = 0
         self.reset_memory()
         func = self.module.functions[entry]
         value = self.call_function(func, list(args))
@@ -221,6 +298,20 @@ class Interpreter:
             instructions=self.instructions,
             return_value=value,
         )
+
+    def _backend_mode(self) -> int:
+        """Resolve which engine executes the next activation."""
+        if self._force_tree or (self.__dict__.keys() & _TREE_FORCING):
+            return _BACKEND_TREE
+        if (
+            self._class_hooked
+            or self.block_listener is not None
+            or self.call_listener is not None
+            or self.count_loads
+            or (self.__dict__.keys() & _HOOK_FORCING)
+        ):
+            return _BACKEND_HOOKED
+        return _BACKEND_FAST
 
     def call_function(self, func: Function, args: Sequence) -> object:
         """Run one activation of ``func`` and return its value."""
@@ -234,6 +325,18 @@ class Interpreter:
             raise RuntimeFault("call depth limit exceeded")
         if self.call_listener is not None:
             self.call_listener(func.name, True, self.cycles)
+        mode = self._backend_mode()
+        if mode == _BACKEND_TREE:
+            value = self._call_tree(func, args)
+        else:
+            value = self._call_decoded(func, args, mode == _BACKEND_HOOKED)
+        if self.call_listener is not None:
+            self.call_listener(func.name, False, self.cycles)
+        self.call_depth -= 1
+        return value
+
+    def _call_tree(self, func: Function, args: Sequence) -> object:
+        """Tree-walking activation (the reference engine)."""
         frame = Frame(func)
         for param, value in zip(func.params, args):
             frame.regs[param.uid] = value
@@ -248,10 +351,23 @@ class Interpreter:
             next_block = func.blocks[outcome[1]]
             self.on_block_entry(frame, block, next_block)
             block = next_block
-        if self.call_listener is not None:
-            self.call_listener(func.name, False, self.cycles)
-        self.call_depth -= 1
         return value
+
+    def _call_decoded(
+        self, func: Function, args: Sequence, hooked: bool
+    ) -> object:
+        """Pre-decoded activation; decodes ``func`` on first use."""
+        precompile = self._precompile
+        key = (func.name, hooked, hooked and self.count_loads)
+        dfunc = self._decoded.get(key)
+        if dfunc is None:
+            dfunc = precompile.decode_function(self, func, hooked)
+            self._decoded[key] = dfunc
+        frame = precompile.DecodedFrame(func, dfunc.nslots)
+        slots = frame.slots
+        for slot, value in zip(dfunc.param_slots, args):
+            slots[slot] = value
+        return precompile.execute_decoded(self, dfunc, frame, hooked)
 
     def on_block_entry(
         self, frame: Frame, prev: Optional[BasicBlock], block: BasicBlock
@@ -314,6 +430,8 @@ class Interpreter:
 
     def exec_instr(self, frame: Frame, instr: Instruction) -> None:
         """Execute one non-terminator instruction."""
+        if self.count_loads and instr.reads_memory:
+            self.load_count += 1
         self.charge(instr)
         opcode = instr.opcode
         regs = frame.regs
@@ -405,11 +523,6 @@ class Interpreter:
         """Hook for XFER data-forwarding markers."""
 
 
-def _cmp_key(value):
-    """Ordering key so int/float compare numerically."""
-    return value
-
-
 def _arith_div(a, b):
     if isinstance(a, int) and isinstance(b, int):
         if b == 0:
@@ -478,7 +591,10 @@ def run_module(
     machine: Optional[MachineConfig] = None,
     entry: str = "main",
     max_instructions: Optional[int] = 500_000_000,
+    backend: str = "auto",
 ) -> ExecutionResult:
     """Convenience: interpret ``module`` sequentially and return the result."""
-    interp = Interpreter(module, machine, max_instructions=max_instructions)
+    interp = Interpreter(
+        module, machine, max_instructions=max_instructions, backend=backend
+    )
     return interp.run(entry)

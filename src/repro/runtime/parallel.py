@@ -378,8 +378,16 @@ class ParallelExecutor(Interpreter):
         machine: Optional[MachineConfig] = None,
         record_traces: bool = True,
         max_instructions: Optional[int] = 500_000_000,
+        backend: str = "auto",
     ) -> None:
-        super().__init__(module, machine, max_instructions=max_instructions)
+        super().__init__(
+            module, machine, max_instructions=max_instructions,
+            backend=backend,
+        )
+        # Memory reads are priced by the data-forwarding model; both
+        # backends count them when this is set (the decoded backend runs
+        # its hooked variant).
+        self.count_loads = True
         self.infos = list(infos)
         self.record_traces = record_traces
         self._by_preheader: Dict[Tuple[str, str], ParallelizedLoop] = {}
@@ -390,16 +398,10 @@ class ParallelExecutor(Interpreter):
         self._inv_frame: Optional[Frame] = None
         self._iter: Optional[IterationTrace] = None
         self._loads_at_start = 0
-        self.load_count = 0
         self.loop_stats: Dict[LoopId, LoopRunStats] = {}
         self.traces: List[InvocationTrace] = []
 
     # -- interpreter hooks -------------------------------------------------
-
-    def exec_instr(self, frame: Frame, instr: Instruction) -> None:
-        if instr.reads_memory:
-            self.load_count += 1
-        super().exec_instr(frame, instr)
 
     def on_block_entry(
         self, frame: Frame, prev: Optional[BasicBlock], block: BasicBlock
@@ -582,9 +584,10 @@ def run_parallel(
     infos: Sequence[ParallelizedLoop],
     machine: Optional[MachineConfig] = None,
     record_traces: bool = True,
+    backend: str = "auto",
 ) -> ParallelRunResult:
     """Convenience wrapper: execute a transformed module."""
     executor = ParallelExecutor(
-        module, infos, machine, record_traces=record_traces
+        module, infos, machine, record_traces=record_traces, backend=backend
     )
     return executor.execute()

@@ -250,11 +250,19 @@ def profile_module(
     machine: Optional[MachineConfig] = None,
     nest: Optional[StaticLoopNestGraph] = None,
     max_instructions: Optional[int] = 500_000_000,
+    backend: str = "auto",
 ) -> ProfileData:
-    """Run ``module`` once under instrumentation and return the profile."""
+    """Run ``module`` once under instrumentation and return the profile.
+
+    The listeners select the decoded backend's hooked variant under
+    ``backend="auto"``; the collected profile is identical under
+    ``backend="tree"`` (the differential tests assert this).
+    """
     machine = machine or MachineConfig()
     nest = nest or build_static_loop_nest_graph(module)
-    interp = Interpreter(module, machine, max_instructions=max_instructions)
+    interp = Interpreter(
+        module, machine, max_instructions=max_instructions, backend=backend
+    )
     data = ProfileData(module=module, result=None)  # type: ignore[arg-type]
     harness = _ProfilingHarness(nest, data)
     interp.block_listener = harness.on_block

@@ -1,0 +1,105 @@
+"""Differential identity: decoded backend vs tree-walker, whole corpus.
+
+The acceptance bar for the pre-decoded backend is *bit-identical*
+observable behavior: output, cycles, instructions and return value must
+match the tree-walker on every program in ``examples/`` and the
+benchmark suite, with and without profiler instrumentation, and through
+the parallel executor.  These tests enforce exactly that.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.bench import benchmark_names, compile_benchmark
+from repro.core.parallelizer import parallelize_module
+from repro.core.selection import SelectionConfig, choose_loops
+from repro.frontend import compile_source
+from repro.runtime import run_module
+from repro.runtime.machine import MachineConfig
+from repro.runtime.parallel import ParallelExecutor
+from repro.runtime.profiler import profile_module
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Examples that expose their MiniC program as a module-level SOURCE.
+EXAMPLE_FILES = ("quickstart.py", "inspect_transformation.py")
+
+#: Benchmarks given the (expensive) full parallel-pipeline comparison.
+EXECUTOR_BENCHES = ("equake", "mcf")
+
+_modules = {}
+
+
+def _bench_module(name):
+    module = _modules.get(name)
+    if module is None:
+        module = _modules[name] = compile_benchmark(name, "train")
+    return module
+
+
+def _example_module(filename):
+    module = _modules.get(filename)
+    if module is None:
+        path = EXAMPLES_DIR / filename
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        example = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(example)
+        module = _modules[filename] = compile_source(example.SOURCE)
+    return module
+
+
+def _assert_sequential_identity(module):
+    tree = run_module(module, backend="tree")
+    decoded = run_module(module, backend="decoded")
+    assert tree.to_dict() == decoded.to_dict()
+
+
+def _assert_profile_identity(module):
+    tree = profile_module(module, backend="tree")
+    decoded = profile_module(module, backend="decoded")
+    assert tree.to_dict() == decoded.to_dict()
+
+
+@pytest.mark.parametrize("bench", benchmark_names())
+def test_benchmark_sequential_identity(bench):
+    _assert_sequential_identity(_bench_module(bench))
+
+
+@pytest.mark.parametrize("bench", benchmark_names())
+def test_benchmark_profile_identity(bench):
+    _assert_profile_identity(_bench_module(bench))
+
+
+@pytest.mark.parametrize("filename", EXAMPLE_FILES)
+def test_example_sequential_identity(filename):
+    _assert_sequential_identity(_example_module(filename))
+
+
+@pytest.mark.parametrize("filename", EXAMPLE_FILES)
+def test_example_profile_identity(filename):
+    _assert_profile_identity(_example_module(filename))
+
+
+@pytest.mark.parametrize("bench", EXECUTOR_BENCHES)
+def test_parallel_executor_identity(bench):
+    machine = MachineConfig(cores=6)
+    module = _bench_module(bench)
+    profile = profile_module(module, machine)
+    selection = choose_loops(
+        module, profile, SelectionConfig(machine=machine, cores=6)
+    )
+    transformed, infos = parallelize_module(
+        module, selection.chosen, machine
+    )
+    tree = ParallelExecutor(
+        transformed, infos, machine, backend="tree"
+    ).execute()
+    decoded = ParallelExecutor(transformed, infos, machine).execute()
+    assert tree.result.to_dict() == decoded.result.to_dict()
+    assert tree.cycles == decoded.cycles
+    assert {k: s.to_dict() for k, s in tree.loop_stats.items()} == {
+        k: s.to_dict() for k, s in decoded.loop_stats.items()
+    }
+    assert len(tree.traces) == len(decoded.traces)

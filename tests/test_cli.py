@@ -91,3 +91,53 @@ def test_suite_cache_stats_report(monkeypatch, tmp_path, capsys):
     assert warm["stages"]["execute"]["computes"] == 0
     assert warm["stages"]["execute"]["disk_hits"] == 1
     assert warm["wall_seconds"] < cold["wall_seconds"] * 1.5
+
+
+def test_bench_interp_report(monkeypatch, tmp_path, capsys):
+    import json
+
+    from repro.bench import suite as bench_suite
+
+    spec = bench_suite.BenchmarkSpec(
+        "tinyinterp", "synthetic interp bench", lambda scale: PROGRAM, 1.0,
+        "test",
+    )
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "tinyinterp", spec)
+
+    out_path = tmp_path / "BENCH_interp.json"
+    argv = [
+        "bench-interp", "--benches", "tinyinterp",
+        "--repeat", "2", "--out", str(out_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "tinyinterp" in out
+    assert "speedup" in out
+    report = json.loads(out_path.read_text())
+    assert report["repeat"] == 2
+    (program,) = report["programs"]
+    assert program["name"] == "tinyinterp"
+    assert program["instructions"] > 0
+    assert program["tree_seconds"] > 0
+    assert program["decoded_seconds"] > 0
+    assert report["summary"]["geomean_speedup"] == pytest.approx(
+        program["speedup"]
+    )
+
+
+def test_bench_interp_min_speedup_gate(monkeypatch, tmp_path, capsys):
+    from repro.bench import suite as bench_suite
+
+    spec = bench_suite.BenchmarkSpec(
+        "tinyinterp", "synthetic interp bench", lambda scale: PROGRAM, 1.0,
+        "test",
+    )
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "tinyinterp", spec)
+
+    # An impossible threshold must fail the run (this is the CI gate).
+    argv = [
+        "bench-interp", "--benches", "tinyinterp",
+        "--out", "", "--min-speedup", "1000000",
+    ]
+    assert main(argv) == 1
+    assert "below required" in capsys.readouterr().err

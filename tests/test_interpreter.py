@@ -12,8 +12,18 @@ from repro.runtime import (
     RuntimeFault,
     run_module,
 )
-from repro.runtime.interpreter import c_div, c_mod, format_value, wrap_int
+from repro.runtime.interpreter import (
+    _shift_left,
+    _shift_right,
+    c_div,
+    c_mod,
+    format_value,
+    wrap_int,
+)
 from repro.runtime.machine import MachineConfig
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
 
 
 class TestIntSemantics:
@@ -37,6 +47,79 @@ class TestIntSemantics:
     def test_c_division(self, a, b, q, r):
         assert c_div(a, b) == q
         assert c_mod(a, b) == r
+
+    def test_wrap_int_at_int64_extremes(self):
+        assert wrap_int(INT64_MIN) == INT64_MIN
+        assert wrap_int(INT64_MAX) == INT64_MAX
+        assert wrap_int(INT64_MAX + 1) == INT64_MIN
+        assert wrap_int(INT64_MIN - 1) == INT64_MAX
+        assert wrap_int(INT64_MIN * 2) == 0
+
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [
+            (INT64_MIN, 1, INT64_MIN, 0),
+            (INT64_MIN, 2, -(2**62), 0),
+            (INT64_MAX, -1, -INT64_MAX, 0),
+            (INT64_MIN + 1, -1, INT64_MAX, 0),
+            (-1, INT64_MAX, 0, -1),
+            (INT64_MIN, INT64_MAX, -1, -1),
+            (-9, 4, -2, -1),
+            (-9, -4, 2, -1),
+        ],
+    )
+    def test_c_division_at_extremes(self, a, b, q, r):
+        assert c_div(a, b) == q
+        assert c_mod(a, b) == r
+
+    def test_c_division_truncates_negative_dividends_toward_zero(self):
+        # C semantics: -7/2 == -3 (not Python's floor -4), remainder
+        # takes the dividend's sign.
+        assert c_div(-7, 2) == -3
+        assert (-7) // 2 == -4  # the Python behavior we must not inherit
+        assert c_mod(-7, 2) == -1
+        assert (-7) % 2 == 1
+
+    def test_shift_left_boundary_amounts(self):
+        assert _shift_left(1, 0) == 1
+        assert _shift_left(1, 62) == 2**62
+        assert _shift_left(1, 63) == INT64_MIN  # wraps into the sign bit
+        assert _shift_left(3, 63) == INT64_MIN  # only the low bit survives
+        assert _shift_left(INT64_MAX, 1) == -2
+        with pytest.raises(RuntimeFault):
+            _shift_left(1, 64)
+        with pytest.raises(RuntimeFault):
+            _shift_left(1, -1)
+
+    def test_shift_right_boundary_amounts(self):
+        assert _shift_right(INT64_MAX, 0) == INT64_MAX
+        assert _shift_right(INT64_MAX, 62) == 1
+        assert _shift_right(INT64_MAX, 63) == 0
+        # Arithmetic shift: the sign propagates.
+        assert _shift_right(INT64_MIN, 63) == -1
+        assert _shift_right(-1, 63) == -1
+        with pytest.raises(RuntimeFault):
+            _shift_right(1, 64)
+        with pytest.raises(RuntimeFault):
+            _shift_right(1, -1)
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "print((0 - 9) / 4); print((0 - 9) % 4);",
+            "print(9 / (0 - 4)); print(9 % (0 - 4));",
+            "print(1 << 63); print(1 << 0);",
+            "print((0 - 1) >> 63); print(9223372036854775807 >> 62);",
+            "print(9223372036854775807 + 1);",
+            "print((0 - 9223372036854775807 - 1) - 1);",
+            "print(3037000500 * 3037000499);",
+        ],
+    )
+    def test_backends_agree_on_integer_edge_cases(self, expr):
+        module = compile_source(f"void main() {{ {expr} }}")
+        tree = run_module(module, backend="tree")
+        decoded = run_module(module, backend="decoded")
+        assert tree.to_dict() == decoded.to_dict()
 
 
 class TestFaults:
@@ -79,6 +162,19 @@ class TestFaults:
         )
         with pytest.raises(RuntimeFault):
             run_module(module)
+
+    def test_call_depth_reset_after_faulted_run(self):
+        # A fault raised inside a callee leaves call_depth > 0; before
+        # run() reset it, repeated runs on one instance crept toward the
+        # depth limit and eventually faulted with the wrong diagnostic.
+        module = compile_source(
+            "int f(int z) { return 1 / z; } void main() { print(f(0)); }"
+        )
+        interp = Interpreter(module)
+        interp.max_call_depth = 4
+        for _ in range(10):
+            with pytest.raises(RuntimeFault, match="division by zero"):
+                interp.run()
 
 
 class TestAccounting:
