@@ -18,6 +18,9 @@ the paper relies on:
   (``D_data`` of Step 2).
 * :mod:`repro.analysis.loopnest` -- program-wide static/dynamic loop
   nesting graphs (Section 2.2).
+* :mod:`repro.analysis.manager` -- the versioned analysis manager: every
+  analysis above, requested through one memoizing, invalidation-tracked
+  service threaded through the whole compile path.
 """
 
 from repro.analysis.cfg import CFGView, postorder, reachable_blocks, reverse_postorder
@@ -39,6 +42,12 @@ from repro.analysis.loopnest import (
     LoopId,
     StaticLoopNestGraph,
     build_static_loop_nest_graph,
+)
+from repro.analysis.manager import (
+    Analysis,
+    AnalysisCounter,
+    AnalysisManager,
+    UncachedAnalysisManager,
 )
 
 __all__ = [
@@ -71,4 +80,8 @@ __all__ = [
     "StaticLoopNestGraph",
     "DynamicLoopNestGraph",
     "build_static_loop_nest_graph",
+    "Analysis",
+    "AnalysisCounter",
+    "AnalysisManager",
+    "UncachedAnalysisManager",
 ]

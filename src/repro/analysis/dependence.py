@@ -27,7 +27,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.manager import AnalysisManager
 
 from repro.analysis.callgraph import CallGraph, build_callgraph
 from repro.analysis.cfg import CFGView
@@ -367,8 +379,10 @@ class DependenceAnalysis:
         module: Module,
         callgraph: Optional[CallGraph] = None,
         points_to: Optional[PointsToResult] = None,
+        manager: Optional["AnalysisManager"] = None,
     ) -> None:
         self.module = module
+        self.manager = manager
         self.callgraph = callgraph or build_callgraph(module)
         self.points_to = points_to or andersen_pointer_analysis(module)
         self.mod_ref = compute_mod_ref(module, self.callgraph, self.points_to)
@@ -377,6 +391,25 @@ class DependenceAnalysis:
         )
 
     # -- helpers ---------------------------------------------------------------
+
+    def _cfg(self, func: Function) -> CFGView:
+        if self.manager is not None:
+            return self.manager.cfg(func)
+        return CFGView(func)
+
+    def _induction(
+        self, func: Function, loop: Loop, cfg: CFGView
+    ) -> InductionInfo:
+        if self.manager is not None:
+            return self.manager.induction(func, loop)
+        return analyze_induction(
+            func, loop, cfg, readonly_symbols=self.readonly_globals
+        )
+
+    def _liveness(self, func: Function, cfg: CFGView) -> LivenessInfo:
+        if self.manager is not None:
+            return self.manager.liveness(func)
+        return compute_liveness(func, cfg)
 
     def _collect_accesses(
         self, func: Function, loop: Loop, induction: InductionInfo
@@ -489,11 +522,9 @@ class DependenceAnalysis:
         sources, all accessors as sinks) to bound segment count -- Step 6
         would merge them anyway.
         """
-        cfg = CFGView(func)
-        induction = induction or analyze_induction(
-            func, loop, cfg, readonly_symbols=self.readonly_globals
-        )
-        liveness = liveness or compute_liveness(func, cfg)
+        cfg = self._cfg(func)
+        induction = induction or self._induction(func, loop, cfg)
+        liveness = liveness or self._liveness(func, cfg)
         accesses = self._collect_accesses(func, loop, induction)
 
         # Group accesses by abstract location.
@@ -586,10 +617,8 @@ class DependenceAnalysis:
         The Table 1 "loop-carried dependences %" statistic: among all
         aliasing writer/accessor pairs inside the loop, how many actually
         cross iterations (survive the affine subscript disambiguation)."""
-        cfg = CFGView(func)
-        induction = analyze_induction(
-            func, loop, cfg, readonly_symbols=self.readonly_globals
-        )
+        cfg = self._cfg(func)
+        induction = self._induction(func, loop, cfg)
         accesses = self._collect_accesses(func, loop, induction)
         by_location: Dict[LocKey, List[_Access]] = {}
         for access in accesses:
@@ -613,7 +642,7 @@ class DependenceAnalysis:
                         carried += 1
         # Register flows: every upward-exposed carried register counts as
         # carried; induction/invariant-exempt ones count as examined only.
-        liveness = compute_liveness(func, cfg)
+        liveness = self._liveness(func, cfg)
         header_live = liveness.live_at_entry(loop.header)
         for uid in header_live:
             if uid not in induction.defs_in_loop:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.loopnest import LoopId
+from repro.analysis.manager import AnalysisManager
 from repro.core.loopinfo import HelixOptions, ParallelizedLoop
 from repro.core.parallelizer import parallelize_module
 from repro.core.selection import LoopSelection, SelectionConfig, choose_loops
@@ -88,15 +89,18 @@ def parallelize(
     loop_ids: Optional[Sequence[LoopId]] = None,
     train_module: Optional[Module] = None,
     profile: Optional[ProfileData] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> HelixResult:
     """Run the automatic pipeline: profile, select, transform.
 
     ``loop_ids`` overrides automatic selection; ``train_module`` supplies a
     separate training-input build of the program for profiling (defaults
     to ``module`` itself); a precomputed ``profile`` skips the profiling
-    run entirely.
+    run entirely.  ``manager`` supplies a shared versioned analysis cache
+    (one is created per call otherwise).
     """
     machine = machine or MachineConfig()
+    manager = manager or AnalysisManager()
     selection = None
     if loop_ids is None:
         if profile is None:
@@ -104,10 +108,10 @@ def parallelize(
         config = selection_config or SelectionConfig(
             machine=machine, cores=machine.cores
         )
-        selection = choose_loops(module, profile, config)
+        selection = choose_loops(module, profile, config, manager=manager)
         loop_ids = selection.chosen
     transformed, infos = parallelize_module(
-        module, loop_ids, machine, options
+        module, loop_ids, machine, options, manager=manager
     )
     return HelixResult(
         original=module,
@@ -127,6 +131,7 @@ def parallelize_and_run(
     loop_ids: Optional[Sequence[LoopId]] = None,
     train_module: Optional[Module] = None,
     record_traces: bool = True,
+    manager: Optional[AnalysisManager] = None,
 ) -> HelixResult:
     """Full pipeline plus simulation of both versions."""
     result = parallelize(
@@ -136,6 +141,7 @@ def parallelize_and_run(
         selection_config=selection_config,
         loop_ids=loop_ids,
         train_module=train_module,
+        manager=manager,
     )
     result.sequential = run_module(module, result.machine)
     executor = ParallelExecutor(

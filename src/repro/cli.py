@@ -4,16 +4,23 @@ Commands:
 
 * ``run FILE.mc``            -- compile and run a MiniC program sequentially.
 * ``parallelize FILE.mc``    -- full HELIX pipeline + simulated speedup.
+* ``compile FILE.mc``        -- profile, select and transform without
+  executing; ``--pass-stats`` prints the analysis manager's per-analysis
+  hit/miss/invalidation table.
 * ``ir FILE.mc``             -- dump the compiled IR.
 * ``bench NAME``             -- run one of the 13 suite benchmarks.
 * ``bench-interp``           -- time the tree-walking vs pre-decoded
   interpreter backends and write ``BENCH_interp.json``; ``--quick``
   restricts to a small CI-friendly subset, ``--min-speedup X`` fails
   the run if any program's speedup drops below ``X``.
+* ``bench-passes``           -- time cold benchmark pipelines with the
+  versioned analysis cache against recompute-every-request and write
+  ``BENCH_passes.json``.
 * ``suite``                  -- Figure 9 over the whole suite; supports
   ``--jobs N`` (process-parallel pipelines), ``--cache-dir PATH``
   (persistent artifact cache), ``--stats`` (per-stage wall-clock and
-  cache-hit counters) and ``--report PATH`` (JSON record).
+  cache-hit counters, including per-analysis rows) and
+  ``--report PATH`` (JSON record with an ``analyses`` block).
 """
 
 from __future__ import annotations
@@ -63,6 +70,23 @@ def cmd_parallelize(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    from repro.analysis.manager import AnalysisManager
+    from repro.api import parallelize
+    from repro.evaluation.reporting import format_analysis_stats
+
+    module = _load(args.file)
+    machine = MachineConfig(cores=args.cores)
+    manager = AnalysisManager()
+    result = parallelize(module, machine, manager=manager)
+    print(f"chosen loops:       {result.chosen_loops}")
+    print(f"parallelized loops: {len(result.infos)}")
+    if args.pass_stats:
+        print()
+        print(format_analysis_stats(manager.stats_dict()))
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.bench import compile_benchmark, get_benchmark
 
@@ -109,11 +133,33 @@ def cmd_bench_interp(args) -> int:
     return 0
 
 
+def cmd_bench_passes(args) -> int:
+    from repro.evaluation.pass_bench import run_pass_bench
+
+    report = run_pass_bench(
+        benches=args.benches,
+        repeat=args.repeat,
+        progress=lambda name: print(f"timing {name}...", file=sys.stderr),
+    )
+    print(report.render())
+    if args.out:
+        try:
+            Path(args.out).write_text(report.to_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 1
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_suite(args) -> int:
     from pathlib import Path as _Path
 
     from repro.evaluation.parallel_runner import effective_jobs, run_suite
-    from repro.evaluation.reporting import format_stage_stats
+    from repro.evaluation.reporting import (
+        format_analysis_stats,
+        format_stage_stats,
+    )
 
     fig9, report, _runner = run_suite(
         machine=MachineConfig(cores=args.cores),
@@ -124,6 +170,9 @@ def cmd_suite(args) -> int:
     if args.stats:
         print()
         print(format_stage_stats(report.stages))
+        if report.analyses:
+            print()
+            print(format_analysis_stats(report.analyses))
         print(f"suite wall-clock: {report.wall_seconds:.2f}s "
               f"(jobs={report.jobs})")
     if args.report:
@@ -154,6 +203,19 @@ def main(argv=None) -> int:
     p.add_argument("file")
     p.add_argument("--cores", type=int, default=6)
     p.set_defaults(func=cmd_parallelize)
+
+    p = sub.add_parser(
+        "compile",
+        help="profile, select and transform without executing",
+    )
+    p.add_argument("file")
+    p.add_argument("--cores", type=int, default=6)
+    p.add_argument(
+        "--pass-stats",
+        action="store_true",
+        help="print the analysis manager's hit/miss/invalidation table",
+    )
+    p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("bench", help="run a suite benchmark")
     p.add_argument("name")
@@ -202,6 +264,31 @@ def main(argv=None) -> int:
         help="exit nonzero if any program speedup is below X",
     )
     p.set_defaults(func=cmd_bench_interp)
+
+    p = sub.add_parser(
+        "bench-passes",
+        help="time cold pipelines: versioned analysis cache vs recompute",
+    )
+    p.add_argument(
+        "--benches",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="explicit benchmark names (default: representative subset)",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="timing runs per side; minimum is reported",
+    )
+    p.add_argument(
+        "--out",
+        default="BENCH_passes.json",
+        metavar="PATH",
+        help="JSON report path (empty string disables)",
+    )
+    p.set_defaults(func=cmd_bench_passes)
 
     p = sub.add_parser("suite", help="Figure 9 across the whole suite")
     p.add_argument("--cores", type=int, default=6)

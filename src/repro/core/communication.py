@@ -125,6 +125,8 @@ def insert_communication(
                     )
                     added += 1
             block.instructions = rebuilt
+    if added:
+        func.bump_version()
     return added
 
 

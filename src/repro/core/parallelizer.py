@@ -27,9 +27,8 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.dependence import DependenceAnalysis
-from repro.analysis.loops import find_loops
 from repro.analysis.loopnest import LoopId
+from repro.analysis.manager import AnalysisManager
 from repro.core.communication import insert_communication
 from repro.core.loopinfo import HelixOptions, ParallelizedLoop
 from repro.core.scheduling import (
@@ -56,8 +55,6 @@ from repro.transform.normalize import NormalizedLoop, normalize_loop
 
 #: Name of the "a parallel loop is running" global (Step 9).
 ACTIVE_FLAG = "__helix_active"
-
-_version_counter = itertools.count(1)
 
 
 class HelixError(Exception):
@@ -105,24 +102,59 @@ class HelixParallelizer:
         module: Module,
         machine: Optional[MachineConfig] = None,
         options: Optional[HelixOptions] = None,
+        manager: Optional[AnalysisManager] = None,
     ) -> None:
         self.module = module
         self.machine = machine or MachineConfig()
         self.options = options or HelixOptions()
+        #: Shared analysis cache; every analysis request of Steps 1-9 goes
+        #: through it, so analyses recompute once per mutation, not once
+        #: per call site.
+        self.am = manager or AnalysisManager()
+        #: Per-instance loop-versioning tags (P1, P2, ...): each
+        #: parallelizer starts from 1, so transformed modules get the
+        #: same block names no matter how many ran earlier in the
+        #: process (byte-identical, reproducible output).
+        self._version_counter = itertools.count(1)
         if ACTIVE_FLAG not in module.globals:
             module.add_global(ACTIVE_FLAG, Type.INT, 1, synthetic=True)
 
     # -- Step 5 (first half): dependence-driven inlining ---------------------
 
+    def _inlinable_calls(self, func: Function, loop, forest) -> bool:
+        """Whether ``loop`` directly contains any call that could be
+        inlined at all (necessary condition for the dependence scan)."""
+        callgraph = self.am.callgraph(self.module)
+        for name in sorted(loop.blocks):
+            if forest.loop_of(name) is not loop:
+                continue
+            for instr in func.blocks[name].instructions:
+                if instr.opcode is Opcode.CALL and can_inline(
+                    self.module,
+                    instr,
+                    self.options.max_inline_instructions,
+                    callgraph=callgraph,
+                ):
+                    return True
+        return False
+
     def _inline_endpoint_calls(self, func: Function, header: str) -> int:
         inlined = 0
         for _round in range(self.options.max_inline_rounds):
-            forest = find_loops(func)
+            forest = self.am.loops(func)
             loop = forest.by_header.get(header)
             if loop is None:
                 raise HelixError(f"loop {header!r} vanished during inlining")
-            analysis = DependenceAnalysis(self.module)
+            # A round can only inline a call that exists directly in the
+            # loop and passes the feasibility check; when none does (the
+            # common case: loops without calls, and the round after the
+            # last successful inline), stop before paying for a dependence
+            # query at all.
+            if not self._inlinable_calls(func, loop, forest):
+                break
+            analysis = self.am.dependence(self.module)
             deps = analysis.loop_dependences(func, loop)
+            callgraph = self.am.callgraph(self.module)
             call_endpoint = None
             for dep in deps:
                 for endpoint in dep.endpoints():
@@ -138,6 +170,7 @@ class HelixParallelizer:
                         self.module,
                         endpoint,
                         self.options.max_inline_instructions,
+                        callgraph=callgraph,
                     ):
                         call_endpoint = endpoint
                         break
@@ -159,7 +192,7 @@ class HelixParallelizer:
         Returns (block name map, guard name, parallel preheader name,
         exit stub -> outside successor).
         """
-        tag = f"P{next(_version_counter)}"
+        tag = f"P{next(self._version_counter)}"
         flag = self.module.globals[ACTIVE_FLAG]
         name_map = {name: f"{tag}_{name}" for name in norm.blocks}
 
@@ -250,7 +283,7 @@ class HelixParallelizer:
         if self.options.enable_inlining:
             inlined = self._inline_endpoint_calls(func, header)
 
-        forest = find_loops(func)
+        forest = self.am.loops(func)
         loop = forest.by_header.get(header)
         if loop is None:
             raise HelixError(f"no loop with header {header!r} in {func_name}")
@@ -279,24 +312,26 @@ class HelixParallelizer:
         )
 
         # Locate the parallel version as a natural loop.
-        forest = find_loops(func)
+        forest = self.am.loops(func)
         par_loop = forest.by_header.get(info.par_header)
         if par_loop is None:
             raise HelixError("parallel version is not a natural loop")
 
         # Step 2: dependences to synchronize.
-        analysis = DependenceAnalysis(self.module)
+        analysis = self.am.dependence(self.module)
         deps = analysis.loop_dependences(func, par_loop)
 
         # Step 4: sequential segments.
-        syncs = insert_synchronization(func, par_loop, deps)
+        syncs = insert_synchronization(
+            func, par_loop, deps, cfg=self.am.cfg(func)
+        )
         info.deps = syncs
         info.naive_waits = sum(len(s.wait_instrs) for s in syncs)
         info.naive_signals = sum(len(s.signal_instrs) for s in syncs)
 
         # Step 6: signal minimization.
         if self.options.enable_signal_optimization:
-            optimize_signals(func, par_loop, syncs)
+            optimize_signals(func, par_loop, syncs, cfg=self.am.cfg(func))
 
         # Step 7: communication.
         insert_communication(self.module, func, par_loop, syncs)
@@ -312,7 +347,7 @@ class HelixParallelizer:
         self._insert_next_iter(func, info, crossing)
 
         # Steps 5 and 8 operate on the final block set.
-        forest = find_loops(func)
+        forest = self.am.loops(func)
         par_loop = forest.by_header[info.par_header]
         if self.options.enable_segment_scheduling:
             schedule_loop(func, par_loop, analysis.points_to, syncs)
@@ -321,7 +356,9 @@ class HelixParallelizer:
             and self.options.enable_prefetch_balancing
         ):
             balance_loop(func, par_loop, analysis.points_to, syncs, self.machine)
-        info.helper_order = helper_wait_order(func, par_loop, syncs)
+        info.helper_order = helper_wait_order(
+            func, par_loop, syncs, cfg=self.am.cfg(func)
+        )
 
         info.final_waits = sum(len(s.wait_instrs) for s in syncs)
         info.final_signals = sum(len(s.signal_instrs) for s in syncs)
@@ -336,14 +373,17 @@ def parallelize_module(
     loop_ids: Sequence[LoopId],
     machine: Optional[MachineConfig] = None,
     options: Optional[HelixOptions] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> Tuple[Module, List[ParallelizedLoop]]:
     """Parallelize ``loop_ids`` on a clone of ``module``.
 
     Returns the transformed module plus per-loop metadata.  The input
     module is left untouched (it remains the sequential baseline).
+    ``manager`` shares one analysis cache with the caller (selection,
+    the evaluation runner); omitted, the parallelizer creates its own.
     """
     transformed = clone_module(module)
-    parallelizer = HelixParallelizer(transformed, machine, options)
+    parallelizer = HelixParallelizer(transformed, machine, options, manager)
     infos: List[ParallelizedLoop] = []
     for loop_id in loop_ids:
         infos.append(parallelizer.parallelize_loop(loop_id))

@@ -250,6 +250,8 @@ def schedule_loop(
     """Apply Step 5 scheduling to every block of the loop."""
     for name in sorted(loop.blocks):
         schedule_block(func.blocks[name], func.name, points_to, syncs)
+    # Blocks were rebuilt in place (possibly reordered).
+    func.bump_version()
 
 
 # -- Step 8: Figure 6 balancing -------------------------------------------------
@@ -369,6 +371,8 @@ def balance_loop(
         moved += balance_block(
             func.blocks[name], func.name, points_to, syncs, machine
         )
+    if moved:
+        func.bump_version()
     return moved
 
 
@@ -376,7 +380,10 @@ def balance_loop(
 
 
 def helper_wait_order(
-    func: Function, loop: Loop, syncs: Sequence[DepSync]
+    func: Function,
+    loop: Loop,
+    syncs: Sequence[DepSync],
+    cfg: CFGView = None,
 ) -> List[int]:
     """The straight-line wait sequence executed by helper threads.
 
@@ -385,7 +392,7 @@ def helper_wait_order(
     (``wait(d_i)`` comes after ``wait(d_j)`` when ``wait(d_j)`` is
     available just before it -- Step 8).
     """
-    cfg = CFGView(func)
+    cfg = cfg or CFGView(func)
     order = reverse_postorder(cfg)
     position: Dict[str, int] = {name: i for i, name in enumerate(order)}
 

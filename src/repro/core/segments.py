@@ -167,6 +167,8 @@ def insert_synchronization(
             sync.wait_instrs.append(wait)
             sync.signal_instrs.append(signal)
         syncs.append(sync)
+    if any(s.wait_instrs or s.signal_instrs for s in syncs):
+        func.bump_version()
     return syncs
 
 

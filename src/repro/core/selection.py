@@ -26,6 +26,7 @@ from repro.analysis.dependence import DependenceAnalysis
 from repro.analysis.induction import analyze_induction
 from repro.analysis.loopnest import DynamicLoopNestGraph, LoopId
 from repro.analysis.loops import Loop, find_loops
+from repro.analysis.manager import AnalysisManager
 from repro.core.model import LoopModelInputs, SpeedupModel
 from repro.core.segments import (
     compute_region,
@@ -129,13 +130,18 @@ def characterize_loop(
     machine: MachineConfig,
     nesting_level: int = 1,
     unoptimized_signals: bool = False,
+    manager: Optional[AnalysisManager] = None,
 ) -> LoopModelInputs:
     """Build the model inputs of one candidate loop."""
-    cfg = CFGView(func)
+    if manager is not None:
+        cfg = manager.cfg(func)
+        induction = manager.induction(func, loop)
+    else:
+        cfg = CFGView(func)
+        induction = analyze_induction(
+            func, loop, cfg, readonly_symbols=analysis.readonly_globals
+        )
     loop_profile = profile.loop(loop.id)
-    induction = analyze_induction(
-        func, loop, cfg, readonly_symbols=analysis.readonly_globals
-    )
     deps = analysis.loop_dependences(func, loop, induction=induction)
 
     # Analytic Step 6: distinct regions, maximal under containment.
@@ -170,7 +176,9 @@ def characterize_loop(
     for name in loop.blocks:
         for instr in func.blocks[name].instructions:
             instr_block[instr.uid] = name
-    forest = find_loops(func, cfg)
+    forest = (
+        manager.loops(func) if manager is not None else find_loops(func, cfg)
+    )
 
     full_blocks: Set[str] = set()
     endpoint_cost = 0.0
@@ -309,12 +317,23 @@ def _dynamic_levels(graph: DynamicLoopNestGraph) -> Dict[LoopId, int]:
 
 
 def analyze_candidates(
-    module: Module, profile: ProfileData, config: SelectionConfig
+    module: Module,
+    profile: ProfileData,
+    config: SelectionConfig,
+    manager: Optional[AnalysisManager] = None,
 ) -> Dict[LoopId, LoopModelInputs]:
     """Characterize every profiled loop."""
-    analysis = DependenceAnalysis(module)
+    if manager is not None:
+        analysis = manager.dependence(module)
+        forests = {
+            name: manager.loops(f) for name, f in module.functions.items()
+        }
+    else:
+        analysis = DependenceAnalysis(module)
+        forests = {
+            name: find_loops(f) for name, f in module.functions.items()
+        }
     levels = _dynamic_levels(profile.dynamic_nesting)
-    forests = {name: find_loops(f) for name, f in module.functions.items()}
     result: Dict[LoopId, LoopModelInputs] = {}
     for loop_id in profile.dynamic_nesting.nodes():
         func_name, header = loop_id
@@ -333,6 +352,7 @@ def analyze_candidates(
             config.machine,
             nesting_level=levels.get(loop_id, 1),
             unoptimized_signals=config.unoptimized_signals,
+            manager=manager,
         )
     return result
 
@@ -341,11 +361,20 @@ def analyze_candidates(
 
 
 def _filter_statically_nested(
-    module: Module, chosen: Sequence[LoopId]
+    module: Module,
+    chosen: Sequence[LoopId],
+    manager: Optional[AnalysisManager] = None,
 ) -> List[LoopId]:
     """Drop loops statically nested inside another chosen loop of the same
     function (the runtime flag would serialize them anyway)."""
-    forests = {name: find_loops(f) for name, f in module.functions.items()}
+    if manager is not None:
+        forests = {
+            name: manager.loops(f) for name, f in module.functions.items()
+        }
+    else:
+        forests = {
+            name: find_loops(f) for name, f in module.functions.items()
+        }
     result: List[LoopId] = []
     for loop_id in chosen:
         func_name, header = loop_id
@@ -368,10 +397,11 @@ def choose_loops(
     module: Module,
     profile: ProfileData,
     config: Optional[SelectionConfig] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> LoopSelection:
     """Run the full Section 2.2 selection."""
     config = config or SelectionConfig()
-    candidates = analyze_candidates(module, profile, config)
+    candidates = analyze_candidates(module, profile, config, manager=manager)
     model = SpeedupModel(
         config.machine,
         program_cycles=float(profile.total_cycles),
@@ -421,7 +451,9 @@ def choose_loops(
                 child for child in graph.children(node) if child in candidates
             )
 
-    chosen = _filter_statically_nested(module, sorted(set(chosen)))
+    chosen = _filter_statically_nested(
+        module, sorted(set(chosen)), manager=manager
+    )
     selection = LoopSelection(
         chosen=sorted(chosen),
         candidates=candidates,
@@ -439,6 +471,7 @@ def fixed_level_selection(
     profile: ProfileData,
     level: int,
     config: Optional[SelectionConfig] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> List[LoopId]:
     """All profiled loops at one nesting level (the Figure 11/13 baseline)."""
     config = config or SelectionConfig()
@@ -456,4 +489,4 @@ def fixed_level_selection(
         ancestors = nx.ancestors(graph.graph, loop_id)
         if not (ancestors & chosen_set):
             deduped.append(loop_id)
-    return _filter_statically_nested(module, deduped)
+    return _filter_statically_nested(module, deduped, manager=manager)

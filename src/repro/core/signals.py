@@ -221,10 +221,19 @@ def eliminate_redundant_signals(
 
 
 def optimize_signals(
-    func: Function, loop: Loop, syncs: Sequence[DepSync]
+    func: Function,
+    loop: Loop,
+    syncs: Sequence[DepSync],
+    cfg: CFGView = None,
 ) -> Dict[str, int]:
-    """Run all of Step 6; returns statistics of what was removed."""
-    cfg = CFGView(func)
+    """Run all of Step 6; returns statistics of what was removed.
+
+    ``cfg`` may be supplied by the caller (the analysis manager's current
+    snapshot): this pass only removes straight-line wait/signal
+    instructions, never branch targets, so one CFG view stays valid
+    throughout.
+    """
+    cfg = cfg or CFGView(func)
     graph = build_redundance_graph(func, loop, cfg, syncs)
     keep = apply_theorem1(graph)
 
@@ -248,9 +257,10 @@ def optimize_signals(
             sync.wait_instrs = []
             sync.signal_instrs = []
 
-    cfg = CFGView(func)
     dropped_waits += eliminate_redundant_waits(func, loop, cfg, syncs)
     dropped_signals += eliminate_redundant_signals(func, loop, cfg, syncs)
+    if dropped_waits or dropped_signals:
+        func.bump_version()
     return {
         "removed_waits": dropped_waits,
         "removed_signals": dropped_signals,

@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.dependence import DependenceAnalysis
-from repro.analysis.loops import find_loops
 from repro.core.loopinfo import HelixOptions
 from repro.evaluation.reporting import format_table, geomean
 from repro.evaluation.runner import EvaluationRunner, default_runner
@@ -144,11 +142,11 @@ def table1(runner: Optional[EvaluationRunner] = None) -> Table1Result:
 
         # Loop-carried dependence fraction over the chosen loops.
         module = runner.module(bench, "ref")
-        analysis = DependenceAnalysis(module)
+        analysis = runner.analysis.dependence(module)
         examined = carried = 0
         for func_name, header in run.chosen:
             func = module.functions[func_name]
-            loop = find_loops(func).by_header.get(header)
+            loop = runner.analysis.loops(func).by_header.get(header)
             if loop is None:
                 continue
             ex, ca = analysis.loop_dependence_statistics(func, loop)

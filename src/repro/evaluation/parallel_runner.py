@@ -70,6 +70,10 @@ class SuiteReport:
     benches: List[BenchOutcome] = field(default_factory=list)
     #: Aggregated stage counters: parent runner + all workers.
     stages: Dict[str, dict] = field(default_factory=dict)
+    #: Per-analysis counters (the ``analysis:``-prefixed stage rows with
+    #: the prefix stripped): hit/miss/invalidation accounting of the
+    #: versioned :class:`~repro.analysis.manager.AnalysisManager`.
+    analyses: Dict[str, dict] = field(default_factory=dict)
     #: Disk traffic of the parent's cache, per artifact kind.
     cache_traffic: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
@@ -84,6 +88,7 @@ class SuiteReport:
             "geomeans": self.geomeans,
             "benches": [b.as_dict() for b in self.benches],
             "stages": self.stages,
+            "analyses": self.analyses,
             "cache_traffic": self.cache_traffic,
         }
 
@@ -159,6 +164,12 @@ def run_suite(
             stats.merge(outcome.stages)
         stats.merge(runner.stats.as_dict())
         report.stages = stats.as_dict()
+        prefix = "analysis:"
+        report.analyses = {
+            stage[len(prefix):]: data
+            for stage, data in report.stages.items()
+            if stage.startswith(prefix)
+        }
         report.speedups = {
             bench: {str(cores): speedup for cores, speedup in row.items()}
             for bench, row in fig9.speedups.items()

@@ -1,0 +1,194 @@
+"""Pass-pipeline benchmarks (``repro bench-passes``).
+
+Times the compile-side pipeline (selection + transformation, on a shared
+precomputed profile) of each benchmark twice: once with an
+:class:`~repro.analysis.manager.UncachedAnalysisManager` (every analysis
+request recomputes, the pre-manager behavior) and once with the versioned
+:class:`~repro.analysis.manager.AnalysisManager` (memoized while the IR
+version matches).  Both sides start cold -- the speedup measured is pure
+intra-pipeline reuse: one whole-module dependence analysis shared across
+every selected loop instead of one per loop, one CFG/loop forest per
+function instead of one per query.
+
+Every timed pair is also a differential check: both sides must choose the
+same loops and produce byte-identical transformed IR, or the run aborts.
+
+The JSON report (``BENCH_passes.json`` by convention) records the repo's
+pass-pipeline perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.manager import AnalysisManager, UncachedAnalysisManager
+from repro.bench import compile_benchmark
+from repro.core.parallelizer import parallelize_module
+from repro.core.selection import SelectionConfig, choose_loops
+from repro.ir.printer import module_to_str
+from repro.runtime.machine import MachineConfig
+from repro.runtime.profiler import profile_module
+
+#: Default benchmark subset: three programs whose selection picks several
+#: loops each, so the per-loop dependence recomputation cost is visible.
+DEFAULT_BENCHES = ("gzip", "mcf", "equake")
+
+
+@dataclass
+class PipelineTiming:
+    """Timed comparison of both analysis managers on one benchmark."""
+
+    name: str
+    chosen_loops: int
+    uncached_seconds: float
+    cached_seconds: float
+    #: Analysis-manager counters of the cached side's last run.
+    analyses: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.cached_seconds <= 0:
+            return float("inf")
+        return self.uncached_seconds / self.cached_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "chosen_loops": self.chosen_loops,
+            "uncached_seconds": self.uncached_seconds,
+            "cached_seconds": self.cached_seconds,
+            "speedup": self.speedup,
+            "analyses": self.analyses,
+        }
+
+
+@dataclass
+class PassBenchReport:
+    """Everything one ``bench-passes`` invocation measured."""
+
+    repeat: int
+    programs: List[PipelineTiming] = field(default_factory=list)
+
+    @property
+    def geomean_speedup(self) -> float:
+        if not self.programs:
+            return 1.0
+        product = 1.0
+        for timing in self.programs:
+            product *= timing.speedup
+        return product ** (1.0 / len(self.programs))
+
+    @property
+    def aggregate_speedup(self) -> float:
+        """Total-time ratio: weights each benchmark by its runtime."""
+        uncached = sum(t.uncached_seconds for t in self.programs)
+        cached = sum(t.cached_seconds for t in self.programs)
+        if cached <= 0:
+            return float("inf")
+        return uncached / cached
+
+    def as_dict(self) -> dict:
+        return {
+            "repeat": self.repeat,
+            "programs": [t.as_dict() for t in self.programs],
+            "summary": {
+                "geomean_speedup": self.geomean_speedup,
+                "aggregate_speedup": self.aggregate_speedup,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    def render(self) -> str:
+        lines = [
+            f"{'program':<10} {'loops':>5} {'uncached s':>11} "
+            f"{'cached s':>9} {'speedup':>8}"
+        ]
+        for t in self.programs:
+            lines.append(
+                f"{t.name:<10} {t.chosen_loops:>5} "
+                f"{t.uncached_seconds:>11.3f} {t.cached_seconds:>9.3f} "
+                f"{t.speedup:>7.2f}x"
+            )
+        lines.append(
+            f"{'geomean':<10} {'':>5} "
+            f"{sum(t.uncached_seconds for t in self.programs):>11.3f} "
+            f"{sum(t.cached_seconds for t in self.programs):>9.3f} "
+            f"{self.geomean_speedup:>7.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def _run_pipeline(module, profile, machine, manager):
+    """One cold selection + transformation with ``manager``."""
+    config = SelectionConfig(machine=machine, cores=machine.cores)
+    selection = choose_loops(module, profile, config, manager=manager)
+    transformed, infos = parallelize_module(
+        module, selection.chosen, machine, manager=manager
+    )
+    return selection, transformed, infos
+
+
+def _time_manager(module, profile, machine, make_manager, repeat: int):
+    """Minimum wall-clock over ``repeat`` cold runs, plus the last run."""
+    best = float("inf")
+    outcome = None
+    for _ in range(repeat):
+        manager = make_manager()
+        start = time.perf_counter()
+        outcome = _run_pipeline(module, profile, machine, manager)
+        best = min(best, time.perf_counter() - start)
+        outcome = outcome + (manager,)
+    return best, outcome
+
+
+def run_pass_bench(
+    benches: Optional[Sequence[str]] = None,
+    repeat: int = 1,
+    machine: Optional[MachineConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PassBenchReport:
+    """Time both analysis managers on ``benches`` and differential-check.
+
+    Raises :class:`AssertionError` if the two sides ever disagree on the
+    chosen loops or the transformed IR -- the benchmark doubles as an
+    end-to-end equivalence check of the caching layer.
+    """
+    machine = machine or MachineConfig(cores=6)
+    names = list(benches) if benches is not None else list(DEFAULT_BENCHES)
+    report = PassBenchReport(repeat=repeat)
+    for name in names:
+        if progress:
+            progress(name)
+        ref = compile_benchmark(name, "ref")
+        train = compile_benchmark(name, "train")
+        profile = profile_module(train, machine)
+        uncached_s, uncached = _time_manager(
+            ref, profile, machine, UncachedAnalysisManager, repeat
+        )
+        cached_s, cached = _time_manager(
+            ref, profile, machine, AnalysisManager, repeat
+        )
+        if uncached[0].chosen != cached[0].chosen:  # pragma: no cover
+            raise AssertionError(
+                f"manager divergence on {name!r}: chosen loops "
+                f"{uncached[0].chosen} != {cached[0].chosen}"
+            )
+        if module_to_str(uncached[1]) != module_to_str(cached[1]):
+            raise AssertionError(  # pragma: no cover
+                f"manager divergence on {name!r}: transformed IR differs"
+            )
+        report.programs.append(
+            PipelineTiming(
+                name=name,
+                chosen_loops=len(cached[0].chosen),
+                uncached_seconds=uncached_s,
+                cached_seconds=cached_s,
+                analyses=cached[3].stats_dict(),
+            )
+        )
+    return report

@@ -68,11 +68,53 @@ def format_stage_stats(stages: Dict[str, Dict[str, Union[int, float]]]) -> str:
                 int(data["computes"]),
                 int(data["memory_hits"]),
                 int(data["disk_hits"]),
+                int(data.get("invalidations", 0)),
                 float(data["wall_seconds"]),
             ]
         )
     return format_table(
-        ["stage", "requests", "computed", "memory-hit", "disk-hit", "seconds"],
+        [
+            "stage",
+            "requests",
+            "computed",
+            "memory-hit",
+            "disk-hit",
+            "invalidated",
+            "seconds",
+        ],
         rows,
         title="Pipeline stage statistics",
+    )
+
+
+def format_analysis_stats(
+    analyses: Dict[str, Dict[str, Union[int, float]]]
+) -> str:
+    """Observability table for the analysis manager: one row per
+    registered analysis.
+
+    ``analyses`` maps analysis name to
+    :meth:`repro.analysis.manager.AnalysisCounter.as_dict` output (or the
+    equivalent ``analysis:``-prefix-stripped stage rows of a merged
+    :class:`~repro.evaluation.runner.StageStats`).
+    """
+    rows: List[List[Cell]] = []
+    for name in sorted(analyses):
+        data = analyses[name]
+        hits = int(data.get("hits", data.get("memory_hits", 0)))
+        misses = int(data.get("misses", data.get("computes", 0)))
+        rows.append(
+            [
+                name,
+                hits + misses,
+                hits,
+                misses,
+                int(data.get("invalidations", 0)),
+                float(data["wall_seconds"]),
+            ]
+        )
+    return format_table(
+        ["analysis", "requests", "hits", "misses", "invalidated", "seconds"],
+        rows,
+        title="Analysis manager statistics",
     )

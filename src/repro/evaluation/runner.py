@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.loopnest import LoopId
+from repro.analysis.manager import AnalysisManager
 from repro.bench import benchmark_fingerprint, benchmark_names, compile_benchmark
 from repro.core.loopinfo import HelixOptions, ParallelizedLoop
 from repro.core.parallelizer import parallelize_module
@@ -79,6 +80,9 @@ class StageTally:
     #: Wall-clock spent in this stage (computes + disk loads; memory
     #: hits are effectively free and charged as zero).
     wall_seconds: float = 0.0
+    #: Cached results discarded because their subject changed (only
+    #: analysis stages report these; pipeline stages stay at zero).
+    invalidations: int = 0
 
     @property
     def requests(self) -> int:
@@ -91,6 +95,7 @@ class StageTally:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "wall_seconds": self.wall_seconds,
+            "invalidations": self.invalidations,
         }
 
 
@@ -121,6 +126,11 @@ class StageStats:
             raise ValueError(f"unknown stage outcome {outcome!r}")
         tally.wall_seconds += seconds
 
+    def invalidate(self, stage: str) -> None:
+        """Count one cache invalidation (a stale cached result dropped
+        because the IR it described was mutated)."""
+        self.tally(stage).invalidations += 1
+
     def merge(self, stages: Dict[str, dict]) -> None:
         """Fold another runner's :meth:`as_dict` in (cross-process
         aggregation for the parallel suite runner)."""
@@ -130,6 +140,7 @@ class StageStats:
             tally.memory_hits += data["memory_hits"]
             tally.disk_hits += data["disk_hits"]
             tally.wall_seconds += data["wall_seconds"]
+            tally.invalidations += data.get("invalidations", 0)
 
     def as_dict(self) -> Dict[str, dict]:
         order = [s for s in STAGES if s in self.stages]
@@ -191,6 +202,11 @@ class EvaluationRunner:
         #: because both backends produce identical results.
         self.interp_backend = interp_backend
         self.stats = StageStats()
+        #: Versioned analysis cache shared by every selection and
+        #: transformation this runner performs; its per-analysis
+        #: hit/miss/invalidation counters mirror into ``stats`` under
+        #: ``analysis:<name>`` keys.
+        self.analysis = AnalysisManager(stats=self.stats)
         self._modules: Dict[Tuple[str, str], Module] = {}
         self._profiles: Dict[str, ProfileData] = {}
         self._sequential: Dict[str, ExecutionResult] = {}
@@ -310,14 +326,17 @@ class EvaluationRunner:
             signal_cost=signal_cost,
             unoptimized_signals=unoptimized_signals,
         )
-        selection = choose_loops(module, profile, config)
+        selection = choose_loops(module, profile, config, manager=self.analysis)
         self._selections[key] = selection
         self.stats.record("selection", "compute", time.perf_counter() - start)
         return selection
 
     def fixed_level(self, bench: str, level: int) -> List[LoopId]:
         return fixed_level_selection(
-            self.module(bench, "ref"), self.profile(bench), level
+            self.module(bench, "ref"),
+            self.profile(bench),
+            level,
+            manager=self.analysis,
         )
 
     def pipeline(
@@ -358,7 +377,7 @@ class EvaluationRunner:
 
         start = time.perf_counter()
         transformed, infos = parallelize_module(
-            module, loop_ids, machine, options
+            module, loop_ids, machine, options, manager=self.analysis
         )
         self.stats.record("transform", "compute", time.perf_counter() - start)
 

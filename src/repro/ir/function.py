@@ -16,6 +16,14 @@ class Function:
     Blocks are kept in an ordered mapping; the first block is the entry.
     Virtual registers are allocated through :meth:`new_vreg` so uids stay
     unique within the function even across HELIX cloning passes.
+
+    Every mutation of the function body must be visible in
+    :attr:`version` -- that is the invalidation protocol of
+    :class:`repro.analysis.manager.AnalysisManager`.  The block-level
+    structural APIs (:meth:`new_block`, :meth:`add_block`,
+    :meth:`remove_block`, :meth:`set_entry`) bump automatically; passes
+    that splice instructions inside existing blocks call
+    :meth:`bump_version` themselves.
     """
 
     def __init__(self, name: str, return_type: Type = Type.VOID) -> None:
@@ -26,6 +34,17 @@ class Function:
         self.locals: Dict[str, Symbol] = {}
         self._next_vreg = 0
         self._next_block = 0
+        #: Monotonic IR-mutation counter (analysis cache invalidation).
+        self.version = 0
+        #: Owning module, set by :meth:`repro.ir.module.Module.add_function`
+        #: so function-level bumps propagate to the module version.
+        self._module = None
+
+    def bump_version(self) -> None:
+        """Declare that the function body changed (invalidates analyses)."""
+        self.version += 1
+        if self._module is not None:
+            self._module.bump_version()
 
     # -- registers and symbols ----------------------------------------------
 
@@ -47,6 +66,7 @@ class Function:
             raise ValueError(f"duplicate local array {name!r} in {self.name}")
         sym = Symbol(name, elem_type, size, function=self.name)
         self.locals[name] = sym
+        self.bump_version()
         return sym
 
     # -- blocks ---------------------------------------------------------------
@@ -67,6 +87,7 @@ class Function:
             self._next_block += 1
         block = BasicBlock(name)
         self.blocks[name] = block
+        self.bump_version()
         return block
 
     def add_block(self, block: BasicBlock) -> BasicBlock:
@@ -74,11 +95,13 @@ class Function:
         if block.name in self.blocks:
             raise ValueError(f"duplicate block {block.name!r} in {self.name}")
         self.blocks[block.name] = block
+        self.bump_version()
         return block
 
     def remove_block(self, name: str) -> None:
         """Remove a block by name (callers must fix dangling branches)."""
         del self.blocks[name]
+        self.bump_version()
 
     def block_order(self) -> List[BasicBlock]:
         """Blocks in insertion order (entry first)."""
@@ -93,6 +116,7 @@ class Function:
             if block_name != name:
                 reordered[block_name] = block
         self.blocks = reordered
+        self.bump_version()
 
     # -- edges ----------------------------------------------------------------
 

@@ -21,6 +21,15 @@ class Module:
         self.functions: Dict[str, Function] = {}
         self.globals: Dict[str, Symbol] = {}
         self.global_inits: Dict[str, List[Union[int, float]]] = {}
+        #: Monotonic IR-mutation counter: bumped by module-level edits and
+        #: by :meth:`Function.bump_version` of any registered function, so
+        #: it is a complete proxy for "anything in the program changed"
+        #: (the :class:`repro.analysis.manager.AnalysisManager` protocol).
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Declare that the program changed (invalidates module analyses)."""
+        self.version += 1
 
     # -- globals -----------------------------------------------------------
 
@@ -43,6 +52,7 @@ class Module:
             raise ValueError(f"initializer longer than {name!r} ({size})")
         values.extend([zero] * (size - len(values)))
         self.global_inits[name] = values
+        self.bump_version()
         return sym
 
     # -- functions -----------------------------------------------------------
@@ -52,6 +62,8 @@ class Module:
         if func.name in self.functions:
             raise ValueError(f"duplicate function {func.name!r}")
         self.functions[func.name] = func
+        func._module = self
+        self.bump_version()
         return func
 
     @property
@@ -79,5 +91,7 @@ def clone_module(module: Module) -> Module:
     clone.globals = dict(module.globals)
     clone.global_inits = {k: list(v) for k, v in module.global_inits.items()}
     for name, func in module.functions.items():
-        clone.functions[name] = clone_function(func)
+        new_func = clone_function(func)
+        new_func._module = clone
+        clone.functions[name] = new_func
     return clone

@@ -190,6 +190,8 @@ def fold_constants(func: Function) -> int:
                     local_consts.pop(instr.dest.uid, None)
             new_instrs.append(instr)
         block.instructions = new_instrs
+    if rewrites:
+        func.bump_version()
     return rewrites
 
 

@@ -56,6 +56,8 @@ def propagate_copies(func: Function) -> int:
                             copies[uid] = source
             new_instrs.append(instr)
         block.instructions = new_instrs
+    if rewrites:
+        func.bump_version()
     return rewrites
 
 

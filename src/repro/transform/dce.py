@@ -38,6 +38,8 @@ def eliminate_dead_code(func: Function) -> int:
                 else:
                     keep.append(instr)
             block.instructions = keep
+    if removed:
+        func.bump_version()
     return removed
 
 

@@ -11,8 +11,9 @@ functions.
 from __future__ import annotations
 
 import itertools
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.analysis.callgraph import CallGraph, build_callgraph
 from repro.ir import (
     BasicBlock,
     Function,
@@ -33,17 +34,21 @@ def can_inline(
     module: Module,
     call: Instruction,
     max_callee_instructions: int = 400,
+    callgraph: Optional[CallGraph] = None,
 ) -> bool:
-    """Cheap feasibility check (existence, size, non-recursion)."""
+    """Cheap feasibility check (existence, size, non-recursion).
+
+    ``callgraph`` lets callers probing many sites share one call graph
+    (e.g. from the analysis manager) instead of rebuilding it per query.
+    """
     if call.opcode is not Opcode.CALL or call.callee not in module.functions:
         return False
     callee = module.functions[call.callee]
     if callee.instruction_count() > max_callee_instructions:
         return False
     # Direct or mutual recursion would require unbounded expansion.
-    from repro.analysis.callgraph import build_callgraph
-
-    callgraph = build_callgraph(module)
+    if callgraph is None:
+        callgraph = build_callgraph(module)
     return not callgraph.is_recursive(call.callee)
 
 
@@ -143,4 +148,7 @@ def inline_call(
                 )
         caller.add_block(clone)
 
+    # Block registrations above already bumped the version; one more bump
+    # covers the in-place split of the call site's instruction list.
+    caller.bump_version()
     return block_map
