@@ -16,6 +16,10 @@ Commands:
 * ``bench-passes``           -- time cold benchmark pipelines with the
   versioned analysis cache against recompute-every-request and write
   ``BENCH_passes.json``.
+* ``bench-sched``            -- time multi-machine sweep replay with the
+  compiled trace scheduler against the reference per-event engine and
+  write ``BENCH_sched.json``; every timed pair is also a field-exact
+  differential check.
 * ``suite``                  -- Figure 9 over the whole suite; supports
   ``--jobs N`` (process-parallel pipelines), ``--cache-dir PATH``
   (persistent artifact cache), ``--stats`` (per-stage wall-clock and
@@ -149,6 +153,35 @@ def cmd_bench_passes(args) -> int:
             print(f"error: cannot write report: {exc}", file=sys.stderr)
             return 1
         print(f"report written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_sched(args) -> int:
+    from repro.evaluation.sched_bench import QUICK_BENCHES, run_sched_bench
+
+    benches = args.benches
+    if not benches:
+        benches = list(QUICK_BENCHES) if args.quick else None
+    report = run_sched_bench(
+        benches=benches,
+        repeat=args.repeat,
+        progress=lambda name: print(f"timing {name}...", file=sys.stderr),
+    )
+    print(report.render())
+    if args.out:
+        try:
+            Path(args.out).write_text(report.to_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 1
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.min_speedup is not None and report.min_speedup < args.min_speedup:
+        print(
+            f"error: min speedup {report.min_speedup:.2f}x below "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -289,6 +322,43 @@ def main(argv=None) -> int:
         help="JSON report path (empty string disables)",
     )
     p.set_defaults(func=cmd_bench_passes)
+
+    p = sub.add_parser(
+        "bench-sched",
+        help="time compiled vs reference trace schedulers on sweep replay",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small representative subset (CI smoke)",
+    )
+    p.add_argument(
+        "--benches",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="explicit benchmark names (overrides --quick)",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="timing runs per engine; minimum is reported",
+    )
+    p.add_argument(
+        "--out",
+        default="BENCH_sched.json",
+        metavar="PATH",
+        help="JSON report path (empty string disables)",
+    )
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero if any benchmark's sweep speedup is below X",
+    )
+    p.set_defaults(func=cmd_bench_sched)
 
     p = sub.add_parser("suite", help="Figure 9 across the whole suite")
     p.add_argument("--cores", type=int, default=6)

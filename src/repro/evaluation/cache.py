@@ -42,11 +42,19 @@ from repro.analysis.loopnest import LoopId
 from repro.core.loopinfo import HelixOptions
 from repro.runtime.machine import MachineConfig, PrefetchMode
 
+#: Cache payload schema generation, folded into :func:`code_version`.
+#: Bump on incompatible payload-shape changes that a pure source hash
+#: would not capture (e.g. readers in other processes interpreting the
+#: same bytes differently).  2: pipeline traces are serialized in the
+#: versioned compact format and carry the run's ``load_count``.
+CACHE_SCHEMA_VERSION = 2
+
 _code_version: Optional[str] = None
 
 
 def code_version() -> str:
-    """Fingerprint of the ``repro`` package sources.
+    """Fingerprint of the ``repro`` package sources (and the cache
+    payload schema generation).
 
     Hashed into every cache key: any edit to the simulator, the
     transformation, or the benchmarks' build machinery invalidates all
@@ -58,6 +66,8 @@ def code_version() -> str:
 
         root = Path(repro.__file__).resolve().parent
         digest = hashlib.sha256()
+        digest.update(f"schema:{CACHE_SCHEMA_VERSION}".encode())
+        digest.update(b"\0")
         for path in sorted(root.rglob("*.py")):
             digest.update(str(path.relative_to(root)).encode())
             digest.update(b"\0")

@@ -77,13 +77,13 @@ def figure9(runner: Optional[EvaluationRunner] = None) -> Figure9Result:
     for bench in runner.benches():
         run = runner.helix_run(bench)
         assert run.output_matches, f"{bench}: parallel output diverged"
-        per_core: Dict[int, float] = {}
-        for cores in (2, 4, 6):
-            machine = runner.machine.with_cores(cores)
-            per_core[cores] = (
-                run.speedup if cores == runner.machine.cores
-                else run.speedup_at(machine)
-            )
+        swept = [c for c in (2, 4, 6) if c != runner.machine.cores]
+        values = run.speedups_at(
+            [runner.machine.with_cores(c) for c in swept]
+        )
+        per_core = dict(zip(swept, values))
+        if runner.machine.cores in (2, 4, 6):
+            per_core[runner.machine.cores] = run.speedup
         speedups[bench] = per_core
     return Figure9Result(speedups=speedups)
 
@@ -319,11 +319,10 @@ def prefetching_study(
     }
     for bench in runner.benches():
         run = runner.helix_run(bench)
-        row: Dict[str, float] = {}
-        for label, mode in mode_map.items():
-            machine = runner.machine.with_prefetch(mode)
-            row[label] = run.speedup_at(machine)
-        speedups[bench] = row
+        values = run.speedups_at(
+            [runner.machine.with_prefetch(mode) for mode in mode_map.values()]
+        )
+        speedups[bench] = dict(zip(mode_map, values))
     return PrefetchStudyResult(speedups=speedups)
 
 
@@ -564,19 +563,23 @@ def latency_sweep(
     import dataclasses as _dc
 
     runner = runner or default_runner()
+    machines = [
+        _dc.replace(
+            runner.machine,
+            signal_latency=max(latency, 4),
+            word_transfer_cycles=max(latency, 4),
+            prefetched_signal_latency=min(
+                4, max(latency, 1)
+            ),
+        )
+        for latency in latencies
+    ]
     speedups: Dict[int, Dict[str, float]] = {l: {} for l in latencies}
     for bench in runner.benches():
         run = runner.helix_run(bench)
-        for latency in latencies:
-            machine = _dc.replace(
-                runner.machine,
-                signal_latency=max(latency, 4),
-                word_transfer_cycles=max(latency, 4),
-                prefetched_signal_latency=min(
-                    4, max(latency, 1)
-                ),
-            )
-            speedups[latency][bench] = run.speedup_at(machine)
+        values = run.speedups_at(machines)
+        for latency, value in zip(latencies, values):
+            speedups[latency][bench] = value
     return LatencySweepResult(speedups=speedups)
 
 

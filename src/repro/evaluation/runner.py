@@ -49,11 +49,11 @@ from repro.ir.printer import module_to_str
 from repro.runtime.interpreter import ExecutionResult, run_module
 from repro.runtime.machine import MachineConfig, PrefetchMode
 from repro.runtime.parallel import (
-    InvocationTrace,
     LoopRunStats,
     ParallelExecutor,
     ParallelRunResult,
 )
+from repro.runtime.trace import TRACE_FORMAT_VERSION, CompactInvocationTrace
 from repro.runtime.profiler import ProfileData, profile_module
 
 #: Pipeline stages, in execution order (keys of :class:`StageStats`).
@@ -173,13 +173,29 @@ class PipelineRun:
 
     def speedup_at(self, machine: MachineConfig) -> float:
         """Speedup under another machine, from recorded traces."""
-        replayed = self.executor.replay(machine)
-        if replayed.cycles <= 0:
-            return 1.0
-        return self.sequential.cycles / replayed.cycles
+        return self.speedups_at([machine])[0]
+
+    def speedups_at(
+        self, machines: Sequence[MachineConfig]
+    ) -> List[float]:
+        """Speedups under several machines in one batched replay.
+
+        The figure sweeps (core counts, prefetch modes, latencies) go
+        through here so every stored trace is walked once per sweep, not
+        twice per swept machine."""
+        return [
+            1.0 if replayed.cycles <= 0
+            else self.sequential.cycles / replayed.cycles
+            for replayed in self.executor.replay_many(machines)
+        ]
 
     def replay(self, machine: MachineConfig) -> ParallelRunResult:
         return self.executor.replay(machine)
+
+    def replay_many(
+        self, machines: Sequence[MachineConfig]
+    ) -> List[ParallelRunResult]:
+        return self.executor.replay_many(machines)
 
 
 class EvaluationRunner:
@@ -397,9 +413,15 @@ class EvaluationRunner:
         )
         payload = self._disk_load("pipeline", disk_key)
         if payload is not None:
+            # ``from_dict`` reads both the versioned compact format and
+            # the legacy per-iteration dicts of older caches; legacy
+            # payloads also predate the stored ``load_count``.
             parallel = executor.restore_run(
                 ExecutionResult.from_dict(payload["result"]),
-                [InvocationTrace.from_dict(t) for t in payload["traces"]],
+                [
+                    CompactInvocationTrace.from_dict(t)
+                    for t in payload["traces"]
+                ],
                 {
                     stats.loop_id: stats
                     for stats in (
@@ -407,6 +429,7 @@ class EvaluationRunner:
                         for s in payload["loop_stats"]
                     )
                 },
+                load_count=payload.get("load_count"),
             )
             outcome = "disk"
         else:
@@ -420,7 +443,9 @@ class EvaluationRunner:
                         s.to_dict()
                         for _, s in sorted(parallel.loop_stats.items())
                     ],
+                    "trace_format": TRACE_FORMAT_VERSION,
                     "traces": [t.to_dict() for t in parallel.traces],
+                    "load_count": executor.load_count,
                 },
             )
             outcome = "compute"

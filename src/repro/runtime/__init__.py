@@ -19,6 +19,7 @@ from repro.runtime.interpreter import (
 )
 from repro.runtime.profiler import LoopProfile, ProfileData, profile_module
 from repro.runtime.parallel import ParallelExecutor, ParallelRunResult
+from repro.runtime.trace import CompactInvocationTrace, InvocationTrace
 
 __all__ = [
     "MachineConfig",
@@ -34,4 +35,6 @@ __all__ = [
     "LoopProfile",
     "ParallelExecutor",
     "ParallelRunResult",
+    "CompactInvocationTrace",
+    "InvocationTrace",
 ]

@@ -34,12 +34,21 @@ Per iteration the replay carries:
 Traces can be recorded and *replayed* against other machine
 configurations (core count, prefetch mode, latencies) without re-running
 the program -- the functional trace does not depend on the machine.
+Recorded traces are packed into
+:class:`~repro.runtime.trace.CompactInvocationTrace` at record time and
+scheduled by the compiled engine
+(:func:`~repro.runtime.sched.schedule_compact`); multi-machine sweeps
+should go through :meth:`ParallelExecutor.replay_many`, which fills all
+missing schedules in one pass over the traces and memoizes per-machine
+schedule columns (keyed by
+:meth:`~repro.runtime.machine.MachineConfig.fingerprint`) so the
+baseline machine is never rescheduled per swept point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.loopnest import LoopId
 from repro.core.communication import is_producer_mark, xfer_words
@@ -51,89 +60,51 @@ from repro.runtime.interpreter import (
     Interpreter,
     RuntimeFault,
 )
-from repro.runtime.machine import MachineConfig, PrefetchMode
+from repro.runtime.machine import MachineConfig
+from repro.runtime.sched import (
+    ScheduleResult,
+    schedule_compact,
+    schedule_invocation_reference,
+)
+from repro.runtime.trace import (
+    CTRL_DEP,
+    CompactInvocationTrace,
+    InvocationTrace,
+    IterationTrace,
+    as_compact,
+)
 
-#: Synthetic dependence id of the control signal (IterationFlag).
-CTRL_DEP = -1
+__all__ = [
+    "CTRL_DEP",
+    "CompactInvocationTrace",
+    "InvocationTrace",
+    "IterationTrace",
+    "LoopRunStats",
+    "ParallelExecutor",
+    "ParallelRunResult",
+    "ScheduleResult",
+    "run_parallel",
+    "schedule_invocation",
+    "schedule_invocation_reference",
+]
 
-
-@dataclass
-class IterationTrace:
-    """Events of one loop iteration, stamped with interpreter cycles."""
-
-    start_cycles: int
-    end_cycles: int = 0
-    #: (kind, dep_id, abs_cycles): 'w' wait, 's' signal, 'n' next_iter,
-    #: 'x' consumer mark (dep carries data), 'p' producer mark.
-    events: List[Tuple[str, int, int]] = field(default_factory=list)
-    #: Words carried per dependence (for 'x' events).
-    words: Dict[int, int] = field(default_factory=dict)
-
-    def to_dict(self) -> dict:
-        """JSON-stable representation (tuples become lists, int keys
-        become strings; :meth:`from_dict` restores both)."""
-        return {
-            "start_cycles": self.start_cycles,
-            "end_cycles": self.end_cycles,
-            "events": [list(event) for event in self.events],
-            "words": {str(dep): words for dep, words in self.words.items()},
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "IterationTrace":
-        return cls(
-            start_cycles=data["start_cycles"],
-            end_cycles=data["end_cycles"],
-            events=[
-                (kind, int(dep), int(at)) for kind, dep, at in data["events"]
-            ],
-            words={int(dep): int(n) for dep, n in data["words"].items()},
-        )
+#: Either trace representation; the executor stores the compact form.
+AnyTrace = Union[CompactInvocationTrace, InvocationTrace]
 
 
-@dataclass
-class InvocationTrace:
-    """One dynamic invocation of a parallelized loop."""
+def schedule_invocation(
+    trace: AnyTrace,
+    loop: ParallelizedLoop,
+    machine: MachineConfig,
+) -> ScheduleResult:
+    """Reconstruct the parallel schedule of one invocation.
 
-    loop_id: LoopId
-    start_cycles: int
-    end_cycles: int = 0
-    iterations: List[IterationTrace] = field(default_factory=list)
-    loads: int = 0
-
-    def to_dict(self) -> dict:
-        return {
-            "loop_id": list(self.loop_id),
-            "start_cycles": self.start_cycles,
-            "end_cycles": self.end_cycles,
-            "loads": self.loads,
-            "iterations": [it.to_dict() for it in self.iterations],
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "InvocationTrace":
-        return cls(
-            loop_id=tuple(data["loop_id"]),
-            start_cycles=data["start_cycles"],
-            end_cycles=data["end_cycles"],
-            loads=data["loads"],
-            iterations=[
-                IterationTrace.from_dict(it) for it in data["iterations"]
-            ],
-        )
-
-
-@dataclass
-class ScheduleResult:
-    """Timing of one invocation under a specific machine."""
-
-    parallel_cycles: int
-    sequential_cycles: int
-    signals: int = 0
-    waits: int = 0
-    wait_stall_cycles: int = 0
-    transfer_words: int = 0
-    segment_cycles: int = 0
+    Accepts either trace representation; legacy traces are packed on the
+    fly (callers scheduling the same trace repeatedly should pack once
+    via :func:`repro.runtime.trace.as_compact` to reuse the compiled
+    program).
+    """
+    return schedule_compact(as_compact(trace), loop, machine)
 
 
 @dataclass
@@ -194,7 +165,7 @@ class ParallelRunResult:
     result: ExecutionResult
     machine: MachineConfig
     loop_stats: Dict[LoopId, LoopRunStats] = field(default_factory=dict)
-    traces: List[InvocationTrace] = field(default_factory=list)
+    traces: List[AnyTrace] = field(default_factory=list)
 
     @property
     def cycles(self) -> int:
@@ -203,165 +174,6 @@ class ParallelRunResult:
     @property
     def output(self) -> List[str]:
         return self.result.output
-
-
-def schedule_invocation(
-    trace: InvocationTrace,
-    loop: ParallelizedLoop,
-    machine: MachineConfig,
-) -> ScheduleResult:
-    """Reconstruct the parallel schedule of one invocation."""
-    cores = machine.cores
-    latency = machine.signal_latency
-    fast = machine.prefetched_signal_latency
-    mode = machine.effective_prefetch_mode
-    transfer = machine.word_transfer_cycles
-    conf = machine.config_cycles_per_thread * max(cores - 1, 1)
-    # Section 2.3: without total store ordering every synchronizing load
-    # and store needs a memory barrier.
-    barrier = 0 if machine.total_store_ordering else machine.barrier_cycles
-
-    core_free = [float(conf)] * cores
-    helper_free = [0.0] * cores
-    prev_sig: Dict[int, float] = {}
-    prev_produced: Set[int] = set()
-    prev_next_time: Optional[float] = None
-    iteration_ends: List[float] = []
-
-    stats = ScheduleResult(
-        parallel_cycles=0,
-        sequential_cycles=trace.end_cycles - trace.start_cycles,
-    )
-
-    def pull_complete(t: float, ts: float) -> float:
-        return max(t, ts) + latency
-
-    def wait_complete(t: float, ts: float, prefetch_done: Optional[float]) -> float:
-        if mode is PrefetchMode.NONE:
-            return pull_complete(t, ts)
-        if mode is PrefetchMode.IDEAL:
-            return max(t, ts) + fast
-        if prefetch_done is None:
-            return pull_complete(t, ts)
-        return min(pull_complete(t, ts), max(t + fast, prefetch_done))
-
-    for i, iteration in enumerate(trace.iterations):
-        core = i % cores
-
-        # Helper-thread prefetch agenda for this iteration.
-        prefetch_done: Dict[int, float] = {}
-        if mode in (PrefetchMode.HELIX, PrefetchMode.MATCHED) and i > 0:
-            ctrl_agenda = [] if loop.counted else [CTRL_DEP]
-            if mode is PrefetchMode.HELIX:
-                agenda = ctrl_agenda + list(loop.helper_order)
-            else:
-                agenda = ctrl_agenda + [
-                    dep for kind, dep, _at in iteration.events if kind == "w"
-                ]
-            cursor = helper_free[core]
-            for dep in agenda:
-                if dep in prefetch_done:
-                    continue
-                ts = prev_next_time if dep == CTRL_DEP else prev_sig.get(dep)
-                if ts is None:
-                    continue
-                done = max(cursor, ts) + latency
-                prefetch_done[dep] = done
-                cursor = done
-            helper_free[core] = cursor
-
-        # Iteration start: counted loops derive their iteration numbers
-        # locally (Step 3); other loops wait for the predecessor's control
-        # signal (the IterationFlag store).
-        t = core_free[core]
-        if i > 0 and not loop.counted:
-            assert prev_next_time is not None, "iteration without start signal"
-            t = wait_complete(t, prev_next_time, prefetch_done.get(CTRL_DEP))
-
-        cur_sig: Dict[int, float] = {}
-        cur_next: Optional[float] = None
-        waited: Set[int] = set()
-        transferred: Set[int] = set()
-        segment_opens: Dict[int, float] = {}
-        segment_intervals: List[Tuple[float, float]] = []
-        last = iteration.start_cycles
-
-        for kind, dep, at in iteration.events:
-            t += at - last
-            last = at
-            if kind == "w":
-                stats.waits += 1
-                t += barrier
-                if dep in waited or dep in cur_sig:
-                    continue
-                waited.add(dep)
-                if i == 0:
-                    segment_opens[dep] = t
-                    continue
-                ts = prev_sig.get(dep)
-                if ts is None:
-                    segment_opens[dep] = t
-                    continue
-                arrival = wait_complete(t, ts, prefetch_done.get(dep))
-                if arrival > t:
-                    stats.wait_stall_cycles += int(arrival - t)
-                    t = arrival
-                segment_opens[dep] = t
-            elif kind == "s":
-                t += barrier
-                if dep not in cur_sig:
-                    cur_sig[dep] = t
-                    stats.signals += 1
-                    opened = segment_opens.pop(dep, None)
-                    if opened is not None:
-                        segment_intervals.append((opened, t))
-            elif kind == "n":
-                if cur_next is None:
-                    cur_next = t
-                    if not loop.counted:
-                        stats.signals += 1
-            elif kind == "x":
-                if dep in prev_produced and dep not in transferred:
-                    transferred.add(dep)
-                    words = iteration.words.get(dep, 1)
-                    t += words * transfer
-                    stats.transfer_words += words
-            # 'p' producer marks need no timing action.
-
-        t += iteration.end_cycles - last
-        core_free[core] = t
-        iteration_ends.append(t)
-
-        # Merge segment intervals for the busy-time statistic.
-        if segment_intervals:
-            segment_intervals.sort()
-            merged_start, merged_end = segment_intervals[0]
-            for start, end in segment_intervals[1:]:
-                if start <= merged_end:
-                    merged_end = max(merged_end, end)
-                else:
-                    stats.segment_cycles += int(merged_end - merged_start)
-                    merged_start, merged_end = start, end
-            stats.segment_cycles += int(merged_end - merged_start)
-
-        prev_sig = cur_sig
-        prev_next_time = cur_next
-        prev_produced = {
-            dep for kind, dep, _at in iteration.events if kind == "p"
-        }
-
-    if not iteration_ends:
-        # Zero-iteration invocation: the loop body never ran, so no
-        # threads were configured and nothing needs collecting -- the
-        # invocation costs exactly its sequential span.
-        stats.parallel_cycles = stats.sequential_cycles
-        return stats
-
-    # Main thread collects the exit variable and stops parallel threads.
-    finish = max(iteration_ends)
-    finish += latency + max(cores - 1, 0)
-    stats.parallel_cycles = int(finish)
-    return stats
 
 
 class ParallelExecutor(Interpreter):
@@ -399,7 +211,12 @@ class ParallelExecutor(Interpreter):
         self._iter: Optional[IterationTrace] = None
         self._loads_at_start = 0
         self.loop_stats: Dict[LoopId, LoopRunStats] = {}
-        self.traces: List[InvocationTrace] = []
+        self.traces: List[CompactInvocationTrace] = []
+        #: Memoized per-machine schedule columns, aligned with
+        #: :attr:`traces`, keyed by machine fingerprint.  The executing
+        #: machine's column is seeded during :meth:`run`, so replays
+        #: never reschedule the baseline.
+        self._schedules: Dict[str, List[ScheduleResult]] = {}
 
     # -- interpreter hooks -------------------------------------------------
 
@@ -469,7 +286,9 @@ class ParallelExecutor(Interpreter):
         self._inv_frame = None
         self._iter = None
 
-        schedule = schedule_invocation(trace, info, self.machine)
+        # Pack at record time; replays only ever see the compact form.
+        compact = CompactInvocationTrace.from_trace(trace)
+        schedule = schedule_compact(compact, info, self.machine)
         # Replace the sequential span with the parallel schedule length.
         self.cycles = trace.start_cycles + schedule.parallel_cycles
 
@@ -477,9 +296,13 @@ class ParallelExecutor(Interpreter):
         if stats is None:
             stats = LoopRunStats(loop_id=info.loop_id)
             self.loop_stats[info.loop_id] = stats
-        _accumulate(stats, trace, schedule)
+        _accumulate(stats, compact, schedule)
         if self.record_traces:
-            self.traces.append(trace)
+            self.traces.append(compact)
+            # Seed the baseline schedule column while we are at it.
+            self._schedules.setdefault(
+                self.machine.fingerprint(), []
+            ).append(schedule)
 
     # -- public API -------------------------------------------------------------
 
@@ -492,6 +315,7 @@ class ParallelExecutor(Interpreter):
         self.load_count = 0
         self.loop_stats = {}
         self.traces = []
+        self._schedules = {}
         return super().run(entry, args)
 
     def execute(self) -> ParallelRunResult:
@@ -507,12 +331,19 @@ class ParallelExecutor(Interpreter):
     def restore_run(
         self,
         result: ExecutionResult,
-        traces: Sequence[InvocationTrace],
+        traces: Sequence[AnyTrace],
         loop_stats: Dict[LoopId, LoopRunStats],
+        load_count: Optional[int] = None,
     ) -> ParallelRunResult:
         """Adopt a previously recorded run (e.g. loaded from the
         evaluation disk cache) as if :meth:`execute` had just produced
         it, so :meth:`replay` works without re-interpreting the program.
+
+        ``load_count`` is the executed run's total
+        :attr:`~repro.runtime.interpreter.Interpreter.load_count`; when
+        absent (legacy cache payloads) it is approximated by the loads
+        recorded inside invocations, which misses loads executed outside
+        parallelized loops.
 
         The caller is responsible for passing traces recorded from an
         identical module under an identical cost model.
@@ -520,14 +351,88 @@ class ParallelExecutor(Interpreter):
         self.output = list(result.output)
         self.cycles = result.cycles
         self.instructions = result.instructions
-        self.traces = list(traces)
+        self.traces = [as_compact(trace) for trace in traces]
         self.loop_stats = dict(loop_stats)
+        self._schedules = {}
+        if load_count is None:
+            load_count = sum(trace.loads for trace in self.traces)
+        self.load_count = load_count
         return ParallelRunResult(
             result=result,
             machine=self.machine,
             loop_stats=dict(self.loop_stats),
             traces=list(self.traces),
         )
+
+    def _ensure_schedules(
+        self, machines: Sequence[MachineConfig]
+    ) -> None:
+        """Fill the schedule memo for every machine missing from it,
+        walking each trace once and computing all missing schedules
+        against its compiled program while it is hot."""
+        missing: List[Tuple[str, MachineConfig]] = []
+        for machine in machines:
+            fingerprint = machine.fingerprint()
+            cached = self._schedules.get(fingerprint)
+            if cached is not None and len(cached) == len(self.traces):
+                continue
+            if any(fingerprint == fp for fp, _m in missing):
+                continue
+            missing.append((fingerprint, machine))
+        if not missing:
+            return
+        columns: Dict[str, List[ScheduleResult]] = {
+            fp: [] for fp, _m in missing
+        }
+        info_by_id = {info.loop_id: info for info in self.infos}
+        for trace in self.traces:
+            info = info_by_id[trace.loop_id]
+            for fingerprint, machine in missing:
+                columns[fingerprint].append(
+                    schedule_invocation(trace, info, machine)
+                )
+        self._schedules.update(columns)
+
+    def replay_many(
+        self, machines: Sequence[MachineConfig]
+    ) -> List[ParallelRunResult]:
+        """Recompute the timing under each machine in one batched pass.
+
+        Equivalent to ``[self.replay(m) for m in machines]`` but walks
+        the stored traces once for all machines not yet in the schedule
+        memo; the baseline machine's schedules are reused from the memo
+        (seeded during execution) instead of being recomputed per swept
+        machine.
+        """
+        if not self.record_traces:
+            raise RuntimeFault("executor was created with record_traces=False")
+        self._ensure_schedules([self.machine, *machines])
+        baseline = self._schedules[self.machine.fingerprint()]
+        results: List[ParallelRunResult] = []
+        for machine in machines:
+            news = self._schedules[machine.fingerprint()]
+            adjusted = self.cycles
+            loop_stats: Dict[LoopId, LoopRunStats] = {}
+            for trace, old, new in zip(self.traces, baseline, news):
+                adjusted += new.parallel_cycles - old.parallel_cycles
+                stats = loop_stats.setdefault(
+                    trace.loop_id, LoopRunStats(loop_id=trace.loop_id)
+                )
+                _accumulate(stats, trace, new)
+            result = ExecutionResult(
+                output=list(self.output),
+                cycles=adjusted,
+                instructions=self.instructions,
+            )
+            results.append(
+                ParallelRunResult(
+                    result=result,
+                    machine=machine,
+                    loop_stats=loop_stats,
+                    traces=list(self.traces),
+                )
+            )
+        return results
 
     def replay(self, machine: MachineConfig) -> ParallelRunResult:
         """Recompute the timing under a different machine from the stored
@@ -537,38 +442,14 @@ class ParallelExecutor(Interpreter):
         functional trace is machine-independent); the instruction cost
         model must stay the same.
         """
-        if not self.record_traces:
-            raise RuntimeFault("executor was created with record_traces=False")
-        info_by_id = {info.loop_id: info for info in self.infos}
-        adjusted = self.cycles
-        loop_stats: Dict[LoopId, LoopRunStats] = {}
-        for trace in self.traces:
-            info = info_by_id[trace.loop_id]
-            old = schedule_invocation(trace, info, self.machine)
-            new = schedule_invocation(trace, info, machine)
-            adjusted += new.parallel_cycles - old.parallel_cycles
-            stats = loop_stats.setdefault(
-                trace.loop_id, LoopRunStats(loop_id=trace.loop_id)
-            )
-            _accumulate(stats, trace, new)
-        result = ExecutionResult(
-            output=list(self.output),
-            cycles=adjusted,
-            instructions=self.instructions,
-        )
-        return ParallelRunResult(
-            result=result,
-            machine=machine,
-            loop_stats=loop_stats,
-            traces=list(self.traces),
-        )
+        return self.replay_many([machine])[0]
 
 
 def _accumulate(
-    stats: LoopRunStats, trace: InvocationTrace, schedule: ScheduleResult
+    stats: LoopRunStats, trace: AnyTrace, schedule: ScheduleResult
 ) -> None:
     stats.invocations += 1
-    stats.iterations += len(trace.iterations)
+    stats.iterations += trace.iteration_count
     stats.sequential_cycles += schedule.sequential_cycles
     stats.parallel_cycles += schedule.parallel_cycles
     stats.signals += schedule.signals

@@ -1,0 +1,497 @@
+"""Invocation schedulers: the compiled engine and its reference twin.
+
+:func:`schedule_compact` is the production scheduler.  It consumes the
+:class:`~repro.runtime.trace.TraceProgram` compiled once per trace and
+reconstructs the parallel schedule of one invocation under a
+:class:`~repro.runtime.machine.MachineConfig`.  Because duplicate
+filtering, producer sets, word counts and wait/signal pairing were
+resolved at pack time, the per-machine walk touches only integers plus
+the previous iteration's signal timetable, and two common shapes skip
+the walk entirely:
+
+* **counted DOALL** (counted loop, no waits/signals/transfers at all):
+  the finish time is ``conf + max per-core span sum``, computed by
+  slicing the precomputed span column;
+* **single core, no prefetching**: every stalling wait completes
+  exactly ``signal_latency`` after the thread reaches it (the
+  predecessor's signal time can never exceed the successor's clock on
+  one core), so the signal timetable is never materialized.
+
+:func:`schedule_invocation_reference` is the original per-event
+interpreter over the raw :class:`~repro.runtime.trace.InvocationTrace`.
+It is kept as the differential oracle -- ``tests/test_sched_differential``
+and ``repro bench-sched`` enforce field-exact :class:`ScheduleResult`
+equality between the two engines -- and is still written for clarity,
+not speed (its only performance fixes are hoisting the producer-set
+rebuild and the usually-redundant interval sort out of the hot loop).
+
+Both engines implement the same model (see
+:mod:`repro.runtime.parallel` for the methodology): per-core clocks with
+round-robin iteration assignment, pull-based signal completion
+``max(t, ts) + L``, helper-thread prefetch agendas, data forwarding
+charged per word actually produced by the predecessor, and memory
+barriers on non-TSO machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.loopinfo import ParallelizedLoop
+from repro.runtime.machine import MachineConfig, PrefetchMode
+from repro.runtime.trace import (
+    CTRL_DEP,
+    OP_SIGNAL,
+    OP_WAIT,
+    OP_WAIT_SYNC,
+    OP_XFER,
+    CompactInvocationTrace,
+    InvocationTrace,
+)
+
+
+@dataclass
+class ScheduleResult:
+    """Timing of one invocation under a specific machine."""
+
+    parallel_cycles: int
+    sequential_cycles: int
+    signals: int = 0
+    waits: int = 0
+    wait_stall_cycles: int = 0
+    transfer_words: int = 0
+    segment_cycles: int = 0
+
+
+def _merge_segments(
+    intervals: List[Tuple[int, int]], needs_sort: bool
+) -> int:
+    """Total busy time of the merged wait->signal intervals."""
+    if needs_sort:
+        intervals.sort()
+    merged_start, merged_end = intervals[0]
+    total = 0
+    for start, end in intervals[1:]:
+        if start <= merged_end:
+            if end > merged_end:
+                merged_end = end
+        else:
+            total += merged_end - merged_start
+            merged_start, merged_end = start, end
+    return total + (merged_end - merged_start)
+
+
+def schedule_compact(
+    trace: CompactInvocationTrace,
+    loop: ParallelizedLoop,
+    machine: MachineConfig,
+) -> ScheduleResult:
+    """Reconstruct the parallel schedule of one invocation (compiled).
+
+    Field-exact with :func:`schedule_invocation_reference` on the
+    equivalent :class:`InvocationTrace`.
+    """
+    seq = trace.end_cycles - trace.start_cycles
+    prog = trace.program
+    n = len(prog.spans)
+    if n == 0:
+        # Zero-iteration invocation: the loop body never ran, so no
+        # threads were configured and nothing needs collecting -- the
+        # invocation costs exactly its sequential span.
+        return ScheduleResult(parallel_cycles=seq, sequential_cycles=seq)
+
+    cores = machine.cores
+    latency = machine.signal_latency
+    counted = loop.counted
+    conf = machine.config_cycles_per_thread * max(cores - 1, 1)
+    # The main thread collects the exit variable and stops the parallel
+    # threads once the last iteration retires.
+    wind_down = latency + cores - 1
+
+    signals = prog.signals if counted else prog.signals + prog.next_iters
+    stats = ScheduleResult(
+        parallel_cycles=0,
+        sequential_cycles=seq,
+        signals=signals,
+        waits=prog.waits,
+        transfer_words=prog.transfer_words,
+    )
+
+    # Fast path: counted DOALL.  No waits, signals or transfers exist
+    # anywhere in the trace (duplicates would imply a kept first
+    # occurrence, so there are no elided barrier events either) and a
+    # counted loop ignores next_iter for timing, so every core just runs
+    # its round-robin share of the spans back to back.
+    if counted and prog.active_ops == 0:
+        spans = prog.spans
+        busy = max(sum(spans[c::cores]) for c in range(min(cores, n)))
+        stats.parallel_cycles = conf + busy + wind_down
+        return stats
+
+    fast = machine.prefetched_signal_latency
+    mode = machine.effective_prefetch_mode
+    transfer = machine.word_transfer_cycles
+    # Section 2.3: without total store ordering every synchronizing load
+    # and store needs a memory barrier.
+    barrier = 0 if machine.total_store_ordering else machine.barrier_cycles
+
+    op_, a1_, a2_, at_ = prog.op, prog.a1, prog.a2, prog.at
+    pre_, off, tail = prog.pre, prog.off, prog.tail
+    it_start, it_end = trace.it_start, trace.it_end
+    has_next = prog.has_next
+    slots = [0] * prog.slot_count
+    stall = 0
+    seg = 0
+
+    # Fast path: one core, no prefetching.  Iterations run back to back
+    # on a single clock, so any predecessor signal time is <= the
+    # current clock: every stalling wait (and the control wait) completes
+    # exactly ``latency`` later and the signal timetable is never needed.
+    if cores == 1 and mode is PrefetchMode.NONE:
+        t = conf
+        for i in range(n):
+            if i and not counted:
+                assert has_next[i - 1], "iteration without start signal"
+                t += latency
+            last = it_start[i]
+            intervals: List[Tuple[int, int]] = []
+            needs_sort = False
+            for j in range(off[i], off[i + 1]):
+                t += at_[j] - last
+                last = at_[j]
+                if barrier:
+                    t += pre_[j] * barrier
+                o = op_[j]
+                if o == OP_WAIT_SYNC:
+                    t += barrier + latency
+                    stall += latency
+                    slots[a2_[j]] = t
+                elif o == OP_WAIT:
+                    t += barrier
+                    slots[a2_[j]] = t
+                elif o == OP_SIGNAL:
+                    t += barrier
+                    slot = a2_[j]
+                    if slot >= 0:
+                        opened = slots[slot]
+                        if intervals and opened < intervals[-1][0]:
+                            needs_sort = True
+                        intervals.append((opened, t))
+                elif o == OP_XFER:
+                    t += a1_[j] * transfer
+                # OP_NEXT: the successor's control wait resolves to
+                # ``t + latency`` regardless of the exact signal time.
+            t += it_end[i] - last
+            if barrier:
+                t += tail[i] * barrier
+            if intervals:
+                seg += _merge_segments(intervals, needs_sort)
+        stats.parallel_cycles = t + wind_down
+        stats.wait_stall_cycles = stall
+        stats.segment_cycles = seg
+        return stats
+
+    # General walk.
+    mode_none = mode is PrefetchMode.NONE
+    mode_ideal = mode is PrefetchMode.IDEAL
+    helix = mode is PrefetchMode.HELIX
+    do_helper = helix or mode is PrefetchMode.MATCHED
+    helix_agenda: Tuple[int, ...] = ()
+    ctrl_helix_agenda: Tuple[int, ...] = ()
+    if helix:
+        helix_agenda = tuple(loop.helper_order)
+        ctrl_helix_agenda = (CTRL_DEP,) + helix_agenda
+
+    core_free = [conf] * cores
+    helper_free = [0] * cores
+    prev_sig: Dict[int, int] = {}
+    prev_next: Optional[int] = None
+    max_end = 0
+
+    for i in range(n):
+        core = i % cores
+
+        # Helper-thread prefetch agenda for this iteration.
+        pf: Optional[Dict[int, int]] = None
+        if do_helper and i > 0:
+            pf = {}
+            if counted:
+                agenda = helix_agenda if helix else prog.agendas[i]
+            else:
+                agenda = (
+                    ctrl_helix_agenda
+                    if helix
+                    else (CTRL_DEP,) + prog.agendas[i]
+                )
+            cursor = helper_free[core]
+            for dep in agenda:
+                if dep in pf:
+                    continue
+                ts = prev_next if dep == CTRL_DEP else prev_sig.get(dep)
+                if ts is None:
+                    continue
+                cursor = (cursor if cursor > ts else ts) + latency
+                pf[dep] = cursor
+            helper_free[core] = cursor
+
+        # Iteration start: counted loops derive their iteration numbers
+        # locally (Step 3); other loops wait for the predecessor's
+        # control signal (the IterationFlag store).
+        t = core_free[core]
+        if i > 0 and not counted:
+            assert prev_next is not None, "iteration without start signal"
+            ts = prev_next
+            if mode_none:
+                t = (t if t > ts else ts) + latency
+            elif mode_ideal:
+                t = (t if t > ts else ts) + fast
+            else:
+                pull = (t if t > ts else ts) + latency
+                done = pf.get(CTRL_DEP) if pf is not None else None
+                if done is None:
+                    t = pull
+                else:
+                    alt = t + fast
+                    if done > alt:
+                        alt = done
+                    t = pull if pull < alt else alt
+
+        cur_sig: Dict[int, int] = {}
+        cur_next: Optional[int] = None
+        intervals = []
+        needs_sort = False
+        last = it_start[i]
+
+        for j in range(off[i], off[i + 1]):
+            t += at_[j] - last
+            last = at_[j]
+            if barrier:
+                t += pre_[j] * barrier
+            o = op_[j]
+            if o == OP_WAIT_SYNC:
+                t += barrier
+                ts = prev_sig[a1_[j]]  # pack-time guarantee: present
+                if mode_none:
+                    arrival = (t if t > ts else ts) + latency
+                elif mode_ideal:
+                    arrival = (t if t > ts else ts) + fast
+                else:
+                    pull = (t if t > ts else ts) + latency
+                    done = pf.get(a1_[j]) if pf is not None else None
+                    if done is None:
+                        arrival = pull
+                    else:
+                        alt = t + fast
+                        if done > alt:
+                            alt = done
+                        arrival = pull if pull < alt else alt
+                if arrival > t:
+                    stall += arrival - t
+                    t = arrival
+                slots[a2_[j]] = t
+            elif o == OP_WAIT:
+                t += barrier
+                slots[a2_[j]] = t
+            elif o == OP_SIGNAL:
+                t += barrier
+                cur_sig[a1_[j]] = t
+                slot = a2_[j]
+                if slot >= 0:
+                    opened = slots[slot]
+                    if intervals and opened < intervals[-1][0]:
+                        needs_sort = True
+                    intervals.append((opened, t))
+            elif o == OP_XFER:
+                t += a1_[j] * transfer
+            else:  # OP_NEXT
+                cur_next = t
+
+        t += it_end[i] - last
+        if barrier:
+            t += tail[i] * barrier
+        core_free[core] = t
+        if t > max_end:
+            max_end = t
+        if intervals:
+            seg += _merge_segments(intervals, needs_sort)
+        prev_sig = cur_sig
+        prev_next = cur_next
+
+    stats.parallel_cycles = max_end + wind_down
+    stats.wait_stall_cycles = stall
+    stats.segment_cycles = seg
+    return stats
+
+
+def schedule_invocation_reference(
+    trace: InvocationTrace,
+    loop: ParallelizedLoop,
+    machine: MachineConfig,
+) -> ScheduleResult:
+    """Reconstruct the parallel schedule of one invocation.
+
+    The original per-event interpreter over the raw trace, kept as the
+    differential oracle for :func:`schedule_compact`.
+    """
+    cores = machine.cores
+    latency = machine.signal_latency
+    fast = machine.prefetched_signal_latency
+    mode = machine.effective_prefetch_mode
+    transfer = machine.word_transfer_cycles
+    conf = machine.config_cycles_per_thread * max(cores - 1, 1)
+    # Section 2.3: without total store ordering every synchronizing load
+    # and store needs a memory barrier.
+    barrier = 0 if machine.total_store_ordering else machine.barrier_cycles
+
+    core_free = [float(conf)] * cores
+    helper_free = [0.0] * cores
+    prev_sig: Dict[int, float] = {}
+    prev_produced: Set[int] = set()
+    prev_next_time: Optional[float] = None
+    iteration_ends: List[float] = []
+
+    stats = ScheduleResult(
+        parallel_cycles=0,
+        sequential_cycles=trace.end_cycles - trace.start_cycles,
+    )
+
+    def pull_complete(t: float, ts: float) -> float:
+        return max(t, ts) + latency
+
+    def wait_complete(t: float, ts: float, prefetch_done: Optional[float]) -> float:
+        if mode is PrefetchMode.NONE:
+            return pull_complete(t, ts)
+        if mode is PrefetchMode.IDEAL:
+            return max(t, ts) + fast
+        if prefetch_done is None:
+            return pull_complete(t, ts)
+        return min(pull_complete(t, ts), max(t + fast, prefetch_done))
+
+    for i, iteration in enumerate(trace.iterations):
+        core = i % cores
+
+        # Helper-thread prefetch agenda for this iteration.
+        prefetch_done: Dict[int, float] = {}
+        if mode in (PrefetchMode.HELIX, PrefetchMode.MATCHED) and i > 0:
+            ctrl_agenda = [] if loop.counted else [CTRL_DEP]
+            if mode is PrefetchMode.HELIX:
+                agenda = ctrl_agenda + list(loop.helper_order)
+            else:
+                agenda = ctrl_agenda + [
+                    dep for kind, dep, _at in iteration.events if kind == "w"
+                ]
+            cursor = helper_free[core]
+            for dep in agenda:
+                if dep in prefetch_done:
+                    continue
+                ts = prev_next_time if dep == CTRL_DEP else prev_sig.get(dep)
+                if ts is None:
+                    continue
+                done = max(cursor, ts) + latency
+                prefetch_done[dep] = done
+                cursor = done
+            helper_free[core] = cursor
+
+        # Iteration start: counted loops derive their iteration numbers
+        # locally (Step 3); other loops wait for the predecessor's control
+        # signal (the IterationFlag store).
+        t = core_free[core]
+        if i > 0 and not loop.counted:
+            assert prev_next_time is not None, "iteration without start signal"
+            t = wait_complete(t, prev_next_time, prefetch_done.get(CTRL_DEP))
+
+        cur_sig: Dict[int, float] = {}
+        cur_next: Optional[float] = None
+        cur_produced: Set[int] = set()
+        waited: Set[int] = set()
+        transferred: Set[int] = set()
+        segment_opens: Dict[int, float] = {}
+        segment_intervals: List[Tuple[float, float]] = []
+        # Events are appended in cycle order, so wait->signal intervals
+        # usually open in increasing order too; sort only when a nested
+        # pairing actually violated it.
+        intervals_sorted = True
+        last = iteration.start_cycles
+
+        for kind, dep, at in iteration.events:
+            t += at - last
+            last = at
+            if kind == "w":
+                stats.waits += 1
+                t += barrier
+                if dep in waited or dep in cur_sig:
+                    continue
+                waited.add(dep)
+                if i == 0:
+                    segment_opens[dep] = t
+                    continue
+                ts = prev_sig.get(dep)
+                if ts is None:
+                    segment_opens[dep] = t
+                    continue
+                arrival = wait_complete(t, ts, prefetch_done.get(dep))
+                if arrival > t:
+                    stats.wait_stall_cycles += int(arrival - t)
+                    t = arrival
+                segment_opens[dep] = t
+            elif kind == "s":
+                t += barrier
+                if dep not in cur_sig:
+                    cur_sig[dep] = t
+                    stats.signals += 1
+                    opened = segment_opens.pop(dep, None)
+                    if opened is not None:
+                        if (
+                            segment_intervals
+                            and opened < segment_intervals[-1][0]
+                        ):
+                            intervals_sorted = False
+                        segment_intervals.append((opened, t))
+            elif kind == "n":
+                if cur_next is None:
+                    cur_next = t
+                    if not loop.counted:
+                        stats.signals += 1
+            elif kind == "x":
+                if dep in prev_produced and dep not in transferred:
+                    transferred.add(dep)
+                    words = iteration.words.get(dep, 1)
+                    t += words * transfer
+                    stats.transfer_words += words
+            else:  # 'p' producer marks only feed the next iteration's set.
+                cur_produced.add(dep)
+
+        t += iteration.end_cycles - last
+        core_free[core] = t
+        iteration_ends.append(t)
+
+        # Merge segment intervals for the busy-time statistic.
+        if segment_intervals:
+            if not intervals_sorted:
+                segment_intervals.sort()
+            merged_start, merged_end = segment_intervals[0]
+            for start, end in segment_intervals[1:]:
+                if start <= merged_end:
+                    merged_end = max(merged_end, end)
+                else:
+                    stats.segment_cycles += int(merged_end - merged_start)
+                    merged_start, merged_end = start, end
+            stats.segment_cycles += int(merged_end - merged_start)
+
+        prev_sig = cur_sig
+        prev_next_time = cur_next
+        prev_produced = cur_produced
+
+    if not iteration_ends:
+        # Zero-iteration invocation: the loop body never ran, so no
+        # threads were configured and nothing needs collecting -- the
+        # invocation costs exactly its sequential span.
+        stats.parallel_cycles = stats.sequential_cycles
+        return stats
+
+    # Main thread collects the exit variable and stops parallel threads.
+    finish = max(iteration_ends)
+    finish += latency + max(cores - 1, 0)
+    stats.parallel_cycles = int(finish)
+    return stats

@@ -1,0 +1,474 @@
+"""Recorded invocation traces and their compact ("compiled") form.
+
+The parallel executor records one :class:`InvocationTrace` per dynamic
+invocation of a parallelized loop: per-iteration event streams of
+``wait``/``signal``/``next_iter``/``xfer`` executions stamped with
+interpreter cycles.  Those traces are machine-independent, so every
+figure of the evaluation replays them under swept
+:class:`~repro.runtime.machine.MachineConfig`\\ s.
+
+Replaying from the raw event lists is wasteful: every machine pays the
+per-event string dispatch, the duplicate-wait/duplicate-signal
+filtering, the producer-set rebuilds and the word-count lookups again,
+even though none of that depends on the machine.  This module therefore
+*compiles* a trace once into a :class:`CompactInvocationTrace`:
+
+* the raw events are packed into flat ``array('q')`` kind/dep/at
+  columns with per-iteration slices (lossless -- the original trace can
+  be reconstructed exactly, and this is the serialized form);
+* a derived :class:`TraceProgram` resolves everything the scheduler can
+  know without a machine: duplicate waits/signals collapse to barrier
+  counts, producer marks and non-forwarded consumer marks disappear,
+  transferable ``xfer`` events carry their word counts inline, waits
+  are split into *can-stall* (predecessor signalled the dependence) and
+  *cannot-stall* variants, wait/signal pairs are pre-matched into
+  segment slots, and the per-iteration deduped wait agendas for
+  ``MATCHED`` prefetching are precomputed.  The aggregate ``waits``,
+  ``signals`` and ``transfer_words`` statistics are machine-independent
+  and precomputed outright.
+
+:func:`repro.runtime.sched.schedule_compact` consumes the program; the
+per-machine loop then touches only integers and small dicts of signal
+times.
+
+Serialization is versioned (:data:`TRACE_FORMAT_VERSION`);
+:meth:`CompactInvocationTrace.from_dict` transparently accepts the
+legacy per-iteration dict format that older evaluation caches stored.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.loopnest import LoopId
+
+#: Synthetic dependence id of the control signal (IterationFlag).
+CTRL_DEP = -1
+
+#: Serialized compact-trace format generation.  Bump when the on-disk
+#: shape changes; loading an unknown future version raises.
+TRACE_FORMAT_VERSION = 2
+
+#: Raw event kind codes (the packed ``ev_kind`` column).
+KIND_WAIT, KIND_SIGNAL, KIND_NEXT, KIND_XFER, KIND_PRODUCE = range(5)
+
+_KIND_TO_CODE = {"w": KIND_WAIT, "s": KIND_SIGNAL, "n": KIND_NEXT,
+                 "x": KIND_XFER, "p": KIND_PRODUCE}
+_CODE_TO_KIND = "wsnxp"
+
+#: Compiled opcodes (the :class:`TraceProgram` ``op`` column).
+#: ``OP_WAIT`` is a first wait that cannot stall (first iteration, or
+#: the predecessor never signalled the dependence); ``OP_WAIT_SYNC``
+#: runs the full stall/prefetch logic.
+OP_WAIT, OP_WAIT_SYNC, OP_SIGNAL, OP_NEXT, OP_XFER = range(5)
+
+
+@dataclass
+class IterationTrace:
+    """Events of one loop iteration, stamped with interpreter cycles."""
+
+    start_cycles: int
+    end_cycles: int = 0
+    #: (kind, dep_id, abs_cycles): 'w' wait, 's' signal, 'n' next_iter,
+    #: 'x' consumer mark (dep carries data), 'p' producer mark.
+    events: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Words carried per dependence (for 'x' events).
+    words: Dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation (tuples become lists, int keys
+        become strings; :meth:`from_dict` restores both)."""
+        return {
+            "start_cycles": self.start_cycles,
+            "end_cycles": self.end_cycles,
+            "events": [list(event) for event in self.events],
+            "words": {str(dep): words for dep, words in self.words.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationTrace":
+        return cls(
+            start_cycles=data["start_cycles"],
+            end_cycles=data["end_cycles"],
+            events=[
+                (kind, int(dep), int(at)) for kind, dep, at in data["events"]
+            ],
+            words={int(dep): int(n) for dep, n in data["words"].items()},
+        )
+
+
+@dataclass
+class InvocationTrace:
+    """One dynamic invocation of a parallelized loop."""
+
+    loop_id: LoopId
+    start_cycles: int
+    end_cycles: int = 0
+    iterations: List[IterationTrace] = field(default_factory=list)
+    loads: int = 0
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+    def to_dict(self) -> dict:
+        return {
+            "loop_id": list(self.loop_id),
+            "start_cycles": self.start_cycles,
+            "end_cycles": self.end_cycles,
+            "loads": self.loads,
+            "iterations": [it.to_dict() for it in self.iterations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InvocationTrace":
+        return cls(
+            loop_id=tuple(data["loop_id"]),
+            start_cycles=data["start_cycles"],
+            end_cycles=data["end_cycles"],
+            loads=data["loads"],
+            iterations=[
+                IterationTrace.from_dict(it) for it in data["iterations"]
+            ],
+        )
+
+
+@dataclass
+class TraceProgram:
+    """Machine-independent compiled form of one invocation trace.
+
+    Built once per trace by :meth:`CompactInvocationTrace.program`; the
+    compiled scheduler replays it once per machine.
+    """
+
+    #: Flat compiled event columns (parallel arrays, ``off`` slices them
+    #: per iteration).
+    op: array
+    #: Operand 1: dependence id (waits/signals), word count (xfers).
+    a1: array
+    #: Operand 2: segment slot (waits; signals carry the slot of the
+    #: wait they close, or -1 when the dependence was never waited on).
+    a2: array
+    #: Absolute trace cycles of the event.
+    at: array
+    #: Elided barrier-bearing events (duplicate waits/signals) between
+    #: the previous kept event and this one; each costs one barrier on
+    #: non-TSO machines.
+    pre: array
+    #: Per-iteration event slices, length ``iterations + 1``.
+    off: array
+    #: Elided barrier-bearing events after the last kept event of each
+    #: iteration.
+    tail: array
+    #: Per-iteration sequential spans (``end - start``).
+    spans: array
+    #: Maximum segment slots used by any iteration.
+    slot_count: int
+    #: Per-iteration deduped wait agendas (all ``'w'`` deps in first-
+    #: occurrence order) for ``MATCHED`` prefetching.
+    agendas: Tuple[Tuple[int, ...], ...]
+    #: Per-iteration flag: the iteration executed a ``next_iter``.
+    has_next: Tuple[bool, ...]
+    #: Machine-independent aggregate statistics.
+    waits: int
+    signals: int
+    next_iters: int
+    transfer_words: int
+    #: Compiled ops excluding OP_NEXT: zero means the trace is a pure
+    #: counted-DOALL candidate (no waits, signals or transfers at all).
+    active_ops: int
+
+
+@dataclass
+class CompactInvocationTrace:
+    """Column-packed invocation trace (the serialized trace form).
+
+    ``ev_kind``/``ev_dep``/``ev_at`` are the raw events of every
+    iteration concatenated into flat ``array('q')`` columns, sliced per
+    iteration by ``ev_off``; the representation is lossless
+    (:meth:`to_invocation_trace` reconstructs the original exactly).
+    The derived :class:`TraceProgram` is built lazily and never
+    serialized.
+    """
+
+    loop_id: LoopId
+    start_cycles: int
+    end_cycles: int
+    loads: int
+    it_start: array
+    it_end: array
+    ev_off: array
+    ev_kind: array
+    ev_dep: array
+    ev_at: array
+    #: Per-iteration word counts of 'x' events (dep -> words).
+    words: Tuple[Dict[int, int], ...]
+    _program: Optional[TraceProgram] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.it_start)
+
+    @property
+    def event_count(self) -> int:
+        return len(self.ev_kind)
+
+    # -- conversions -------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: InvocationTrace) -> "CompactInvocationTrace":
+        """Pack a recorded invocation into columns (record-time step)."""
+        it_start = array("q")
+        it_end = array("q")
+        ev_off = array("q", [0])
+        ev_kind = array("q")
+        ev_dep = array("q")
+        ev_at = array("q")
+        words: List[Dict[int, int]] = []
+        kind_codes = _KIND_TO_CODE
+        for iteration in trace.iterations:
+            it_start.append(iteration.start_cycles)
+            it_end.append(iteration.end_cycles)
+            for kind, dep, at in iteration.events:
+                ev_kind.append(kind_codes[kind])
+                ev_dep.append(dep)
+                ev_at.append(at)
+            ev_off.append(len(ev_kind))
+            words.append(dict(iteration.words))
+        return cls(
+            loop_id=trace.loop_id,
+            start_cycles=trace.start_cycles,
+            end_cycles=trace.end_cycles,
+            loads=trace.loads,
+            it_start=it_start,
+            it_end=it_end,
+            ev_off=ev_off,
+            ev_kind=ev_kind,
+            ev_dep=ev_dep,
+            ev_at=ev_at,
+            words=tuple(words),
+        )
+
+    def to_invocation_trace(self) -> InvocationTrace:
+        """Reconstruct the legacy per-iteration representation exactly."""
+        iterations = []
+        codes = _CODE_TO_KIND
+        for i in range(len(self.it_start)):
+            lo, hi = self.ev_off[i], self.ev_off[i + 1]
+            iterations.append(
+                IterationTrace(
+                    start_cycles=self.it_start[i],
+                    end_cycles=self.it_end[i],
+                    events=[
+                        (codes[self.ev_kind[j]], self.ev_dep[j], self.ev_at[j])
+                        for j in range(lo, hi)
+                    ],
+                    words=dict(self.words[i]),
+                )
+            )
+        return InvocationTrace(
+            loop_id=self.loop_id,
+            start_cycles=self.start_cycles,
+            end_cycles=self.end_cycles,
+            iterations=iterations,
+            loads=self.loads,
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-stable representation (the disk-cache form)."""
+        return {
+            "format": TRACE_FORMAT_VERSION,
+            "loop_id": list(self.loop_id),
+            "start_cycles": self.start_cycles,
+            "end_cycles": self.end_cycles,
+            "loads": self.loads,
+            "iter_start": list(self.it_start),
+            "iter_end": list(self.it_end),
+            "ev_off": list(self.ev_off),
+            "ev_kind": list(self.ev_kind),
+            "ev_dep": list(self.ev_dep),
+            "ev_at": list(self.ev_at),
+            "words": [
+                {str(dep): n for dep, n in per_iter.items()}
+                for per_iter in self.words
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompactInvocationTrace":
+        """Load a serialized trace.
+
+        Accepts both the versioned compact format and the legacy
+        per-iteration dict format (no ``format`` key) that older
+        evaluation caches stored; unknown future versions raise.
+        """
+        version = data.get("format")
+        if version is None:
+            return cls.from_trace(InvocationTrace.from_dict(data))
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported compact-trace format {version!r} "
+                f"(this build reads {TRACE_FORMAT_VERSION} and legacy dicts)"
+            )
+        return cls(
+            loop_id=tuple(data["loop_id"]),
+            start_cycles=data["start_cycles"],
+            end_cycles=data["end_cycles"],
+            loads=data["loads"],
+            it_start=array("q", data["iter_start"]),
+            it_end=array("q", data["iter_end"]),
+            ev_off=array("q", data["ev_off"]),
+            ev_kind=array("q", data["ev_kind"]),
+            ev_dep=array("q", data["ev_dep"]),
+            ev_at=array("q", data["ev_at"]),
+            words=tuple(
+                {int(dep): int(n) for dep, n in per_iter.items()}
+                for per_iter in data["words"]
+            ),
+        )
+
+    # -- compilation -------------------------------------------------------
+
+    @property
+    def program(self) -> TraceProgram:
+        """The compiled program (built once, cached on the trace)."""
+        if self._program is None:
+            self._program = self._compile()
+        return self._program
+
+    def _compile(self) -> TraceProgram:
+        op = array("q")
+        a1 = array("q")
+        a2 = array("q")
+        at_out = array("q")
+        pre = array("q")
+        off = array("q", [0])
+        tail = array("q")
+        spans = array("q")
+        agendas: List[Tuple[int, ...]] = []
+        has_next: List[bool] = []
+
+        kinds, deps, ats = self.ev_kind, self.ev_dep, self.ev_at
+        ev_off = self.ev_off
+        waits = signals = next_iters = transfer_total = active = 0
+        slot_count = 0
+        prev_sig: frozenset = frozenset()
+        prev_produced: frozenset = frozenset()
+
+        for i in range(len(self.it_start)):
+            words = self.words[i]
+            waited: set = set()
+            cur_sig: set = set()
+            transferred: set = set()
+            produced: set = set()
+            agenda: List[int] = []
+            agenda_seen: set = set()
+            open_slot: Dict[int, int] = {}
+            nslot = 0
+            seen_next = False
+            pending = 0
+
+            for j in range(ev_off[i], ev_off[i + 1]):
+                kind = kinds[j]
+                dep = deps[j]
+                if kind == KIND_WAIT:
+                    waits += 1
+                    if dep not in agenda_seen:
+                        agenda_seen.add(dep)
+                        agenda.append(dep)
+                    if dep in waited or dep in cur_sig:
+                        pending += 1  # barrier-only duplicate
+                        continue
+                    waited.add(dep)
+                    open_slot[dep] = nslot
+                    op.append(
+                        OP_WAIT_SYNC if i > 0 and dep in prev_sig else OP_WAIT
+                    )
+                    a1.append(dep)
+                    a2.append(nslot)
+                    at_out.append(ats[j])
+                    pre.append(pending)
+                    pending = 0
+                    nslot += 1
+                    active += 1
+                elif kind == KIND_SIGNAL:
+                    if dep in cur_sig:
+                        pending += 1  # barrier-only duplicate
+                        continue
+                    cur_sig.add(dep)
+                    signals += 1
+                    op.append(OP_SIGNAL)
+                    a1.append(dep)
+                    a2.append(open_slot.pop(dep, -1))
+                    at_out.append(ats[j])
+                    pre.append(pending)
+                    pending = 0
+                    active += 1
+                elif kind == KIND_NEXT:
+                    if seen_next:
+                        continue  # only the first next_iter acts
+                    seen_next = True
+                    next_iters += 1
+                    op.append(OP_NEXT)
+                    a1.append(0)
+                    a2.append(-1)
+                    at_out.append(ats[j])
+                    pre.append(pending)
+                    pending = 0
+                elif kind == KIND_XFER:
+                    if dep in prev_produced and dep not in transferred:
+                        transferred.add(dep)
+                        n_words = words.get(dep, 1)
+                        transfer_total += n_words
+                        op.append(OP_XFER)
+                        a1.append(n_words)
+                        a2.append(-1)
+                        at_out.append(ats[j])
+                        pre.append(pending)
+                        pending = 0
+                        active += 1
+                    # non-forwarded consumer marks have no effect
+                else:  # KIND_PRODUCE
+                    produced.add(dep)
+
+            off.append(len(op))
+            tail.append(pending)
+            spans.append(self.it_end[i] - self.it_start[i])
+            agendas.append(tuple(agenda))
+            has_next.append(seen_next)
+            if nslot > slot_count:
+                slot_count = nslot
+            prev_sig = frozenset(cur_sig)
+            prev_produced = frozenset(produced)
+
+        return TraceProgram(
+            op=op,
+            a1=a1,
+            a2=a2,
+            at=at_out,
+            pre=pre,
+            off=off,
+            tail=tail,
+            spans=spans,
+            slot_count=slot_count,
+            agendas=tuple(agendas),
+            has_next=tuple(has_next),
+            waits=waits,
+            signals=signals,
+            next_iters=next_iters,
+            transfer_words=transfer_total,
+            active_ops=active,
+        )
+
+
+def as_compact(trace) -> CompactInvocationTrace:
+    """Normalize a trace (legacy or compact) to the compact form."""
+    if isinstance(trace, CompactInvocationTrace):
+        return trace
+    return CompactInvocationTrace.from_trace(trace)

@@ -30,7 +30,7 @@ from repro.core import parallelize_module
 from repro.runtime.interpreter import ExecutionResult
 from repro.runtime.machine import MachineConfig, PrefetchMode
 from repro.runtime.parallel import (
-    InvocationTrace,
+    CompactInvocationTrace,
     IterationTrace,
     LoopRunStats,
     ParallelExecutor,
@@ -118,10 +118,18 @@ class TestTraceSerialization:
         info_by_id = {info.loop_id: info for info in infos}
         assert result.traces, "tiny benchmark must record traces"
         for trace in result.traces:
-            restored = InvocationTrace.from_dict(
+            restored = CompactInvocationTrace.from_dict(
                 json.loads(json.dumps(trace.to_dict()))
             )
             assert restored == trace
+            # Legacy payload: the same trace in the old per-iteration
+            # dict format must still load to an equal compact trace.
+            legacy = CompactInvocationTrace.from_dict(
+                json.loads(
+                    json.dumps(trace.to_invocation_trace().to_dict())
+                )
+            )
+            assert legacy == trace
             for probe in (machine, machine.with_cores(2)):
                 assert schedule_invocation(
                     restored, info_by_id[trace.loop_id], probe
@@ -137,7 +145,7 @@ class TestTraceSerialization:
                 json.loads(json.dumps(result.result.to_dict()))
             ),
             [
-                InvocationTrace.from_dict(t.to_dict())
+                CompactInvocationTrace.from_dict(t.to_dict())
                 for t in result.traces
             ],
             {
@@ -147,15 +155,27 @@ class TestTraceSerialization:
                     for s in result.loop_stats.values()
                 )
             },
+            load_count=executor.load_count,
         )
         assert restored.cycles == result.cycles
         assert restored.loop_stats == result.loop_stats
+        assert clone.load_count == executor.load_count
         for probe in (machine.with_cores(2),
                       machine.with_prefetch(PrefetchMode.NONE)):
             direct = executor.replay(probe)
             replayed = clone.replay(probe)
             assert replayed.cycles == direct.cycles
             assert replayed.loop_stats == direct.loop_stats
+
+    def test_restore_run_defaults_load_count_to_trace_loads(self):
+        executor, result, transformed, infos, machine = _executed_tiny()
+        clone = ParallelExecutor(transformed, infos, machine)
+        clone.restore_run(
+            result.result,
+            list(result.traces),
+            dict(result.loop_stats),
+        )
+        assert clone.load_count == sum(t.loads for t in result.traces)
 
     def test_loop_run_stats_roundtrip(self):
         stats = LoopRunStats(
