@@ -52,6 +52,7 @@ from repro.analysis.liveness import LivenessInfo, compute_liveness
 from repro.analysis.loops import Loop, LoopForest, find_loops
 from repro.analysis.pointer import PointsToResult, andersen_pointer_analysis
 from repro.ir import Function, Module
+from repro.obs import REGISTRY, get_tracer
 
 
 class Analysis:
@@ -188,7 +189,8 @@ class AnalysisManager:
                 return entry[1]
             self._count_invalidation(analysis.name)
         start = time.perf_counter()
-        result = analysis.compute(self, target, *args)
+        with get_tracer().span(f"analysis.{analysis.name}", cat="analysis"):
+            result = analysis.compute(self, target, *args)
         seconds = time.perf_counter() - start
         # Keyed on the pre-compute version: if a compute callback ever
         # mutated its subject, the entry would be stale-on-arrival and
@@ -241,6 +243,7 @@ class AnalysisManager:
 
     def _count_hit(self, name: str) -> None:
         self.counter(name).hits += 1
+        REGISTRY.inc(f"analysis.{name}.hits")
         if self.stats is not None:
             self.stats.record(f"analysis:{name}", "memory")
 
@@ -248,11 +251,13 @@ class AnalysisManager:
         counter = self.counter(name)
         counter.misses += 1
         counter.wall_seconds += seconds
+        REGISTRY.inc(f"analysis.{name}.misses")
         if self.stats is not None:
             self.stats.record(f"analysis:{name}", "compute", seconds)
 
     def _count_invalidation(self, name: str) -> None:
         self.counter(name).invalidations += 1
+        REGISTRY.inc(f"analysis.{name}.invalidations")
         if self.stats is not None:
             self.stats.invalidate(f"analysis:{name}")
 

@@ -24,7 +24,15 @@ Commands:
   ``--jobs N`` (process-parallel pipelines), ``--cache-dir PATH``
   (persistent artifact cache), ``--stats`` (per-stage wall-clock and
   cache-hit counters, including per-analysis rows) and
-  ``--report PATH`` (JSON record with an ``analyses`` block).
+  ``--report PATH`` (JSON record with ``analyses``, ``environment``
+  and per-core ``timeline`` blocks).
+* ``trace NAME``             -- run one benchmark pipeline under the
+  tracer and export Chrome trace-event JSON (loadable in
+  ui.perfetto.dev or about:tracing); ``--sim-timeline`` adds one
+  simulated-time track per core.
+
+``run``, ``compile`` and ``suite`` also accept ``--trace PATH`` to
+record the same span stream while doing their normal job.
 """
 
 from __future__ import annotations
@@ -43,7 +51,41 @@ def _load(path: str):
     return compile_minic(source, name=Path(path).stem)
 
 
+def _parse_machine(spec: str) -> MachineConfig:
+    """``CORES[:PREFETCH]`` -> a machine, e.g. ``4`` or ``8:matched``."""
+    from repro.runtime.machine import PrefetchMode
+
+    cores, _, mode = spec.partition(":")
+    machine = MachineConfig(cores=int(cores))
+    if mode:
+        machine = machine.with_prefetch(PrefetchMode(mode.lower()))
+    return machine
+
+
+def _traced(args, fn) -> int:
+    """Run ``fn`` under a live tracer when ``--trace PATH`` was given,
+    writing the Chrome trace (spans + metrics) on the way out."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return fn()
+    from repro.obs import REGISTRY, tracing, write_chrome_trace
+
+    with tracing() as tracer:
+        code = fn()
+    write_chrome_trace(
+        trace_path,
+        tracer.finished(),
+        registry_snapshot=REGISTRY.snapshot(),
+    )
+    print(f"trace written to {trace_path}", file=sys.stderr)
+    return code
+
+
 def cmd_run(args) -> int:
+    return _traced(args, lambda: _cmd_run(args))
+
+
+def _cmd_run(args) -> int:
     module = _load(args.file)
     result = run_module(module)
     for line in result.output:
@@ -75,6 +117,10 @@ def cmd_parallelize(args) -> int:
 
 
 def cmd_compile(args) -> int:
+    return _traced(args, lambda: _cmd_compile(args))
+
+
+def _cmd_compile(args) -> int:
     from repro.analysis.manager import AnalysisManager
     from repro.api import parallelize
     from repro.evaluation.reporting import format_analysis_stats
@@ -186,6 +232,10 @@ def cmd_bench_sched(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    return _traced(args, lambda: _cmd_suite(args))
+
+
+def _cmd_suite(args) -> int:
     from pathlib import Path as _Path
 
     from repro.evaluation.parallel_runner import effective_jobs, run_suite
@@ -209,6 +259,18 @@ def cmd_suite(args) -> int:
         print(f"suite wall-clock: {report.wall_seconds:.2f}s "
               f"(jobs={report.jobs})")
     if args.report:
+        env = report.environment
+        print(
+            "environment: Python {python} ({implementation}) on "
+            "{platform}, {cpu_count} cpus, code {code}".format(
+                python=env.get("python"),
+                implementation=env.get("implementation"),
+                platform=env.get("platform"),
+                cpu_count=env.get("cpu_count"),
+                code=report.code_version,
+            ),
+            file=sys.stderr,
+        )
         try:
             _Path(args.report).write_text(report.to_json() + "\n")
         except OSError as exc:
@@ -218,14 +280,63 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.evaluation.runner import EvaluationRunner
+    from repro.obs import (
+        REGISTRY,
+        tracing,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    replay_machine = _parse_machine(args.machine) if args.machine else None
+    with tracing() as tracer:
+        runner = EvaluationRunner()
+        run = runner.helix_run(args.bench)
+
+    extra_events = []
+    if args.sim_timeline:
+        from repro.obs.timeline import run_timeline, timeline_events
+
+        segments = run_timeline(run.executor, machine=replay_machine)
+        sim_machine = replay_machine or run.executor.machine
+        # Simulated time gets its own trace "process" so Perfetto keeps
+        # its cycle clock apart from the wall-clock spans.
+        extra_events = timeline_events(segments, sim_machine, pid=0)
+
+    payload = write_chrome_trace(
+        args.out,
+        tracer.finished(),
+        registry_snapshot=REGISTRY.snapshot(),
+        extra_events=extra_events,
+    )
+    problems = validate_chrome_trace(payload)
+    if problems:  # pragma: no cover - would be an exporter bug
+        for problem in problems:
+            print(f"error: invalid trace: {problem}", file=sys.stderr)
+        return 1
+    spans = sum(
+        1 for e in payload["traceEvents"] if e.get("ph") == "X"
+    )
+    print(
+        f"{args.bench}: {spans} spans -> {args.out} "
+        f"(speedup {run.speedup:.2f}x, open in ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+    return 0 if run.output_matches else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="HELIX reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    trace_help = "write a Chrome/Perfetto trace of this command to PATH"
+
     p = sub.add_parser("run", help="compile and run a MiniC file")
     p.add_argument("file")
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("ir", help="dump compiled IR of a MiniC file")
@@ -248,6 +359,7 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the analysis manager's hit/miss/invalidation table",
     )
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("bench", help="run a suite benchmark")
@@ -386,7 +498,35 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write a machine-readable JSON report",
     )
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one benchmark pipeline and export a Perfetto trace",
+    )
+    p.add_argument("bench", help="benchmark name (see `repro suite`)")
+    p.add_argument(
+        "-o",
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace-event JSON output path (default trace.json)",
+    )
+    p.add_argument(
+        "--machine",
+        default=None,
+        metavar="CORES[:PREFETCH]",
+        help="replay machine for the simulated timeline "
+        "(e.g. 4 or 8:matched; default: the executing machine)",
+    )
+    p.add_argument(
+        "--sim-timeline",
+        action="store_true",
+        help="add one simulated-time track per core "
+        "(compute/stall/signal/transfer segments)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

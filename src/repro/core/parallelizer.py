@@ -49,6 +49,7 @@ from repro.ir import (
 from repro.ir.module import clone_module
 from repro.ir.operands import Const
 from repro.ir.types import Type
+from repro.obs import get_tracer
 from repro.runtime.machine import MachineConfig
 from repro.transform.inline import can_inline, inline_call
 from repro.transform.normalize import NormalizedLoop, normalize_loop
@@ -274,6 +275,13 @@ class HelixParallelizer:
 
     def parallelize_loop(self, loop_id: LoopId) -> ParallelizedLoop:
         """Run Steps 1-9 on one loop; returns its metadata record."""
+        with get_tracer().span(
+            "helix.loop", cat="helix", loop=f"{loop_id[0]}:{loop_id[1]}"
+        ):
+            return self._parallelize_loop(loop_id)
+
+    def _parallelize_loop(self, loop_id: LoopId) -> ParallelizedLoop:
+        tracer = get_tracer()
         func_name, header = loop_id
         func = self.module.functions.get(func_name)
         if func is None:
@@ -281,7 +289,9 @@ class HelixParallelizer:
 
         inlined = 0
         if self.options.enable_inlining:
-            inlined = self._inline_endpoint_calls(func, header)
+            with tracer.span("helix.step5.inline", cat="helix") as span:
+                inlined = self._inline_endpoint_calls(func, header)
+                span.set(inlined=inlined)
 
         forest = self.am.loops(func)
         loop = forest.by_header.get(header)
@@ -290,10 +300,14 @@ class HelixParallelizer:
 
         # Step 1: normalization (on the original; structure is mirrored by
         # the clone block-for-block).
-        norm = normalize_loop(func, loop)
+        with tracer.span("helix.step1.normalize", cat="helix"):
+            norm = normalize_loop(func, loop)
 
         # Step 9: versioning.
-        name_map, guard_name, par_pre, stubs = self._version_loop(func, norm)
+        with tracer.span("helix.step9.version", cat="helix"):
+            name_map, guard_name, par_pre, stubs = self._version_loop(
+                func, norm
+            )
 
         info = ParallelizedLoop(
             loop_id=loop_id,
@@ -318,47 +332,57 @@ class HelixParallelizer:
             raise HelixError("parallel version is not a natural loop")
 
         # Step 2: dependences to synchronize.
-        analysis = self.am.dependence(self.module)
-        deps = analysis.loop_dependences(func, par_loop)
+        with tracer.span("helix.step2.dependence", cat="helix") as span:
+            analysis = self.am.dependence(self.module)
+            deps = analysis.loop_dependences(func, par_loop)
+            span.set(dependences=len(deps))
 
         # Step 4: sequential segments.
-        syncs = insert_synchronization(
-            func, par_loop, deps, cfg=self.am.cfg(func)
-        )
+        with tracer.span("helix.step4.synchronize", cat="helix"):
+            syncs = insert_synchronization(
+                func, par_loop, deps, cfg=self.am.cfg(func)
+            )
         info.deps = syncs
         info.naive_waits = sum(len(s.wait_instrs) for s in syncs)
         info.naive_signals = sum(len(s.signal_instrs) for s in syncs)
 
         # Step 6: signal minimization.
         if self.options.enable_signal_optimization:
-            optimize_signals(func, par_loop, syncs, cfg=self.am.cfg(func))
+            with tracer.span("helix.step6.signals", cat="helix"):
+                optimize_signals(func, par_loop, syncs, cfg=self.am.cfg(func))
 
         # Step 7: communication.
-        insert_communication(self.module, func, par_loop, syncs)
+        with tracer.span("helix.step7.communication", cat="helix"):
+            insert_communication(self.module, func, par_loop, syncs)
 
-        # Step 3's counted-loop analysis (after synchronization exists, so
-        # carried influence on the exit test is visible as a prologue wait).
-        info.counted = is_counted_loop(func, info.prologue_blocks)
-
-        # Step 3: start next iterations.
-        crossing = [
-            (name_map[a], name_map[b]) for a, b in norm.crossing_edges
-        ]
-        self._insert_next_iter(func, info, crossing)
+        # Step 3: counted-loop analysis (after synchronization exists, so
+        # carried influence on the exit test is visible as a prologue
+        # wait), then start next iterations.
+        with tracer.span("helix.step3.next_iter", cat="helix") as span:
+            info.counted = is_counted_loop(func, info.prologue_blocks)
+            span.set(counted=info.counted)
+            crossing = [
+                (name_map[a], name_map[b]) for a, b in norm.crossing_edges
+            ]
+            self._insert_next_iter(func, info, crossing)
 
         # Steps 5 and 8 operate on the final block set.
         forest = self.am.loops(func)
         par_loop = forest.by_header[info.par_header]
         if self.options.enable_segment_scheduling:
-            schedule_loop(func, par_loop, analysis.points_to, syncs)
-        if (
-            self.options.enable_helper_threads
-            and self.options.enable_prefetch_balancing
-        ):
-            balance_loop(func, par_loop, analysis.points_to, syncs, self.machine)
-        info.helper_order = helper_wait_order(
-            func, par_loop, syncs, cfg=self.am.cfg(func)
-        )
+            with tracer.span("helix.step5.schedule", cat="helix"):
+                schedule_loop(func, par_loop, analysis.points_to, syncs)
+        with tracer.span("helix.step8.balance", cat="helix"):
+            if (
+                self.options.enable_helper_threads
+                and self.options.enable_prefetch_balancing
+            ):
+                balance_loop(
+                    func, par_loop, analysis.points_to, syncs, self.machine
+                )
+            info.helper_order = helper_wait_order(
+                func, par_loop, syncs, cfg=self.am.cfg(func)
+            )
 
         info.final_waits = sum(len(s.wait_instrs) for s in syncs)
         info.final_signals = sum(len(s.signal_instrs) for s in syncs)
@@ -382,10 +406,13 @@ def parallelize_module(
     ``manager`` shares one analysis cache with the caller (selection,
     the evaluation runner); omitted, the parallelizer creates its own.
     """
-    transformed = clone_module(module)
-    parallelizer = HelixParallelizer(transformed, machine, options, manager)
-    infos: List[ParallelizedLoop] = []
-    for loop_id in loop_ids:
-        infos.append(parallelizer.parallelize_loop(loop_id))
-    verify_module(transformed)
-    return transformed, infos
+    with get_tracer().span(
+        "helix.parallelize_module", cat="helix", loops=len(loop_ids)
+    ):
+        transformed = clone_module(module)
+        parallelizer = HelixParallelizer(transformed, machine, options, manager)
+        infos: List[ParallelizedLoop] = []
+        for loop_id in loop_ids:
+            infos.append(parallelizer.parallelize_loop(loop_id))
+        verify_module(transformed)
+        return transformed, infos

@@ -33,6 +33,7 @@ from repro.core.segments import (
     segment_span_blocks,
 )
 from repro.ir import Function, Module, Opcode
+from repro.obs import get_tracer
 from repro.runtime.machine import MachineConfig
 from repro.runtime.profiler import ProfileData
 
@@ -323,6 +324,20 @@ def analyze_candidates(
     manager: Optional[AnalysisManager] = None,
 ) -> Dict[LoopId, LoopModelInputs]:
     """Characterize every profiled loop."""
+    with get_tracer().span(
+        "select.analyze_candidates", cat="selection"
+    ) as span:
+        result = _analyze_candidates(module, profile, config, manager)
+        span.set(candidates=len(result))
+    return result
+
+
+def _analyze_candidates(
+    module: Module,
+    profile: ProfileData,
+    config: SelectionConfig,
+    manager: Optional[AnalysisManager] = None,
+) -> Dict[LoopId, LoopModelInputs]:
     if manager is not None:
         analysis = manager.dependence(module)
         forests = {
@@ -401,6 +416,21 @@ def choose_loops(
 ) -> LoopSelection:
     """Run the full Section 2.2 selection."""
     config = config or SelectionConfig()
+    with get_tracer().span("select.choose_loops", cat="selection") as span:
+        selection = _choose_loops(module, profile, config, manager)
+        span.set(
+            candidates=len(selection.candidates),
+            chosen=len(selection.chosen),
+        )
+    return selection
+
+
+def _choose_loops(
+    module: Module,
+    profile: ProfileData,
+    config: SelectionConfig,
+    manager: Optional[AnalysisManager] = None,
+) -> LoopSelection:
     candidates = analyze_candidates(module, profile, config, manager=manager)
     model = SpeedupModel(
         config.machine,
@@ -474,6 +504,19 @@ def fixed_level_selection(
     manager: Optional[AnalysisManager] = None,
 ) -> List[LoopId]:
     """All profiled loops at one nesting level (the Figure 11/13 baseline)."""
+    with get_tracer().span(
+        "select.fixed_level", cat="selection", level=level
+    ):
+        return _fixed_level_selection(module, profile, level, config, manager)
+
+
+def _fixed_level_selection(
+    module: Module,
+    profile: ProfileData,
+    level: int,
+    config: Optional[SelectionConfig] = None,
+    manager: Optional[AnalysisManager] = None,
+) -> List[LoopId]:
     config = config or SelectionConfig()
     graph = profile.dynamic_nesting
     levels = _dynamic_levels(graph)

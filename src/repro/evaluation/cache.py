@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis.loopnest import LoopId
 from repro.core.loopinfo import HelixOptions
+from repro.obs.metrics import REGISTRY
 from repro.runtime.machine import MachineConfig, PrefetchMode
 
 #: Cache payload schema generation, folded into :func:`code_version`.
@@ -161,15 +162,20 @@ class EvaluationCache:
         try:
             text = path.read_text()
         except OSError:
-            self.misses[kind] = self.misses.get(kind, 0) + 1
+            self._miss(kind)
             return None
         try:
             payload = json.loads(text)
         except json.JSONDecodeError:
-            self.misses[kind] = self.misses.get(kind, 0) + 1
+            self._miss(kind)
             return None
         self.hits[kind] = self.hits.get(kind, 0) + 1
+        REGISTRY.inc(f"evalcache.hits.{kind}")
         return payload
+
+    def _miss(self, kind: str) -> None:
+        self.misses[kind] = self.misses.get(kind, 0) + 1
+        REGISTRY.inc(f"evalcache.misses.{kind}")
 
     def store(self, kind: str, key: str, payload: dict) -> None:
         """Atomically persist one artifact (last writer wins)."""
@@ -189,6 +195,7 @@ class EvaluationCache:
                 pass
             raise
         self.stores[kind] = self.stores.get(kind, 0) + 1
+        REGISTRY.inc(f"evalcache.stores.{kind}")
 
     def traffic(self) -> Dict[str, Dict[str, int]]:
         """Per-kind disk traffic counters (for the JSON report)."""

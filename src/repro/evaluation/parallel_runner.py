@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -30,7 +32,23 @@ from typing import Dict, List, Optional, Sequence
 from repro.evaluation import figures
 from repro.evaluation.cache import EvaluationCache, code_version
 from repro.evaluation.runner import EvaluationRunner, StageStats
+from repro.obs import REGISTRY, get_tracer, tracing
 from repro.runtime.machine import MachineConfig
+
+
+def suite_environment() -> Dict[str, object]:
+    """Provenance of one suite run: enough to tell two report files from
+    different hosts or checkouts apart without leaking anything
+    host-private beyond coarse platform facts."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "code_version": code_version(),
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }
 
 
 @dataclass
@@ -76,6 +94,12 @@ class SuiteReport:
     analyses: Dict[str, dict] = field(default_factory=dict)
     #: Disk traffic of the parent's cache, per artifact kind.
     cache_traffic: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Where and on what the suite ran (:func:`suite_environment`).
+    environment: Dict[str, object] = field(default_factory=dict)
+    #: Per-benchmark simulated-time accounting: bench -> per-core
+    #: busy/stall/signal/transfer cycle totals on the baseline machine
+    #: (:func:`repro.obs.timeline.timeline_block`).
+    timeline: Dict[str, dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -84,30 +108,61 @@ class SuiteReport:
             "cache_dir": self.cache_dir,
             "code_version": self.code_version,
             "wall_seconds": self.wall_seconds,
+            "environment": self.environment,
             "speedups": self.speedups,
             "geomeans": self.geomeans,
             "benches": [b.as_dict() for b in self.benches],
             "stages": self.stages,
             "analyses": self.analyses,
             "cache_traffic": self.cache_traffic,
+            "timeline": self.timeline,
         }
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 
 
-def _run_bench(bench: str, machine: MachineConfig, cache_root: str) -> dict:
+def _run_bench(
+    bench: str, machine: MachineConfig, cache_root: str, trace: bool = False
+) -> dict:
     """Worker entry point: one benchmark, results persisted to the
-    shared cache.  Returns accounting only (artifacts travel by disk)."""
+    shared cache.  Returns accounting only (artifacts travel by disk).
+
+    With ``trace`` set the worker records its spans under a local tracer
+    and ships them home serialized; they keep this process's pid, so the
+    merged trace shows one track per worker."""
     start = time.perf_counter()
+    spans: List[dict] = []
+    metrics_before = REGISTRY.snapshot()
     runner = EvaluationRunner(machine, cache=EvaluationCache(cache_root))
-    run = runner.helix_run(bench)
-    return BenchOutcome(
+    if trace:
+        with tracing() as tracer:
+            run = runner.helix_run(bench)
+        spans = [event.as_dict() for event in tracer.finished()]
+    else:
+        run = runner.helix_run(bench)
+    payload = BenchOutcome(
         bench=bench,
         wall_seconds=time.perf_counter() - start,
         output_matches=run.output_matches,
         stages=runner.stats.as_dict(),
     ).as_dict()
+    payload["spans"] = spans
+    # Ship only the delta this benchmark caused, so a reused worker
+    # process never double-reports counts from an earlier benchmark.
+    payload["metrics"] = _metrics_delta(metrics_before, REGISTRY.snapshot())
+    return payload
+
+
+def _metrics_delta(before: dict, after: dict) -> dict:
+    """Registry-snapshot difference ``after - before`` (counters only
+    subtract; gauges pass through at their latest value)."""
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        diff = value - before.get("counters", {}).get(name, 0)
+        if diff:
+            counters[name] = diff
+    return {"counters": counters, "gauges": dict(after.get("gauges", {}))}
 
 
 def run_suite(
@@ -145,17 +200,29 @@ def run_suite(
             cores=machine.cores,
             cache_dir=cache_dir,
             code_version=code_version(),
+            environment=suite_environment(),
         )
 
+        tracer = get_tracer()
         if jobs > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = [
-                    pool.submit(_run_bench, bench, machine, cache_root)
+                    pool.submit(
+                        _run_bench, bench, machine, cache_root,
+                        tracer.enabled,
+                    )
                     for bench in runner.benches()
                 ]
                 # Completion order is racy; report in suite order.
                 for future in futures:
-                    report.benches.append(BenchOutcome(**future.result()))
+                    payload = future.result()
+                    spans = payload.pop("spans", [])
+                    metrics = payload.pop("metrics", None)
+                    if spans:
+                        tracer.absorb(spans)
+                    if metrics:
+                        REGISTRY.merge(metrics)
+                    report.benches.append(BenchOutcome(**payload))
 
         fig9 = figures.figure9(runner)
 
@@ -179,6 +246,13 @@ def run_suite(
         }
         if cache is not None:
             report.cache_traffic = cache.traffic()
+        # Simulated-time accounting: every figure-9 pipeline is warm in
+        # the parent's memo by now, so this only walks stored traces.
+        from repro.obs.timeline import timeline_block
+
+        for bench in runner.benches():
+            run = runner.helix_run(bench)
+            report.timeline[bench] = timeline_block(run.executor)
         report.wall_seconds = time.perf_counter() - start
         return fig9, report, runner
     finally:

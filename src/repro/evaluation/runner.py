@@ -45,6 +45,7 @@ from repro.evaluation.cache import (
 )
 from repro.ir import Module
 from repro.ir.parser import parse_module
+from repro.obs import REGISTRY, get_tracer
 from repro.ir.printer import module_to_str
 from repro.runtime.interpreter import ExecutionResult, run_module
 from repro.runtime.machine import MachineConfig, PrefetchMode
@@ -118,13 +119,20 @@ class StageStats:
         tally = self.tally(stage)
         if outcome == "compute":
             tally.computes += 1
+            counter = "computes"
         elif outcome == "memory":
             tally.memory_hits += 1
+            counter = "memory_hits"
         elif outcome == "disk":
             tally.disk_hits += 1
+            counter = "disk_hits"
         else:  # pragma: no cover - caller bug
             raise ValueError(f"unknown stage outcome {outcome!r}")
         tally.wall_seconds += seconds
+        # ``analysis:<name>`` rows already reach the registry from the
+        # AnalysisManager itself; mirroring them again would double-count.
+        if not stage.startswith("analysis:"):
+            REGISTRY.inc(f"stage.{stage}.{counter}")
 
     def invalidate(self, stage: str) -> None:
         """Count one cache invalidation (a stale cached result dropped
@@ -133,13 +141,18 @@ class StageStats:
 
     def merge(self, stages: Dict[str, dict]) -> None:
         """Fold another runner's :meth:`as_dict` in (cross-process
-        aggregation for the parallel suite runner)."""
+        aggregation for the parallel suite runner).
+
+        Every field defaults to zero so snapshots serialized by older
+        code versions -- which may lack fields added since -- merge
+        cleanly instead of raising ``KeyError``.
+        """
         for stage, data in stages.items():
             tally = self.tally(stage)
-            tally.computes += data["computes"]
-            tally.memory_hits += data["memory_hits"]
-            tally.disk_hits += data["disk_hits"]
-            tally.wall_seconds += data["wall_seconds"]
+            tally.computes += data.get("computes", 0)
+            tally.memory_hits += data.get("memory_hits", 0)
+            tally.disk_hits += data.get("disk_hits", 0)
+            tally.wall_seconds += data.get("wall_seconds", 0.0)
             tally.invalidations += data.get("invalidations", 0)
 
     def as_dict(self) -> Dict[str, dict]:
@@ -263,15 +276,21 @@ class EvaluationRunner:
             self.stats.record("compile", "memory")
             return self._modules[key]
         start = time.perf_counter()
-        disk_key = self._disk_key(bench, (scale,), {"kind": "module"})
-        payload = self._disk_load("module", disk_key)
-        if payload is not None:
-            module = parse_module(payload["ir"])
-            outcome = "disk"
-        else:
-            module = compile_benchmark(bench, scale)
-            self._disk_store("module", disk_key, {"ir": module_to_str(module)})
-            outcome = "compute"
+        with get_tracer().span(
+            "stage.compile", cat="stage", bench=bench, scale=scale
+        ) as sp:
+            disk_key = self._disk_key(bench, (scale,), {"kind": "module"})
+            payload = self._disk_load("module", disk_key)
+            if payload is not None:
+                module = parse_module(payload["ir"])
+                outcome = "disk"
+            else:
+                module = compile_benchmark(bench, scale)
+                self._disk_store(
+                    "module", disk_key, {"ir": module_to_str(module)}
+                )
+                outcome = "compute"
+            sp.set(outcome=outcome)
         self._modules[key] = module
         self.stats.record("compile", outcome, time.perf_counter() - start)
         return module
@@ -284,19 +303,21 @@ class EvaluationRunner:
             return self._profiles[bench]
         train = self.module(bench, "train")
         start = time.perf_counter()
-        disk_key = self._disk_key(
-            bench, ("train",), {"kind": "profile", "machine": self.machine}
-        )
-        payload = self._disk_load("profile", disk_key)
-        if payload is not None:
-            data = ProfileData.from_dict(payload, train)
-            outcome = "disk"
-        else:
-            data = profile_module(
-                train, self.machine, backend=self.interp_backend
+        with get_tracer().span("stage.profile", cat="stage", bench=bench) as sp:
+            disk_key = self._disk_key(
+                bench, ("train",), {"kind": "profile", "machine": self.machine}
             )
-            self._disk_store("profile", disk_key, data.to_dict())
-            outcome = "compute"
+            payload = self._disk_load("profile", disk_key)
+            if payload is not None:
+                data = ProfileData.from_dict(payload, train)
+                outcome = "disk"
+            else:
+                data = profile_module(
+                    train, self.machine, backend=self.interp_backend
+                )
+                self._disk_store("profile", disk_key, data.to_dict())
+                outcome = "compute"
+            sp.set(outcome=outcome)
         self._profiles[bench] = data
         self.stats.record("profile", outcome, time.perf_counter() - start)
         return data
@@ -307,17 +328,23 @@ class EvaluationRunner:
             return self._sequential[bench]
         ref = self.module(bench, "ref")
         start = time.perf_counter()
-        disk_key = self._disk_key(
-            bench, ("ref",), {"kind": "sequential", "machine": self.machine}
-        )
-        payload = self._disk_load("sequential", disk_key)
-        if payload is not None:
-            result = ExecutionResult.from_dict(payload)
-            outcome = "disk"
-        else:
-            result = run_module(ref, self.machine, backend=self.interp_backend)
-            self._disk_store("sequential", disk_key, result.to_dict())
-            outcome = "compute"
+        with get_tracer().span(
+            "stage.sequential", cat="stage", bench=bench
+        ) as sp:
+            disk_key = self._disk_key(
+                bench, ("ref",), {"kind": "sequential", "machine": self.machine}
+            )
+            payload = self._disk_load("sequential", disk_key)
+            if payload is not None:
+                result = ExecutionResult.from_dict(payload)
+                outcome = "disk"
+            else:
+                result = run_module(
+                    ref, self.machine, backend=self.interp_backend
+                )
+                self._disk_store("sequential", disk_key, result.to_dict())
+                outcome = "compute"
+            sp.set(outcome=outcome)
         self._sequential[bench] = result
         self.stats.record("sequential", outcome, time.perf_counter() - start)
         return result
@@ -336,13 +363,16 @@ class EvaluationRunner:
         module = self.module(bench, "ref")
         profile = self.profile(bench)
         start = time.perf_counter()
-        config = SelectionConfig(
-            machine=self.machine,
-            cores=cores or self.machine.cores,
-            signal_cost=signal_cost,
-            unoptimized_signals=unoptimized_signals,
-        )
-        selection = choose_loops(module, profile, config, manager=self.analysis)
+        with get_tracer().span("stage.selection", cat="stage", bench=bench):
+            config = SelectionConfig(
+                machine=self.machine,
+                cores=cores or self.machine.cores,
+                signal_cost=signal_cost,
+                unoptimized_signals=unoptimized_signals,
+            )
+            selection = choose_loops(
+                module, profile, config, manager=self.analysis
+            )
         self._selections[key] = selection
         self.stats.record("selection", "compute", time.perf_counter() - start)
         return selection
@@ -392,63 +422,68 @@ class EvaluationRunner:
         sequential = self.sequential(bench)
 
         start = time.perf_counter()
-        transformed, infos = parallelize_module(
-            module, loop_ids, machine, options, manager=self.analysis
-        )
+        with get_tracer().span("stage.transform", cat="stage", bench=bench):
+            transformed, infos = parallelize_module(
+                module, loop_ids, machine, options, manager=self.analysis
+            )
         self.stats.record("transform", "compute", time.perf_counter() - start)
 
         executor = ParallelExecutor(
             transformed, infos, machine, backend=self.interp_backend
         )
         start = time.perf_counter()
-        disk_key = self._disk_key(
-            bench,
-            ("train", "ref"),
-            {
-                "kind": "pipeline",
-                "machine": self.machine,
-                "config": config_fp,
-                "loops": [list(l) for l in loop_ids],
-            },
-        )
-        payload = self._disk_load("pipeline", disk_key)
-        if payload is not None:
-            # ``from_dict`` reads both the versioned compact format and
-            # the legacy per-iteration dicts of older caches; legacy
-            # payloads also predate the stored ``load_count``.
-            parallel = executor.restore_run(
-                ExecutionResult.from_dict(payload["result"]),
-                [
-                    CompactInvocationTrace.from_dict(t)
-                    for t in payload["traces"]
-                ],
+        with get_tracer().span(
+            "stage.execute", cat="stage", bench=bench
+        ) as sp:
+            disk_key = self._disk_key(
+                bench,
+                ("train", "ref"),
                 {
-                    stats.loop_id: stats
-                    for stats in (
-                        LoopRunStats.from_dict(s)
-                        for s in payload["loop_stats"]
-                    )
+                    "kind": "pipeline",
+                    "machine": self.machine,
+                    "config": config_fp,
+                    "loops": [list(l) for l in loop_ids],
                 },
-                load_count=payload.get("load_count"),
             )
-            outcome = "disk"
-        else:
-            parallel = executor.execute()
-            self._disk_store(
-                "pipeline",
-                disk_key,
-                {
-                    "result": parallel.result.to_dict(),
-                    "loop_stats": [
-                        s.to_dict()
-                        for _, s in sorted(parallel.loop_stats.items())
+            payload = self._disk_load("pipeline", disk_key)
+            if payload is not None:
+                # ``from_dict`` reads both the versioned compact format
+                # and the legacy per-iteration dicts of older caches;
+                # legacy payloads also predate the stored ``load_count``.
+                parallel = executor.restore_run(
+                    ExecutionResult.from_dict(payload["result"]),
+                    [
+                        CompactInvocationTrace.from_dict(t)
+                        for t in payload["traces"]
                     ],
-                    "trace_format": TRACE_FORMAT_VERSION,
-                    "traces": [t.to_dict() for t in parallel.traces],
-                    "load_count": executor.load_count,
-                },
-            )
-            outcome = "compute"
+                    {
+                        stats.loop_id: stats
+                        for stats in (
+                            LoopRunStats.from_dict(s)
+                            for s in payload["loop_stats"]
+                        )
+                    },
+                    load_count=payload.get("load_count"),
+                )
+                outcome = "disk"
+            else:
+                parallel = executor.execute()
+                self._disk_store(
+                    "pipeline",
+                    disk_key,
+                    {
+                        "result": parallel.result.to_dict(),
+                        "loop_stats": [
+                            s.to_dict()
+                            for _, s in sorted(parallel.loop_stats.items())
+                        ],
+                        "trace_format": TRACE_FORMAT_VERSION,
+                        "traces": [t.to_dict() for t in parallel.traces],
+                        "load_count": executor.load_count,
+                    },
+                )
+                outcome = "compute"
+            sp.set(outcome=outcome)
         self.stats.record("execute", outcome, time.perf_counter() - start)
 
         run = PipelineRun(

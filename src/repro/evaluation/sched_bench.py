@@ -45,6 +45,36 @@ from repro.runtime.trace import InvocationTrace
 QUICK_BENCHES = ("gzip", "mcf", "equake", "bzip2")
 
 
+def null_tracer_probe(spans: int = 100_000) -> Dict[str, float]:
+    """Time ``spans`` disabled-tracer span entries.
+
+    The observability layer promises that leaving tracing off costs
+    nothing measurable; this probe keeps that promise on the record.  It
+    times :data:`~repro.obs.NULL_TRACER` directly (not the ambient
+    tracer, which a ``--trace`` run may have swapped) against an empty
+    loop of the same length, so the reported per-span cost excludes loop
+    overhead."""
+    from repro.obs import NULL_TRACER
+
+    start = time.perf_counter()
+    for _ in range(spans):
+        with NULL_TRACER.span("probe"):
+            pass
+    traced_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(spans):
+        pass
+    empty_seconds = time.perf_counter() - start
+    return {
+        "spans": float(spans),
+        "seconds": traced_seconds,
+        "empty_loop_seconds": empty_seconds,
+        "ns_per_span": max(0.0, traced_seconds - empty_seconds)
+        / spans
+        * 1e9,
+    }
+
+
 def sweep_machines(base: MachineConfig) -> List[MachineConfig]:
     """The benchmark's machine sweep: a superset of what one full
     evaluation round (core counts, prefetch modes, latency sweep, TSO
@@ -154,6 +184,8 @@ class SchedBenchReport:
     repeat: int
     machines: int
     programs: List[SweepTiming] = field(default_factory=list)
+    #: :func:`null_tracer_probe` measurement of the disabled tracer.
+    null_tracer: Dict[str, float] = field(default_factory=dict)
 
     @property
     def geomean_speedup(self) -> float:
@@ -184,6 +216,7 @@ class SchedBenchReport:
             "repeat": self.repeat,
             "machines": self.machines,
             "programs": [t.as_dict() for t in self.programs],
+            "null_tracer": self.null_tracer,
             "summary": {
                 "geomean_speedup": self.geomean_speedup,
                 "aggregate_speedup": self.aggregate_speedup,
@@ -211,6 +244,12 @@ class SchedBenchReport:
             f"{sum(t.compiled_seconds for t in self.programs):>11.3f} "
             f"{self.geomean_speedup:>7.2f}x"
         )
+        if self.null_tracer:
+            lines.append(
+                f"disabled tracer: "
+                f"{self.null_tracer['ns_per_span']:.1f} ns/span over "
+                f"{int(self.null_tracer['spans']):,} no-op spans"
+            )
         return "\n".join(lines)
 
 
@@ -267,7 +306,11 @@ def run_sched_bench(
     runner = default_runner()
     names = list(benches) if benches is not None else runner.benches()
     machines = sweep_machines(runner.machine)
-    report = SchedBenchReport(repeat=repeat, machines=len(machines))
+    report = SchedBenchReport(
+        repeat=repeat,
+        machines=len(machines),
+        null_tracer=null_tracer_probe(),
+    )
     for name in names:
         if progress:
             progress(name)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.frontend import ast_nodes as ast
 from repro.frontend.errors import MiniCError
 from repro.frontend.parser import parse
+from repro.obs import get_tracer
 from repro.ir import (
     BasicBlock,
     Const,
@@ -700,4 +701,8 @@ def lower_program(program: ast.Program, name: str = "program") -> Module:
 
 def compile_source(source: str, name: str = "program") -> Module:
     """Compile MiniC source text to a verified IR module."""
-    return lower_program(parse(source), name)
+    tracer = get_tracer()
+    with tracer.span("frontend.parse", cat="frontend", program=name):
+        tree = parse(source)
+    with tracer.span("frontend.lower", cat="frontend", program=name):
+        return lower_program(tree, name)

@@ -1,0 +1,55 @@
+"""Unified tracing & metrics subsystem (zero-dependency).
+
+Two complementary primitives, both off by default and free when off:
+
+* :class:`Tracer` -- nestable wall-clock spans with typed args, recorded
+  as flat events and exportable as Chrome trace-event JSON
+  (:mod:`repro.obs.export`), loadable in Perfetto / ``about:tracing``.
+  The process-wide tracer is a shared :class:`NullTracer` until
+  :func:`set_tracer` installs a recording one, so instrumentation sites
+  cost one global read plus a no-op context manager when tracing is off.
+* :class:`Registry` -- process-wide named counters and gauges
+  (:data:`REGISTRY`).  The pipeline's pre-existing ad-hoc stats (stage
+  tallies, per-analysis hit/miss rows, interpreter backend selections,
+  evaluation-cache disk traffic) all mirror into it, so one snapshot
+  describes a whole run.
+
+The *simulated-time* timeline exporter lives in
+:mod:`repro.obs.timeline`; it is imported explicitly by its users (never
+from this package root) because it depends on the runtime layer.
+"""
+
+from repro.obs.metrics import REGISTRY, Counter, Gauge, Registry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    tracing,
+)
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Registry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "traced",
+    "tracing",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

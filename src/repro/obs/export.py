@@ -1,0 +1,173 @@
+"""Chrome trace-event JSON export and validation.
+
+Produces the JSON Array-of-objects trace format understood by Perfetto
+(https://ui.perfetto.dev) and Chrome's ``about:tracing``:
+
+* ``"ph": "X"`` *complete* events carry one span each (``ts``/``dur`` in
+  microseconds, ``pid``/``tid`` selecting the track).
+* ``"ph": "M"`` *metadata* events name the process and thread tracks
+  (``process_name`` / ``thread_name``), emitted once per (pid, tid) pair
+  seen in the span set.
+* ``"ph": "C"`` *counter* events (used by the simulated timeline) plot
+  numeric series over trace time.
+
+:func:`validate_chrome_trace` is the schema check shared by the test
+suite and the CI trace-smoke job; it returns a list of human-readable
+problems (empty means the payload is loadable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.tracer import SpanEvent
+
+_PHASES = {"X", "M", "C", "i", "I", "B", "E"}
+
+
+def _metadata_events(
+    spans: Sequence[SpanEvent],
+    process_names: Optional[Mapping[int, str]] = None,
+    thread_names: Optional[Mapping[Tuple[int, int], str]] = None,
+) -> List[dict]:
+    process_names = dict(process_names or {})
+    thread_names = dict(thread_names or {})
+    events: List[dict] = []
+    seen_pids: set = set()
+    seen_tids: set = set()
+    for span in spans:
+        if span.pid not in seen_pids:
+            seen_pids.add(span.pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {"name": process_names.get(span.pid, f"pid {span.pid}")},
+                }
+            )
+        key = (span.pid, span.tid)
+        if key not in seen_tids:
+            seen_tids.add(key)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": {"name": thread_names.get(key, f"tid {span.tid}")},
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    spans: Sequence[SpanEvent],
+    registry_snapshot: Optional[Mapping[str, Any]] = None,
+    extra_events: Iterable[dict] = (),
+    process_names: Optional[Mapping[int, str]] = None,
+    thread_names: Optional[Mapping[Tuple[int, int], str]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace payload for ``spans``.
+
+    Timestamps are rebased so the earliest span starts at ts=0 (Perfetto
+    shows absolute perf_counter values as a huge offset otherwise).
+    ``extra_events`` are appended verbatim after the span events --
+    the simulated-time timeline exporter uses this for its own tracks --
+    and are not rebased.  ``registry_snapshot`` lands in ``otherData``.
+    """
+    base = min((s.start_us for s in spans), default=0.0)
+    events: List[dict] = _metadata_events(spans, process_names, thread_names)
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.cat or "default",
+            "ph": "X",
+            "ts": span.start_us - base,
+            "dur": span.dur_us,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+    events.extend(extra_events)
+    payload: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if registry_snapshot is not None:
+        payload["otherData"] = {"metrics": dict(registry_snapshot)}
+    return payload
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[SpanEvent],
+    registry_snapshot: Optional[Mapping[str, Any]] = None,
+    extra_events: Iterable[dict] = (),
+    process_names: Optional[Mapping[int, str]] = None,
+    thread_names: Optional[Mapping[Tuple[int, int], str]] = None,
+) -> Dict[str, Any]:
+    """Write :func:`chrome_trace` output to ``path``; returns the payload."""
+    payload = chrome_trace(
+        spans,
+        registry_snapshot=registry_snapshot,
+        extra_events=extra_events,
+        process_names=process_names,
+        thread_names=thread_names,
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema-check a trace payload; returns a list of problems.
+
+    Accepts either the object form (``{"traceEvents": [...]}``) or the
+    bare JSON-array form.  An empty return value means every event has
+    the fields Perfetto needs to place it on a track.
+    """
+    problems: List[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["traceEvents missing or not a list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return ["payload is neither an object with traceEvents nor a list"]
+
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} missing or not an int")
+        if ph in ("X", "C", "i", "I", "B", "E"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where}: ts missing or not numeric")
+            elif ts < 0:
+                problems.append(f"{where}: negative ts {ts}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: dur missing or not numeric")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur {dur}")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: counter event without args")
+    return problems

@@ -1,0 +1,123 @@
+"""Process-wide named counters and gauges.
+
+One :class:`Registry` (the module-level :data:`REGISTRY`) absorbs the
+pipeline's ad-hoc statistics behind a single namespace so a run can be
+summarised with one snapshot:
+
+* ``stage.<name>.{computes,memory_hits,disk_hits,seconds_ms}`` -- mirrored
+  from :class:`repro.evaluation.runner.StageStats`.
+* ``analysis.<name>.{hits,misses,invalidations}`` -- mirrored from
+  :class:`repro.analysis.manager.AnalysisManager`.
+* ``interp.backend.{tree,hooked,decoded}`` -- interpreter backend
+  selections, counted once per ``run()``.
+* ``evalcache.{hits,misses,stores}.<stage>`` -- disk cache traffic from
+  :class:`repro.evaluation.cache.EvaluationCache`.
+
+Stdlib-only on purpose: the runtime layer imports this module directly
+(never :mod:`repro.obs`, whose exporter pulls in more machinery), so
+there is no import cycle and no cost beyond a dict lookup + int add.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, delta: Number = 1) -> None:
+        self.value += delta
+
+
+class Gauge:
+    """A named value that can be set to arbitrary levels."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Registry:
+    """Named counters and gauges, creatable on first touch."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    # -- creation / access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def inc(self, name: str, delta: Number = 1) -> None:
+        """Fast path: bump a counter by name."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        c.value += delta
+
+    def set(self, name: str, value: Number) -> None:
+        """Fast path: set a gauge by name."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        g.value = value
+
+    # -- aggregate views ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """All current values, JSON-stable and sorted by name."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+        }
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, Number]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add (cross-process totals compose); gauges take the
+        incoming value (last writer wins, matching single-process
+        semantics where a later ``set`` replaces an earlier one).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set(name, value)
+
+    def reset(self) -> None:
+        """Drop every counter and gauge (test isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+
+    def __iter__(self) -> Iterator[Tuple[str, Number]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+        for name in sorted(self._gauges):
+            yield name, self._gauges[name].value
+
+
+#: The process-wide registry used by all instrumentation sites.
+REGISTRY = Registry()

@@ -39,6 +39,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.ir import BasicBlock, Function, Instruction, Module, Opcode
 from repro.ir.operands import Const, Operand, Symbol, VReg
 from repro.ir.types import Type
+# Stdlib-only counter registry; deliberately not the repro.obs package
+# root, which would pull the exporters into the interpreter's imports.
+from repro.obs.metrics import REGISTRY
 from repro.runtime.machine import MachineConfig
 
 _INT_MASK = (1 << 64) - 1
@@ -180,6 +183,13 @@ _HOOK_FORCING = frozenset({"on_block_entry", "exec_sync", "exec_xfer"})
 #: Backend modes resolved per activation.
 _BACKEND_TREE, _BACKEND_HOOKED, _BACKEND_FAST = 0, 1, 2
 
+#: Registry counter names, indexed by backend mode.
+_BACKEND_COUNTERS = (
+    "interp.backend.tree",
+    "interp.backend.hooked",
+    "interp.backend.decoded",
+)
+
 
 class Interpreter:
     """Executes a :class:`~repro.ir.Module` sequentially.
@@ -290,6 +300,9 @@ class Interpreter:
         # so re-running the same instance never trips the limit early.
         self.call_depth = 0
         self.reset_memory()
+        # Count the backend this run selects, once per run -- never per
+        # activation, which is the hot path.
+        REGISTRY.inc(_BACKEND_COUNTERS[self._backend_mode()])
         func = self.module.functions[entry]
         value = self.call_function(func, list(args))
         return ExecutionResult(

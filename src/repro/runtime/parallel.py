@@ -54,6 +54,7 @@ from repro.analysis.loopnest import LoopId
 from repro.core.communication import is_producer_mark, xfer_words
 from repro.core.loopinfo import ParallelizedLoop
 from repro.ir import BasicBlock, Instruction, Module, Opcode
+from repro.obs.tracer import get_tracer
 from repro.runtime.interpreter import (
     ExecutionResult,
     Frame,
@@ -320,7 +321,9 @@ class ParallelExecutor(Interpreter):
 
     def execute(self) -> ParallelRunResult:
         """Run the program and package the results."""
-        result = self.run()
+        with get_tracer().span("exec.parallel", cat="exec") as sp:
+            result = self.run()
+            sp.set(invocations=len(self.traces), cycles=result.cycles)
         return ParallelRunResult(
             result=result,
             machine=self.machine,
@@ -381,17 +384,23 @@ class ParallelExecutor(Interpreter):
             missing.append((fingerprint, machine))
         if not missing:
             return
-        columns: Dict[str, List[ScheduleResult]] = {
-            fp: [] for fp, _m in missing
-        }
-        info_by_id = {info.loop_id: info for info in self.infos}
-        for trace in self.traces:
-            info = info_by_id[trace.loop_id]
-            for fingerprint, machine in missing:
-                columns[fingerprint].append(
-                    schedule_invocation(trace, info, machine)
-                )
-        self._schedules.update(columns)
+        with get_tracer().span(
+            "sched.schedule",
+            cat="sched",
+            machines=len(missing),
+            traces=len(self.traces),
+        ):
+            columns: Dict[str, List[ScheduleResult]] = {
+                fp: [] for fp, _m in missing
+            }
+            info_by_id = {info.loop_id: info for info in self.infos}
+            for trace in self.traces:
+                info = info_by_id[trace.loop_id]
+                for fingerprint, machine in missing:
+                    columns[fingerprint].append(
+                        schedule_invocation(trace, info, machine)
+                    )
+            self._schedules.update(columns)
 
     def replay_many(
         self, machines: Sequence[MachineConfig]
@@ -406,33 +415,51 @@ class ParallelExecutor(Interpreter):
         """
         if not self.record_traces:
             raise RuntimeFault("executor was created with record_traces=False")
-        self._ensure_schedules([self.machine, *machines])
-        baseline = self._schedules[self.machine.fingerprint()]
-        results: List[ParallelRunResult] = []
-        for machine in machines:
-            news = self._schedules[machine.fingerprint()]
-            adjusted = self.cycles
-            loop_stats: Dict[LoopId, LoopRunStats] = {}
-            for trace, old, new in zip(self.traces, baseline, news):
-                adjusted += new.parallel_cycles - old.parallel_cycles
-                stats = loop_stats.setdefault(
-                    trace.loop_id, LoopRunStats(loop_id=trace.loop_id)
+        with get_tracer().span(
+            "exec.replay_many", cat="exec", machines=len(machines)
+        ):
+            self._ensure_schedules([self.machine, *machines])
+            baseline = self._schedules[self.machine.fingerprint()]
+            results: List[ParallelRunResult] = []
+            for machine in machines:
+                news = self._schedules[machine.fingerprint()]
+                adjusted = self.cycles
+                loop_stats: Dict[LoopId, LoopRunStats] = {}
+                for trace, old, new in zip(self.traces, baseline, news):
+                    adjusted += new.parallel_cycles - old.parallel_cycles
+                    stats = loop_stats.setdefault(
+                        trace.loop_id, LoopRunStats(loop_id=trace.loop_id)
+                    )
+                    _accumulate(stats, trace, new)
+                result = ExecutionResult(
+                    output=list(self.output),
+                    cycles=adjusted,
+                    instructions=self.instructions,
                 )
-                _accumulate(stats, trace, new)
-            result = ExecutionResult(
-                output=list(self.output),
-                cycles=adjusted,
-                instructions=self.instructions,
-            )
-            results.append(
-                ParallelRunResult(
-                    result=result,
-                    machine=machine,
-                    loop_stats=loop_stats,
-                    traces=list(self.traces),
+                results.append(
+                    ParallelRunResult(
+                        result=result,
+                        machine=machine,
+                        loop_stats=loop_stats,
+                        traces=list(self.traces),
+                    )
                 )
-            )
         return results
+
+    def schedules(
+        self, machine: Optional[MachineConfig] = None
+    ) -> List[ScheduleResult]:
+        """The per-invocation schedule column for ``machine`` (default:
+        the executing machine), aligned with :attr:`traces`.
+
+        Memoized by machine fingerprint like :meth:`replay_many`; the
+        executing machine's column was seeded during :meth:`run`, so
+        asking for it never reschedules anything.
+        """
+        if machine is None:
+            machine = self.machine
+        self._ensure_schedules([machine])
+        return self._schedules[machine.fingerprint()]
 
     def replay(self, machine: MachineConfig) -> ParallelRunResult:
         """Recompute the timing under a different machine from the stored

@@ -62,6 +62,33 @@ class ScheduleResult:
     wait_stall_cycles: int = 0
     transfer_words: int = 0
     segment_cycles: int = 0
+    #: Busy compute cycles across all cores: every iteration's
+    #: sequential span plus the memory-barrier cost of each recorded
+    #: wait/signal (zero on TSO machines).
+    compute_cycles: int = 0
+    #: Cycles spent receiving iteration-start control signals (the
+    #: successor's wait on the predecessor's IterationFlag store);
+    #: always zero for counted loops, which derive iteration numbers
+    #: locally.
+    signal_cycles: int = 0
+    #: Cycles spent forwarding data words between cores.
+    transfer_cycles: int = 0
+
+    def overhead_breakdown(self) -> Dict[str, int]:
+        """Where the busy cycles of this invocation went.
+
+        The four buckets are disjoint: together with the per-thread
+        configuration cost, the wind-down collection and per-core idle
+        time they account exactly for ``parallel_cycles * cores`` (the
+        simulated-time timeline exporter places every bucket on its
+        core; ``tests/test_timeline.py`` asserts the accounting).
+        """
+        return {
+            "compute": self.compute_cycles,
+            "wait_stall": self.wait_stall_cycles,
+            "signal": self.signal_cycles,
+            "transfer": self.transfer_cycles,
+        }
 
 
 def _merge_segments(
@@ -127,6 +154,7 @@ def schedule_compact(
         spans = prog.spans
         busy = max(sum(spans[c::cores]) for c in range(min(cores, n)))
         stats.parallel_cycles = conf + busy + wind_down
+        stats.compute_cycles = prog.span_total  # barrier_events == 0 here
         return stats
 
     fast = machine.prefetched_signal_latency
@@ -143,6 +171,9 @@ def schedule_compact(
     slots = [0] * prog.slot_count
     stall = 0
     seg = 0
+    sig = 0
+    stats.compute_cycles = prog.span_total + barrier * prog.barrier_events
+    stats.transfer_cycles = prog.transfer_words * transfer
 
     # Fast path: one core, no prefetching.  Iterations run back to back
     # on a single clock, so any predecessor signal time is <= the
@@ -150,6 +181,10 @@ def schedule_compact(
     # exactly ``latency`` later and the signal timetable is never needed.
     if cores == 1 and mode is PrefetchMode.NONE:
         t = conf
+        # On one clock the predecessor's control signal is always in the
+        # past, so every iteration start costs exactly one pull latency.
+        if not counted and n > 1:
+            stats.signal_cycles = latency * (n - 1)
         for i in range(n):
             if i and not counted:
                 assert has_next[i - 1], "iteration without start signal"
@@ -242,6 +277,7 @@ def schedule_compact(
         if i > 0 and not counted:
             assert prev_next is not None, "iteration without start signal"
             ts = prev_next
+            started = t
             if mode_none:
                 t = (t if t > ts else ts) + latency
             elif mode_ideal:
@@ -256,6 +292,7 @@ def schedule_compact(
                     if done > alt:
                         alt = done
                     t = pull if pull < alt else alt
+            sig += t - started
 
         cur_sig: Dict[int, int] = {}
         cur_next: Optional[int] = None
@@ -321,6 +358,7 @@ def schedule_compact(
     stats.parallel_cycles = max_end + wind_down
     stats.wait_stall_cycles = stall
     stats.segment_cycles = seg
+    stats.signal_cycles = sig
     return stats
 
 
@@ -350,6 +388,8 @@ def schedule_invocation_reference(
     prev_produced: Set[int] = set()
     prev_next_time: Optional[float] = None
     iteration_ends: List[float] = []
+    barrier_events = 0
+    span_total = 0
 
     stats = ScheduleResult(
         parallel_cycles=0,
@@ -399,7 +439,9 @@ def schedule_invocation_reference(
         t = core_free[core]
         if i > 0 and not loop.counted:
             assert prev_next_time is not None, "iteration without start signal"
+            started = t
             t = wait_complete(t, prev_next_time, prefetch_done.get(CTRL_DEP))
+            stats.signal_cycles += int(t - started)
 
         cur_sig: Dict[int, float] = {}
         cur_next: Optional[float] = None
@@ -419,6 +461,7 @@ def schedule_invocation_reference(
             last = at
             if kind == "w":
                 stats.waits += 1
+                barrier_events += 1
                 t += barrier
                 if dep in waited or dep in cur_sig:
                     continue
@@ -436,6 +479,7 @@ def schedule_invocation_reference(
                     t = arrival
                 segment_opens[dep] = t
             elif kind == "s":
+                barrier_events += 1
                 t += barrier
                 if dep not in cur_sig:
                     cur_sig[dep] = t
@@ -463,6 +507,7 @@ def schedule_invocation_reference(
                 cur_produced.add(dep)
 
         t += iteration.end_cycles - last
+        span_total += iteration.end_cycles - iteration.start_cycles
         core_free[core] = t
         iteration_ends.append(t)
 
@@ -482,6 +527,9 @@ def schedule_invocation_reference(
         prev_sig = cur_sig
         prev_next_time = cur_next
         prev_produced = cur_produced
+
+    stats.compute_cycles = span_total + barrier * barrier_events
+    stats.transfer_cycles = stats.transfer_words * transfer
 
     if not iteration_ends:
         # Zero-iteration invocation: the loop body never ran, so no

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.loopnest import LoopId
+from repro.obs.metrics import REGISTRY
 
 #: Synthetic dependence id of the control signal (IterationFlag).
 CTRL_DEP = -1
@@ -179,6 +180,13 @@ class TraceProgram:
     #: Compiled ops excluding OP_NEXT: zero means the trace is a pure
     #: counted-DOALL candidate (no waits, signals or transfers at all).
     active_ops: int
+    #: Sum of all iteration spans (total sequential body cycles).
+    span_total: int
+    #: Raw barrier-bearing events (every recorded wait and signal,
+    #: duplicates included): each costs one barrier on non-TSO machines,
+    #: so ``span_total + barrier * barrier_events`` is the exact busy
+    #: compute time of the invocation on any machine.
+    barrier_events: int
 
 
 @dataclass
@@ -343,6 +351,8 @@ class CompactInvocationTrace:
         return self._program
 
     def _compile(self) -> TraceProgram:
+        # One registry tick per compilation, outside the event loops.
+        REGISTRY.inc("sched.programs_compiled")
         op = array("q")
         a1 = array("q")
         a2 = array("q")
@@ -357,6 +367,7 @@ class CompactInvocationTrace:
         kinds, deps, ats = self.ev_kind, self.ev_dep, self.ev_at
         ev_off = self.ev_off
         waits = signals = next_iters = transfer_total = active = 0
+        raw_signals = span_total = 0
         slot_count = 0
         prev_sig: frozenset = frozenset()
         prev_produced: frozenset = frozenset()
@@ -398,6 +409,7 @@ class CompactInvocationTrace:
                     nslot += 1
                     active += 1
                 elif kind == KIND_SIGNAL:
+                    raw_signals += 1
                     if dep in cur_sig:
                         pending += 1  # barrier-only duplicate
                         continue
@@ -439,7 +451,9 @@ class CompactInvocationTrace:
 
             off.append(len(op))
             tail.append(pending)
-            spans.append(self.it_end[i] - self.it_start[i])
+            span = self.it_end[i] - self.it_start[i]
+            spans.append(span)
+            span_total += span
             agendas.append(tuple(agenda))
             has_next.append(seen_next)
             if nslot > slot_count:
@@ -464,6 +478,8 @@ class CompactInvocationTrace:
             next_iters=next_iters,
             transfer_words=transfer_total,
             active_ops=active,
+            span_total=span_total,
+            barrier_events=waits + raw_signals,
         )
 
 

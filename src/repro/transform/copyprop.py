@@ -112,20 +112,27 @@ def simplify_cfg(func: Function) -> int:
 def optimize_module(module: Module) -> Dict[str, int]:
     """Run the generic pipeline (fold, propagate, DCE, simplify) to a
     fixed point; returns per-pass rewrite counts."""
+    from repro.obs import get_tracer
     from repro.transform.constfold import fold_constants
     from repro.transform.dce import eliminate_dead_code
 
+    tracer = get_tracer()
     totals = {"folded": 0, "copies": 0, "dce": 0, "cfg": 0}
     for func in module.functions.values():
-        for _ in range(8):
-            folded = fold_constants(func)
-            copies = propagate_copies(func)
-            dce = eliminate_dead_code(func)
-            cfg = simplify_cfg(func)
-            totals["folded"] += folded
-            totals["copies"] += copies
-            totals["dce"] += dce
-            totals["cfg"] += cfg
-            if not (folded or copies or dce or cfg):
-                break
+        with tracer.span("pass.optimize", cat="transform", func=func.name):
+            for _ in range(8):
+                with tracer.span("pass.constfold", cat="transform"):
+                    folded = fold_constants(func)
+                with tracer.span("pass.copyprop", cat="transform"):
+                    copies = propagate_copies(func)
+                with tracer.span("pass.dce", cat="transform"):
+                    dce = eliminate_dead_code(func)
+                with tracer.span("pass.simplify_cfg", cat="transform"):
+                    cfg = simplify_cfg(func)
+                totals["folded"] += folded
+                totals["copies"] += copies
+                totals["dce"] += dce
+                totals["cfg"] += cfg
+                if not (folded or copies or dce or cfg):
+                    break
     return totals

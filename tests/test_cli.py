@@ -141,3 +141,62 @@ def test_bench_interp_min_speedup_gate(monkeypatch, tmp_path, capsys):
     ]
     assert main(argv) == 1
     assert "below required" in capsys.readouterr().err
+
+def test_trace_command_writes_valid_perfetto_json(
+    monkeypatch, tmp_path, capsys
+):
+    import json
+
+    from repro.bench import suite as bench_suite
+    from repro.obs import validate_chrome_trace
+
+    spec = bench_suite.BenchmarkSpec(
+        "tinytrace", "synthetic trace bench", lambda scale: PROGRAM, 1.0,
+        "test",
+    )
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "tinytrace", spec)
+
+    out_path = tmp_path / "trace.json"
+    argv = ["trace", "tinytrace", "-o", str(out_path), "--sim-timeline"]
+    assert main(argv) == 0
+    assert "ui.perfetto.dev" in capsys.readouterr().err
+    payload = json.loads(out_path.read_text())
+    assert validate_chrome_trace(payload) == []
+    names = {
+        e["name"] for e in payload["traceEvents"] if e["ph"] == "X"
+    }
+    # Wall-clock spans cover the pipeline end to end...
+    for required in (
+        "frontend.lower",
+        "stage.compile",
+        "stage.execute",
+        "helix.step1.normalize",
+        "helix.step9.version",
+        "analysis.dependence",
+        "select.choose_loops",
+        "exec.parallel",
+    ):
+        assert required in names, required
+    # ...and the simulated timeline has one track per core.
+    sim_tids = {
+        e["tid"]
+        for e in payload["traceEvents"]
+        if e.get("cat") == "sim" and e["ph"] == "X"
+    }
+    assert sim_tids == set(range(6))
+    assert payload["otherData"]["metrics"]["counters"]
+
+
+def test_run_trace_flag(program_file, tmp_path, capsys):
+    import json
+
+    from repro.obs import NULL_TRACER, get_tracer, validate_chrome_trace
+
+    out_path = tmp_path / "run.json"
+    assert main(["run", program_file, "--trace", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert validate_chrome_trace(payload) == []
+    names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+    assert "frontend.lower" in names
+    # The scoped tracer was uninstalled on the way out.
+    assert get_tracer() is NULL_TRACER

@@ -395,6 +395,30 @@ class TestStageStats:
         assert "compile" in lines[3]
         assert "execute" in lines[4]
 
+    def test_merge_folds_invalidations(self):
+        stats = StageStats()
+        stats.invalidate("analysis:loops")
+        other = StageStats()
+        other.invalidate("analysis:loops")
+        other.invalidate("analysis:loops")
+        other.record("analysis:loops", "compute", 0.25)
+        stats.merge(other.as_dict())
+        tally = stats.tally("analysis:loops")
+        assert tally.invalidations == 3
+        assert tally.computes == 1
+        assert tally.wall_seconds == pytest.approx(0.25)
+
+    def test_merge_tolerates_legacy_partial_snapshots(self):
+        # Snapshots from older code versions may lack fields added
+        # since; every one defaults to zero instead of raising.
+        stats = StageStats()
+        stats.record("execute", "compute", 1.0)
+        stats.merge({"execute": {"computes": 2}, "profile": {}})
+        assert stats.tally("execute").computes == 3
+        assert stats.tally("execute").wall_seconds == pytest.approx(1.0)
+        assert stats.tally("profile").requests == 0
+        assert stats.tally("profile").invalidations == 0
+
 
 # ------------------------------------------------------------ parallel suite
 
@@ -413,6 +437,27 @@ class TestParallelSuite:
         payload = json.loads(report.to_json())
         assert payload["geomeans"]["4"] == pytest.approx(fig9.geomean(4))
         assert payload["code_version"] == code_version()
+        # Provenance block: where and on what the suite ran.
+        env = payload["environment"]
+        assert env["code_version"] == code_version()
+        assert env["python"] and env["platform"]
+        assert env["cpu_count"] >= 1
+        # Simulated-time accounting: one per-core block per benchmark,
+        # internally consistent.
+        assert set(payload["timeline"]) == set(tiny_pair)
+        for block in payload["timeline"].values():
+            assert block["cores"] == 4
+            assert len(block["per_core"]) == 4
+            for category, total in block["totals"].items():
+                assert total == sum(
+                    row[category] for row in block["per_core"]
+                )
+            # The run's cycles land somewhere: parallel compute or the
+            # main thread's sequential track.
+            assert (
+                block["totals"]["compute"] + block["totals"]["sequential"]
+                > 0
+            )
 
     @pytest.mark.skipif(
         multiprocessing.get_start_method() != "fork",
@@ -430,6 +475,27 @@ class TestParallelSuite:
         # The parent merged the workers' artifacts: its own pipelines
         # were all served from the scratch disk cache.
         assert report.stages["execute"]["disk_hits"] >= len(tiny_pair)
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="workers inherit the test benchmark registry via fork",
+    )
+    def test_parallel_trace_merges_to_sequential_span_set(self, tiny_pair):
+        from repro.obs import tracing
+
+        machine = MachineConfig(cores=4)
+        with tracing() as seq_tracer:
+            run_suite(machine=machine, jobs=1, benches=tiny_pair)
+        with tracing() as par_tracer:
+            run_suite(machine=machine, jobs=2, benches=tiny_pair)
+        seq_names = {e.name for e in seq_tracer.finished()}
+        par_names = {e.name for e in par_tracer.finished()}
+        # Workers ship their spans home, so the merged parallel trace
+        # covers exactly the spans a sequential run records.
+        assert par_names == seq_names
+        # ... under their own process ids (>= 2 distinct: the parent
+        # plus at least one worker).
+        assert len({e.pid for e in par_tracer.finished()}) >= 2
 
     @pytest.mark.skipif(
         multiprocessing.get_start_method() != "fork",
