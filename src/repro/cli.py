@@ -212,6 +212,7 @@ def cmd_bench_sched(args) -> int:
         benches=benches,
         repeat=args.repeat,
         progress=lambda name: print(f"timing {name}...", file=sys.stderr),
+        jobs=args.jobs,
     )
     print(report.render())
     if args.out:
@@ -225,6 +226,17 @@ def cmd_bench_sched(args) -> int:
         print(
             f"error: min speedup {report.min_speedup:.2f}x below "
             f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_batched_speedup is not None
+        and report.aggregate_batched_speedup < args.min_batched_speedup
+    ):
+        print(
+            f"error: aggregate batched speedup "
+            f"{report.aggregate_batched_speedup:.2f}x below "
+            f"required {args.min_batched_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1
@@ -469,6 +481,21 @@ def main(argv=None) -> int:
         default=None,
         metavar="X",
         help="exit nonzero if any benchmark's sweep speedup is below X",
+    )
+    p.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero if the batched engine's aggregate gain over "
+        "the per-machine compiled engine is below X",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the batched lane's scheduling pass over N processes",
     )
     p.set_defaults(func=cmd_bench_sched)
 

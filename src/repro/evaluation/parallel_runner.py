@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.evaluation import figures
 from repro.evaluation.cache import EvaluationCache, code_version
 from repro.evaluation.runner import EvaluationRunner, StageStats
-from repro.obs import REGISTRY, get_tracer, tracing
+from repro.obs import REGISTRY, get_tracer, metrics_delta, tracing
 from repro.runtime.machine import MachineConfig
 
 
@@ -150,19 +150,8 @@ def _run_bench(
     payload["spans"] = spans
     # Ship only the delta this benchmark caused, so a reused worker
     # process never double-reports counts from an earlier benchmark.
-    payload["metrics"] = _metrics_delta(metrics_before, REGISTRY.snapshot())
+    payload["metrics"] = metrics_delta(metrics_before, REGISTRY.snapshot())
     return payload
-
-
-def _metrics_delta(before: dict, after: dict) -> dict:
-    """Registry-snapshot difference ``after - before`` (counters only
-    subtract; gauges pass through at their latest value)."""
-    counters = {}
-    for name, value in after.get("counters", {}).items():
-        diff = value - before.get("counters", {}).get(name, 0)
-        if diff:
-            counters[name] = diff
-    return {"counters": counters, "gauges": dict(after.get("gauges", {}))}
 
 
 def run_suite(

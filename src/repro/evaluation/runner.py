@@ -189,26 +189,31 @@ class PipelineRun:
         return self.speedups_at([machine])[0]
 
     def speedups_at(
-        self, machines: Sequence[MachineConfig]
+        self,
+        machines: Sequence[MachineConfig],
+        jobs: Optional[int] = None,
     ) -> List[float]:
         """Speedups under several machines in one batched replay.
 
         The figure sweeps (core counts, prefetch modes, latencies) go
-        through here so every stored trace is walked once per sweep, not
-        twice per swept machine."""
+        through here so every stored trace is scheduled once per sweep,
+        not twice per swept machine; ``jobs`` shards the scheduling
+        pass across a process pool for big grids."""
         return [
             1.0 if replayed.cycles <= 0
             else self.sequential.cycles / replayed.cycles
-            for replayed in self.executor.replay_many(machines)
+            for replayed in self.executor.replay_many(machines, jobs=jobs)
         ]
 
     def replay(self, machine: MachineConfig) -> ParallelRunResult:
         return self.executor.replay(machine)
 
     def replay_many(
-        self, machines: Sequence[MachineConfig]
+        self,
+        machines: Sequence[MachineConfig],
+        jobs: Optional[int] = None,
     ) -> List[ParallelRunResult]:
-        return self.executor.replay_many(machines)
+        return self.executor.replay_many(machines, jobs=jobs)
 
 
 class EvaluationRunner:

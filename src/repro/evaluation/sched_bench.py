@@ -148,7 +148,13 @@ def _reset_compiled_state(executor: ParallelExecutor) -> None:
 
 @dataclass
 class SweepTiming:
-    """Timed sweep-replay comparison of both engines on one benchmark."""
+    """Timed sweep-replay comparison of all engines on one benchmark.
+
+    Three lanes: the reference per-event interpreter, the per-machine
+    compiled engine (``schedule_invocation`` per trace per machine) and
+    the batched engine (cohort-vectorized ``schedule_many``, the
+    ``replay_many`` default).
+    """
 
     name: str
     traces: int
@@ -157,12 +163,20 @@ class SweepTiming:
     machines: int
     reference_seconds: float
     compiled_seconds: float
+    batched_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
         if self.compiled_seconds <= 0:
             return float("inf")
         return self.reference_seconds / self.compiled_seconds
+
+    @property
+    def batched_speedup(self) -> float:
+        """Batched-engine gain over the per-machine compiled engine."""
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.compiled_seconds / self.batched_seconds
 
     def as_dict(self) -> dict:
         return {
@@ -173,7 +187,9 @@ class SweepTiming:
             "machines": self.machines,
             "reference_seconds": self.reference_seconds,
             "compiled_seconds": self.compiled_seconds,
+            "batched_seconds": self.batched_seconds,
             "speedup": self.speedup,
+            "batched_speedup": self.batched_speedup,
         }
 
 
@@ -211,6 +227,21 @@ class SchedBenchReport:
             return float("inf")
         return reference / compiled
 
+    @property
+    def min_batched_speedup(self) -> float:
+        if not self.programs:
+            return 1.0
+        return min(t.batched_speedup for t in self.programs)
+
+    @property
+    def aggregate_batched_speedup(self) -> float:
+        """Batched vs per-machine compiled engine, runtime-weighted."""
+        compiled = sum(t.compiled_seconds for t in self.programs)
+        batched = sum(t.batched_seconds for t in self.programs)
+        if batched <= 0:
+            return float("inf")
+        return compiled / batched
+
     def as_dict(self) -> dict:
         return {
             "repeat": self.repeat,
@@ -221,6 +252,8 @@ class SchedBenchReport:
                 "geomean_speedup": self.geomean_speedup,
                 "aggregate_speedup": self.aggregate_speedup,
                 "min_speedup": self.min_speedup,
+                "aggregate_batched_speedup": self.aggregate_batched_speedup,
+                "min_batched_speedup": self.min_batched_speedup,
             },
         }
 
@@ -230,19 +263,23 @@ class SchedBenchReport:
     def render(self) -> str:
         lines = [
             f"{'program':<10} {'traces':>7} {'events':>10} "
-            f"{'reference s':>12} {'compiled s':>11} {'speedup':>8}"
+            f"{'reference s':>12} {'compiled s':>11} {'speedup':>8} "
+            f"{'batched s':>10} {'batched x':>10}"
         ]
         for t in self.programs:
             lines.append(
                 f"{t.name:<10} {t.traces:>7,} {t.events:>10,} "
                 f"{t.reference_seconds:>12.3f} {t.compiled_seconds:>11.3f} "
-                f"{t.speedup:>7.2f}x"
+                f"{t.speedup:>7.2f}x "
+                f"{t.batched_seconds:>10.3f} {t.batched_speedup:>9.2f}x"
             )
         lines.append(
             f"{'geomean':<10} {'':>7} {'':>10} "
             f"{sum(t.reference_seconds for t in self.programs):>12.3f} "
             f"{sum(t.compiled_seconds for t in self.programs):>11.3f} "
-            f"{self.geomean_speedup:>7.2f}x"
+            f"{self.geomean_speedup:>7.2f}x "
+            f"{sum(t.batched_seconds for t in self.programs):>10.3f} "
+            f"{self.aggregate_batched_speedup:>9.2f}x"
         )
         if self.null_tracer:
             lines.append(
@@ -259,8 +296,30 @@ def _check_equivalence(
     machines: Sequence[MachineConfig],
     legacy_traces: Sequence[InvocationTrace],
 ) -> None:
-    """Field-exact differential between the two engines for one bench."""
+    """Field-exact differential between all engines for one bench.
+
+    ``replay_many`` fills its columns through the batched engine; the
+    per-machine compiled engine recomputes them independently, and both
+    must match the reference interpreter field for field."""
     compiled_runs = executor.replay_many(machines)
+    batched_columns = {
+        machine.fingerprint(): list(
+            executor._schedules[machine.fingerprint()]
+        )
+        for machine in machines
+    }
+    _reset_compiled_state(executor)
+    executor._ensure_schedules(machines, batched=False)
+    for machine in machines:
+        fingerprint = machine.fingerprint()
+        if (
+            executor._schedules[fingerprint]
+            != batched_columns[fingerprint]
+        ):  # pragma: no cover - engine bug
+            raise AssertionError(
+                f"batched/per-machine schedule divergence on {name!r} "
+                f"under {fingerprint}"
+            )
     for machine, compiled in zip(machines, compiled_runs):
         reference, ref_schedules = reference_replay(
             executor, machine, legacy_traces
@@ -294,12 +353,14 @@ def run_sched_bench(
     repeat: int = 1,
     machine: Optional[MachineConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> SchedBenchReport:
-    """Time sweep replay with both engines on ``benches``.
+    """Time sweep replay with all three engines on ``benches``.
 
     Uses the shared evaluation runner (honouring ``REPRO_EVAL_CACHE``)
     to obtain recorded traces; raises :class:`AssertionError` if the
-    engines ever disagree on any schedule field.
+    engines ever disagree on any schedule field.  ``jobs`` shards the
+    batched lane's scheduling pass across a process pool.
     """
     from repro.evaluation.runner import default_runner
 
@@ -332,8 +393,18 @@ def run_sched_bench(
         for _ in range(repeat):
             _reset_compiled_state(executor)
             start = time.perf_counter()
+            executor._ensure_schedules(
+                [executor.machine, *machines], batched=False
+            )
             executor.replay_many(machines)
             compiled_best = min(compiled_best, time.perf_counter() - start)
+
+        batched_best = float("inf")
+        for _ in range(repeat):
+            _reset_compiled_state(executor)
+            start = time.perf_counter()
+            executor.replay_many(machines, jobs=jobs)
+            batched_best = min(batched_best, time.perf_counter() - start)
 
         report.programs.append(
             SweepTiming(
@@ -344,6 +415,7 @@ def run_sched_bench(
                 machines=len(machines),
                 reference_seconds=reference_best,
                 compiled_seconds=compiled_best,
+                batched_seconds=batched_best,
             )
         )
     return report

@@ -19,7 +19,7 @@ The *simulated-time* timeline exporter lives in
 from this package root) because it depends on the runtime layer.
 """
 
-from repro.obs.metrics import REGISTRY, Counter, Gauge, Registry
+from repro.obs.metrics import REGISTRY, Counter, Gauge, Registry, metrics_delta
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -41,6 +41,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Registry",
+    "metrics_delta",
     "NULL_TRACER",
     "NullTracer",
     "SpanEvent",

@@ -119,5 +119,27 @@ class Registry:
             yield name, self._gauges[name].value
 
 
+def metrics_delta(
+    before: Mapping[str, Mapping[str, Number]],
+    after: Mapping[str, Mapping[str, Number]],
+) -> Dict[str, Dict[str, Number]]:
+    """Registry-snapshot difference ``after - before``.
+
+    Counters subtract (so a reused worker process never double-reports
+    counts from earlier work); gauges pass through at their latest
+    value, matching :meth:`Registry.merge` semantics on the receiving
+    side.  This is the ship-home format of every process-pool worker:
+    the parent folds the returned delta into its own registry with
+    :meth:`Registry.merge`.
+    """
+    counters: Dict[str, Number] = {}
+    before_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        diff = value - before_counters.get(name, 0)
+        if diff:
+            counters[name] = diff
+    return {"counters": counters, "gauges": dict(after.get("gauges", {}))}
+
+
 #: The process-wide registry used by all instrumentation sites.
 REGISTRY = Registry()

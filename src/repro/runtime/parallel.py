@@ -47,6 +47,7 @@ baseline machine is never rescheduled per swept point.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -54,6 +55,7 @@ from repro.analysis.loopnest import LoopId
 from repro.core.communication import is_producer_mark, xfer_words
 from repro.core.loopinfo import ParallelizedLoop
 from repro.ir import BasicBlock, Instruction, Module, Opcode
+from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import get_tracer
 from repro.runtime.interpreter import (
     ExecutionResult,
@@ -66,6 +68,7 @@ from repro.runtime.sched import (
     ScheduleResult,
     schedule_compact,
     schedule_invocation_reference,
+    schedule_many,
 )
 from repro.runtime.trace import (
     CTRL_DEP,
@@ -88,6 +91,54 @@ __all__ = [
     "schedule_invocation",
     "schedule_invocation_reference",
 ]
+
+#: Minimum traces per shard before sharded replay pays for process
+#: startup and trace pickling; below this the batched engine runs
+#: inline regardless of ``jobs``.
+_SHARD_MIN_TRACES = 128
+
+
+@dataclass(frozen=True)
+class _LoopTiming:
+    """Pickle-light stand-in for :class:`ParallelizedLoop`.
+
+    The schedulers read exactly two fields of the loop record
+    (``counted`` and ``helper_order``); sharded replay ships this shim
+    to worker processes instead of the full record, which drags block
+    sets and dependence lists along.
+    """
+
+    loop_id: LoopId
+    counted: bool
+    helper_order: Tuple[int, ...] = ()
+
+
+def _schedule_shard(
+    traces: List[CompactInvocationTrace],
+    loops: List[_LoopTiming],
+    machines: List[MachineConfig],
+) -> Tuple[List[List[ScheduleResult]], List[dict], dict]:
+    """Worker entry point of sharded replay: schedule one trace chunk
+    under every machine through the batched engine.
+
+    Returns the per-trace schedule columns plus serialized spans and the
+    registry-counter delta, shipped home exactly like the suite's bench
+    workers (the merged Perfetto trace shows one track per worker pid).
+    """
+    from repro.obs.metrics import metrics_delta
+    from repro.obs.tracer import tracing
+
+    before = REGISTRY.snapshot()
+    with tracing() as tracer:
+        with tracer.span(
+            "sched.shard",
+            cat="sched",
+            traces=len(traces),
+            machines=len(machines),
+        ):
+            columns = schedule_many(traces, loops, machines)
+    spans = [event.as_dict() for event in tracer.finished()]
+    return columns, spans, metrics_delta(before, REGISTRY.snapshot())
 
 #: Either trace representation; the executor stores the compact form.
 AnyTrace = Union[CompactInvocationTrace, InvocationTrace]
@@ -368,58 +419,150 @@ class ParallelExecutor(Interpreter):
         )
 
     def _ensure_schedules(
-        self, machines: Sequence[MachineConfig]
+        self,
+        machines: Sequence[MachineConfig],
+        batched: bool = True,
+        jobs: Optional[int] = None,
     ) -> None:
-        """Fill the schedule memo for every machine missing from it,
-        walking each trace once and computing all missing schedules
-        against its compiled program while it is hot."""
-        missing: List[Tuple[str, MachineConfig]] = []
+        """Fill the schedule memo for every machine missing from it.
+
+        A machine whose cached column merely lags behind
+        :attr:`traces` is *extended* from where it stopped instead of
+        recomputed from scratch.  With ``batched`` (the default) every
+        missing column is filled in one pass over the traces by the
+        batched engine (:func:`~repro.runtime.sched.schedule_many`,
+        which vectorizes shape-identical trace cohorts and walks each
+        remaining trace once for all machines); the per-trace path is
+        kept for the benchmark's engine comparison.  ``jobs`` shards
+        the trace list across a process pool for big grids.
+        """
+        total = len(self.traces)
+        seen: set = set()
+        missing: List[Tuple[str, MachineConfig, int]] = []
         for machine in machines:
             fingerprint = machine.fingerprint()
-            cached = self._schedules.get(fingerprint)
-            if cached is not None and len(cached) == len(self.traces):
+            if fingerprint in seen:
                 continue
-            if any(fingerprint == fp for fp, _m in missing):
-                continue
-            missing.append((fingerprint, machine))
+            seen.add(fingerprint)
+            # Every requested machine owns a column afterwards, even the
+            # empty one of a run whose loops never executed.
+            column = self._schedules.setdefault(fingerprint, [])
+            done = len(column)
+            if done < total:
+                missing.append((fingerprint, machine, done))
         if not missing:
             return
+        info_by_id = {info.loop_id: info for info in self.infos}
         with get_tracer().span(
             "sched.schedule",
             cat="sched",
             machines=len(missing),
-            traces=len(self.traces),
+            traces=total,
+            batched=batched,
+            jobs=jobs or 1,
         ):
-            columns: Dict[str, List[ScheduleResult]] = {
-                fp: [] for fp, _m in missing
-            }
-            info_by_id = {info.loop_id: info for info in self.infos}
-            for trace in self.traces:
-                info = info_by_id[trace.loop_id]
-                for fingerprint, machine in missing:
-                    columns[fingerprint].append(
-                        schedule_invocation(trace, info, machine)
-                    )
-            self._schedules.update(columns)
+            if batched:
+                # One pass from the earliest lagging offset; machines
+                # that already cover a prefix keep it and only append
+                # their missing rows.
+                start = min(done for _fp, _m, done in missing)
+                tail = self.traces[start:]
+                loops = [info_by_id[t.loop_id] for t in tail]
+                grid = [machine for _fp, machine, _d in missing]
+                columns = self._schedule_columns(tail, loops, grid, jobs)
+                for ki, (fp, _machine, done) in enumerate(missing):
+                    col = self._schedules.setdefault(fp, [])
+                    for ti in range(done - start, len(tail)):
+                        col.append(columns[ti][ki])
+            else:
+                by_start: Dict[int, List[Tuple[str, MachineConfig]]] = {}
+                for fp, machine, done in missing:
+                    by_start.setdefault(done, []).append((fp, machine))
+                for done, group in by_start.items():
+                    cols: Dict[str, List[ScheduleResult]] = {
+                        fp: [] for fp, _m in group
+                    }
+                    for trace in self.traces[done:]:
+                        info = info_by_id[trace.loop_id]
+                        for fp, machine in group:
+                            cols[fp].append(
+                                schedule_invocation(trace, info, machine)
+                            )
+                    for fp, _m in group:
+                        self._schedules.setdefault(fp, []).extend(cols[fp])
+
+    def _schedule_columns(
+        self,
+        traces: Sequence[CompactInvocationTrace],
+        loops: Sequence[ParallelizedLoop],
+        machines: Sequence[MachineConfig],
+        jobs: Optional[int],
+    ) -> List[List[ScheduleResult]]:
+        """Batched schedule columns for ``traces``, sharded over a
+        process pool when ``jobs`` and the trace count warrant it."""
+        if (
+            jobs is None
+            or jobs <= 1
+            or len(traces) < max(_SHARD_MIN_TRACES, 2 * jobs)
+        ):
+            return schedule_many(traces, loops, machines)
+        timings = [
+            _LoopTiming(
+                loop_id=loop.loop_id,
+                counted=loop.counted,
+                helper_order=tuple(loop.helper_order),
+            )
+            for loop in loops
+        ]
+        chunk = (len(traces) + jobs - 1) // jobs
+        grid = list(machines)
+        tracer = get_tracer()
+        columns: List[List[ScheduleResult]] = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _schedule_shard,
+                    list(traces[lo : lo + chunk]),
+                    timings[lo : lo + chunk],
+                    grid,
+                )
+                for lo in range(0, len(traces), chunk)
+            ]
+            for future in futures:
+                cols, spans, metrics = future.result()
+                columns.extend(cols)
+                if spans and getattr(tracer, "enabled", False):
+                    tracer.absorb(spans)
+                REGISTRY.merge(metrics)
+        return columns
 
     def replay_many(
-        self, machines: Sequence[MachineConfig]
+        self,
+        machines: Sequence[MachineConfig],
+        jobs: Optional[int] = None,
     ) -> List[ParallelRunResult]:
         """Recompute the timing under each machine in one batched pass.
 
-        Equivalent to ``[self.replay(m) for m in machines]`` but walks
-        the stored traces once for all machines not yet in the schedule
-        memo; the baseline machine's schedules are reused from the memo
-        (seeded during execution) instead of being recomputed per swept
-        machine.
+        Equivalent to ``[self.replay(m) for m in machines]`` but fills
+        every missing schedule column in one batched pass over the
+        stored traces; the baseline machine's schedules are reused from
+        the memo (seeded during execution) instead of being recomputed
+        per swept machine.  ``jobs`` shards the scheduling pass across
+        a process pool for big grids.
+
+        The output list and trace list are identical and never mutated
+        across the sweep, so all returned results share one instance of
+        each rather than copying them once per machine.
         """
         if not self.record_traces:
             raise RuntimeFault("executor was created with record_traces=False")
         with get_tracer().span(
             "exec.replay_many", cat="exec", machines=len(machines)
         ):
-            self._ensure_schedules([self.machine, *machines])
+            self._ensure_schedules([self.machine, *machines], jobs=jobs)
             baseline = self._schedules[self.machine.fingerprint()]
+            shared_output = list(self.output)
+            shared_traces: List[AnyTrace] = list(self.traces)
             results: List[ParallelRunResult] = []
             for machine in machines:
                 news = self._schedules[machine.fingerprint()]
@@ -432,7 +575,7 @@ class ParallelExecutor(Interpreter):
                     )
                     _accumulate(stats, trace, new)
                 result = ExecutionResult(
-                    output=list(self.output),
+                    output=shared_output,
                     cycles=adjusted,
                     instructions=self.instructions,
                 )
@@ -441,7 +584,7 @@ class ParallelExecutor(Interpreter):
                         result=result,
                         machine=machine,
                         loop_stats=loop_stats,
-                        traces=list(self.traces),
+                        traces=shared_traces,
                     )
                 )
         return results

@@ -17,6 +17,16 @@ the walk entirely:
   predecessor's signal time can never exceed the successor's clock on
   one core), so the signal timetable is never materialized.
 
+:func:`schedule_compact_many` is the batched variant behind machine-grid
+sweeps: it walks the opcode stream **once** while advancing every swept
+machine's per-core integer clocks in lockstep (flat ``array('q')`` clock
+and signal-timetable columns, per-machine latency/barrier constants
+hoisted into parallel columns, prefetch agendas resolved to signal-op
+indices once per trace).  Machines a fast path covers -- the counted
+DOALL closed form, deduplicated by core count, or the single-core
+no-prefetch walk -- are peeled out before the lockstep walk.  Its
+columns are field-exact with per-machine :func:`schedule_compact`.
+
 :func:`schedule_invocation_reference` is the original per-event
 interpreter over the raw :class:`~repro.runtime.trace.InvocationTrace`.
 It is kept as the differential oracle -- ``tests/test_sched_differential``
@@ -35,8 +45,9 @@ barriers on non-TSO machines.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.loopinfo import ParallelizedLoop
 from repro.runtime.machine import MachineConfig, PrefetchMode
@@ -48,6 +59,7 @@ from repro.runtime.trace import (
     OP_XFER,
     CompactInvocationTrace,
     InvocationTrace,
+    TraceProgram,
 )
 
 
@@ -360,6 +372,777 @@ def schedule_compact(
     stats.segment_cycles = seg
     stats.signal_cycles = sig
     return stats
+
+
+#: Agenda-entry sentinel: prefetch the predecessor's control signal
+#: (the IterationFlag store) rather than a data dependence.
+_CTRL_SRC = -2
+
+
+def _resolve_agendas(
+    prog: TraceProgram, helix_order: Tuple[int, ...], counted: bool
+) -> Tuple[List[int], List[int], List[Tuple[int, ...]], List[Tuple[int, ...]]]:
+    """Resolve both helper-thread agenda flavours to signal-op indices.
+
+    Machine-independent: done once per trace and shared by every helper
+    machine in a :func:`schedule_compact_many` call.  For each iteration
+    the deduplicated agenda (``MATCHED``: the iteration's wait deps;
+    ``HELIX``: the loop's static helper order; both prefixed with the
+    control signal on non-counted loops) is reduced to the entries whose
+    dependence the previous iteration actually signalled, each entry
+    being the flat op index of that signal (or :data:`_CTRL_SRC`).
+    Consumers are resolved to positions in the entry list: ``mt_pos[j]``
+    / ``hx_pos[j]`` give op ``j``'s prefetch slot, -1 when the helper
+    never prefetched its dependence.
+    """
+    op_, a1_, off = prog.op, prog.a1, prog.off
+    n = len(prog.spans)
+    mt_pos = [-1] * len(op_)
+    hx_pos = [-1] * len(op_)
+    mt_entries: List[Tuple[int, ...]] = [()] * n
+    hx_entries: List[Tuple[int, ...]] = [()] * n
+    prev_sig_op: Dict[int, int] = {}
+    for i in range(n):
+        lo, hi = off[i], off[i + 1]
+        if i > 0:
+            ment: List[int] = []
+            mpos: Dict[int, int] = {}
+            hent: List[int] = []
+            hpos: Dict[int, int] = {}
+            if not counted:
+                # The control signal is always available (every
+                # non-last iteration of a non-counted loop executed a
+                # next_iter) and always leads the agenda.
+                mpos[CTRL_DEP] = 0
+                ment.append(_CTRL_SRC)
+                hpos[CTRL_DEP] = 0
+                hent.append(_CTRL_SRC)
+            for dep in prog.agendas[i]:
+                if dep not in mpos:
+                    source = prev_sig_op.get(dep)
+                    if source is not None:
+                        mpos[dep] = len(ment)
+                        ment.append(source)
+            for dep in helix_order:
+                if dep not in hpos:
+                    source = prev_sig_op.get(dep)
+                    if source is not None:
+                        hpos[dep] = len(hent)
+                        hent.append(source)
+            mt_entries[i] = tuple(ment)
+            hx_entries[i] = tuple(hent)
+            for j in range(lo, hi):
+                if op_[j] == OP_WAIT_SYNC:
+                    dep = a1_[j]
+                    mt_pos[j] = mpos.get(dep, -1)
+                    hx_pos[j] = hpos.get(dep, -1)
+        cur: Dict[int, int] = {}
+        for j in range(lo, hi):
+            if op_[j] == OP_SIGNAL:
+                cur[a1_[j]] = j
+        prev_sig_op = cur
+    return mt_pos, hx_pos, mt_entries, hx_entries
+
+
+def schedule_compact_many(
+    trace: CompactInvocationTrace,
+    loop: ParallelizedLoop,
+    machines: Sequence[MachineConfig],
+) -> List[ScheduleResult]:
+    """Schedule one invocation under every machine in a single walk.
+
+    Returns one :class:`ScheduleResult` per machine, field-exact with
+    ``[schedule_compact(trace, loop, m) for m in machines]`` (and hence
+    with :func:`schedule_invocation_reference`).  The opcode stream is
+    traversed once; per-machine state lives in parallel columns:
+
+    * flat ``array('q')`` per-core clock and helper-clock columns, one
+      contiguous block per machine;
+    * a per-machine per-op signal timetable written at ``OP_SIGNAL`` and
+      read back through the program's ``src`` column at
+      ``OP_WAIT_SYNC`` -- no per-iteration dependence dicts;
+    * prefetch agendas resolved once per trace to signal-op indices
+      (:func:`_resolve_agendas`) and replayed per machine into a small
+      positional buffer.
+
+    Machines a closed form covers never enter the walk: zero-iteration
+    invocations and counted DOALLs are solved directly (the DOALL busy
+    term is deduplicated by core count), and single-core no-prefetch
+    machines take :func:`schedule_compact`'s single-clock fast path.
+    """
+    count = len(machines)
+    if count == 0:
+        return []
+    seq = trace.end_cycles - trace.start_cycles
+    prog = trace.program
+    n = len(prog.spans)
+    if n == 0:
+        # Zero-iteration invocation: costs its sequential span under
+        # every machine (fresh objects -- results are mutable).
+        return [
+            ScheduleResult(parallel_cycles=seq, sequential_cycles=seq)
+            for _ in range(count)
+        ]
+    counted = loop.counted
+    results: List[Optional[ScheduleResult]] = [None] * count
+
+    if counted and prog.active_ops == 0:
+        # Counted DOALL: closed form for every machine; the busy term
+        # (max per-core span sum) depends only on the core count, so
+        # sweeps that vary latencies or prefetch modes at a fixed core
+        # count price the spans once.
+        spans = prog.spans
+        span_total = prog.span_total
+        busy_by_cores: Dict[int, int] = {}
+        for mi, machine in enumerate(machines):
+            cores = machine.cores
+            busy = busy_by_cores.get(cores)
+            if busy is None:
+                busy = max(
+                    sum(spans[c::cores]) for c in range(min(cores, n))
+                )
+                busy_by_cores[cores] = busy
+            conf = machine.config_cycles_per_thread * max(cores - 1, 1)
+            stats = ScheduleResult(
+                parallel_cycles=conf
+                + busy
+                + machine.signal_latency
+                + cores
+                - 1,
+                sequential_cycles=seq,
+                signals=prog.signals,
+                waits=prog.waits,
+                transfer_words=prog.transfer_words,
+            )
+            stats.compute_cycles = span_total
+            results[mi] = stats
+        return results
+
+    # Peel machines the single-clock fast path solves without a signal
+    # timetable; everything else joins the lockstep walk.
+    lock: List[int] = []
+    for mi, machine in enumerate(machines):
+        if (
+            machine.cores == 1
+            and machine.effective_prefetch_mode is PrefetchMode.NONE
+        ):
+            results[mi] = schedule_compact(trace, loop, machine)
+        else:
+            lock.append(mi)
+    if len(lock) == 1:
+        mi = lock[0]
+        results[mi] = schedule_compact(trace, loop, machines[mi])
+        return results
+    if not lock:
+        return results
+
+    op_, a1_, a2_, at_ = prog.op, prog.a1, prog.a2, prog.at
+    src_, pre_, off, tail = prog.src, prog.pre, prog.off, prog.tail
+    it_start, it_end = trace.it_start, trace.it_end
+    has_next = prog.has_next
+    slot_count = prog.slot_count
+    nops = len(op_)
+
+    m = len(lock)
+    # Hoisted per-machine latency/cost columns (index k over ``lock``).
+    cores_ = [0] * m
+    lat = [0] * m
+    fastlat = [0] * m
+    xfr = [0] * m
+    bar = [0] * m
+    base = [0] * m
+    # Prefetch-mode classes: the arrival math differs per class, so the
+    # per-event inner loops run straight-line over one class at a time.
+    none_k: List[int] = []
+    ideal_k: List[int] = []
+    helper_k: List[int] = []
+    use_helix = [False] * m
+    clk = array("q")  # per-core clocks, machine blocks at base[k]
+    hclk = array("q")  # helper-thread clocks, same layout
+    zeros = bytes(8 * nops)
+    evt: List[array] = []  # per-op signal timetable per machine
+    slots: List[array] = []  # open segment slots per machine
+    pfbuf: List[List[int]] = []  # positional prefetch times per machine
+    prev_next: List[int] = [0] * m
+    cur_next: List[int] = [0] * m
+    tarr = [0] * m  # current iteration's thread clock per machine
+    stall = [0] * m
+    seg = [0] * m
+    sigc = [0] * m
+    maxend = [0] * m
+    curcore = [0] * m
+    ivl: List[List[Tuple[int, int]]] = [[] for _ in range(m)]
+    srt = [False] * m
+
+    need_helper = False
+    for k, mi in enumerate(lock):
+        machine = machines[mi]
+        c = machine.cores
+        cores_[k] = c
+        lat[k] = machine.signal_latency
+        fastlat[k] = machine.prefetched_signal_latency
+        xfr[k] = machine.word_transfer_cycles
+        bar[k] = (
+            0 if machine.total_store_ordering else machine.barrier_cycles
+        )
+        base[k] = len(clk)
+        conf = machine.config_cycles_per_thread * max(c - 1, 1)
+        clk.extend([conf] * c)
+        hclk.extend([0] * c)
+        evt.append(array("q", zeros))
+        slots.append(array("q", [0] * slot_count))
+        mode = machine.effective_prefetch_mode
+        if mode is PrefetchMode.NONE:
+            none_k.append(k)
+        elif mode is PrefetchMode.IDEAL:
+            ideal_k.append(k)
+        else:
+            helper_k.append(k)
+            use_helix[k] = mode is PrefetchMode.HELIX
+            need_helper = True
+
+    mt_pos: List[int] = []
+    hx_pos: List[int] = []
+    mt_entries: List[Tuple[int, ...]] = []
+    hx_entries: List[Tuple[int, ...]] = []
+    if need_helper:
+        mt_pos, hx_pos, mt_entries, hx_entries = _resolve_agendas(
+            prog, tuple(loop.helper_order), counted
+        )
+        max_entries = 0
+        for entries in mt_entries:
+            if len(entries) > max_entries:
+                max_entries = len(entries)
+        for entries in hx_entries:
+            if len(entries) > max_entries:
+                max_entries = len(entries)
+        pfbuf = [[0] * max_entries for _ in range(m)]
+
+    rng = range
+    for i in rng(n):
+        need_ctrl = i > 0 and not counted
+        if need_ctrl:
+            assert has_next[i - 1], "iteration without start signal"
+
+        # Helper-thread prefetch agendas for this iteration.
+        if helper_k and i > 0:
+            for k in helper_k:
+                entries = hx_entries[i] if use_helix[k] else mt_entries[i]
+                if not entries:
+                    continue
+                hb = base[k] + i % cores_[k]
+                cursor = hclk[hb]
+                buf = pfbuf[k]
+                ek = evt[k]
+                latk = lat[k]
+                pn = prev_next[k]
+                pos = 0
+                for source in entries:
+                    ts = pn if source == -2 else ek[source]
+                    cursor = (cursor if cursor > ts else ts) + latk
+                    buf[pos] = cursor
+                    pos += 1
+                hclk[hb] = cursor
+
+        # Iteration starts: counted loops derive iteration numbers
+        # locally; others wait on the predecessor's control signal.
+        for k in rng(m):
+            core = i % cores_[k]
+            curcore[k] = core
+            t = clk[base[k] + core]
+            tarr[k] = t
+        if need_ctrl:
+            for k in none_k:
+                t = tarr[k]
+                ts = prev_next[k]
+                done = (t if t > ts else ts) + lat[k]
+                sigc[k] += done - t
+                tarr[k] = done
+            for k in ideal_k:
+                t = tarr[k]
+                ts = prev_next[k]
+                done = (t if t > ts else ts) + fastlat[k]
+                sigc[k] += done - t
+                tarr[k] = done
+            for k in helper_k:
+                t = tarr[k]
+                ts = prev_next[k]
+                pull = (t if t > ts else ts) + lat[k]
+                # The control entry always leads the resolved agenda.
+                alt = t + fastlat[k]
+                done = pfbuf[k][0]
+                if done > alt:
+                    alt = done
+                done = pull if pull < alt else alt
+                sigc[k] += done - t
+                tarr[k] = done
+
+        last = it_start[i]
+        for j in rng(off[i], off[i + 1]):
+            atj = at_[j]
+            d = atj - last
+            last = atj
+            o = op_[j]
+            pj = pre_[j]
+            if o == OP_WAIT_SYNC:
+                bb = pj + 1
+                sj = src_[j]
+                a2j = a2_[j]
+                for k in none_k:
+                    t = tarr[k] + d + bb * bar[k]
+                    ts = evt[k][sj]
+                    arrival = (t if t > ts else ts) + lat[k]
+                    if arrival > t:
+                        stall[k] += arrival - t
+                        t = arrival
+                    slots[k][a2j] = t
+                    tarr[k] = t
+                for k in ideal_k:
+                    t = tarr[k] + d + bb * bar[k]
+                    ts = evt[k][sj]
+                    arrival = (t if t > ts else ts) + fastlat[k]
+                    if arrival > t:
+                        stall[k] += arrival - t
+                        t = arrival
+                    slots[k][a2j] = t
+                    tarr[k] = t
+                if helper_k:
+                    mp = mt_pos[j]
+                    hp = hx_pos[j]
+                    for k in helper_k:
+                        t = tarr[k] + d + bb * bar[k]
+                        ts = evt[k][sj]
+                        arrival = (t if t > ts else ts) + lat[k]
+                        pos = hp if use_helix[k] else mp
+                        if pos >= 0:
+                            alt = t + fastlat[k]
+                            done = pfbuf[k][pos]
+                            if done > alt:
+                                alt = done
+                            if alt < arrival:
+                                arrival = alt
+                        if arrival > t:
+                            stall[k] += arrival - t
+                            t = arrival
+                        slots[k][a2j] = t
+                        tarr[k] = t
+            elif o == OP_WAIT:
+                bb = pj + 1
+                a2j = a2_[j]
+                for k in rng(m):
+                    t = tarr[k] + d + bb * bar[k]
+                    slots[k][a2j] = t
+                    tarr[k] = t
+            elif o == OP_SIGNAL:
+                bb = pj + 1
+                a2j = a2_[j]
+                if a2j >= 0:
+                    for k in rng(m):
+                        t = tarr[k] + d + bb * bar[k]
+                        evt[k][j] = t
+                        opened = slots[k][a2j]
+                        iv = ivl[k]
+                        if iv and opened < iv[-1][0]:
+                            srt[k] = True
+                        iv.append((opened, t))
+                        tarr[k] = t
+                else:
+                    for k in rng(m):
+                        t = tarr[k] + d + bb * bar[k]
+                        evt[k][j] = t
+                        tarr[k] = t
+            elif o == OP_XFER:
+                w = a1_[j]
+                for k in rng(m):
+                    tarr[k] += d + pj * bar[k] + w * xfr[k]
+            else:  # OP_NEXT
+                for k in rng(m):
+                    t = tarr[k] + d + pj * bar[k]
+                    cur_next[k] = t
+                    tarr[k] = t
+
+        for k in rng(m):
+            t = tarr[k] + (it_end[i] - last) + tail[i] * bar[k]
+            clk[base[k] + curcore[k]] = t
+            if t > maxend[k]:
+                maxend[k] = t
+            iv = ivl[k]
+            if iv:
+                seg[k] += _merge_segments(iv, srt[k])
+                iv.clear()
+                srt[k] = False
+            prev_next[k] = cur_next[k]
+
+    signals = prog.signals if counted else prog.signals + prog.next_iters
+    span_total = prog.span_total
+    barrier_events = prog.barrier_events
+    transfer_words = prog.transfer_words
+    for k, mi in enumerate(lock):
+        stats = ScheduleResult(
+            parallel_cycles=maxend[k] + lat[k] + cores_[k] - 1,
+            sequential_cycles=seq,
+            signals=signals,
+            waits=prog.waits,
+            transfer_words=transfer_words,
+        )
+        stats.wait_stall_cycles = stall[k]
+        stats.segment_cycles = seg[k]
+        stats.signal_cycles = sigc[k]
+        stats.compute_cycles = span_total + bar[k] * barrier_events
+        stats.transfer_cycles = transfer_words * xfr[k]
+        results[mi] = stats
+    return results
+
+
+#: Minimum cohort size worth the numpy dispatch overhead; smaller
+#: groups take the per-trace lockstep engine instead.
+_MIN_COHORT = 4
+
+
+def trace_signature(trace: CompactInvocationTrace) -> Tuple:
+    """Shape key of a trace: everything compilation depends on.
+
+    :meth:`CompactInvocationTrace._compile` inspects only the event
+    *kinds*, *dependences*, per-iteration slicing and ``xfer`` word
+    counts -- never timestamps -- so two traces with equal signatures
+    compile to structurally identical :class:`TraceProgram`\\ s whose
+    ``at`` columns differ only in values.  :func:`schedule_many` groups
+    traces by this key and schedules each cohort through one vectorized
+    walk over a single representative program.
+    """
+    return (
+        trace.ev_kind.tobytes(),
+        trace.ev_dep.tobytes(),
+        trace.ev_off.tobytes(),
+        tuple(tuple(sorted(per.items())) for per in trace.words),
+    )
+
+
+def _schedule_cohort(
+    traces: List[CompactInvocationTrace],
+    loop: ParallelizedLoop,
+    machines: Sequence[MachineConfig],
+) -> List[List[ScheduleResult]]:
+    """Schedule a cohort of shape-identical traces under every machine.
+
+    The cohort dimension is vectorized with numpy: per-core clocks,
+    signal timetables and segment slots become width-``C`` integer
+    vectors (``C`` = cohort size) and every opcode advances all traces
+    at once, so the per-op interpretive overhead is paid once per
+    machine instead of once per trace per machine.  Only the
+    representative trace is compiled; the others' ``at`` values are
+    gathered from their raw event columns through the program's ``raw``
+    index (see :func:`trace_signature` for why that is sound).
+
+    Returns ``out[c][mi]``, field-exact with
+    ``schedule_compact(traces[c], loop, machines[mi])``.
+    """
+    import numpy as np
+
+    prog = traces[0].program
+    cohort = len(traces)
+    count = len(machines)
+    n = len(prog.spans)
+    counted = loop.counted
+    seqs = [tr.end_cycles - tr.start_cycles for tr in traces]
+    if n == 0:
+        return [
+            [
+                ScheduleResult(parallel_cycles=s, sequential_cycles=s)
+                for _ in range(count)
+            ]
+            for s in seqs
+        ]
+
+    it_s = np.empty((cohort, n), dtype=np.int64)
+    it_e = np.empty((cohort, n), dtype=np.int64)
+    for c, tr in enumerate(traces):
+        it_s[c] = np.frombuffer(tr.it_start, dtype=np.int64)
+        it_e[c] = np.frombuffer(tr.it_end, dtype=np.int64)
+    sp = it_e - it_s  # per-iteration spans, (cohort, n)
+    span_total = sp.sum(axis=1)
+
+    waits = prog.waits
+    transfer_words = prog.transfer_words
+    barrier_events = prog.barrier_events
+    out: List[List[Optional[ScheduleResult]]] = [
+        [None] * count for _ in range(cohort)
+    ]
+
+    if counted and prog.active_ops == 0:
+        # Counted DOALL: the closed form vectorizes directly; the busy
+        # vector depends only on the core count, so it is shared across
+        # latency/prefetch sweeps exactly like the scalar engine's.
+        busy_by_cores: Dict[int, "np.ndarray"] = {}
+        totals = span_total.tolist()
+        for mi, machine in enumerate(machines):
+            cores = machine.cores
+            busy = busy_by_cores.get(cores)
+            if busy is None:
+                busy = sp[:, 0::cores].sum(axis=1)
+                for c0 in range(1, min(cores, n)):
+                    np.maximum(busy, sp[:, c0::cores].sum(axis=1), out=busy)
+                busy_by_cores[cores] = busy
+            conf = machine.config_cycles_per_thread * max(cores - 1, 1)
+            par = (busy + (conf + machine.signal_latency + cores - 1)).tolist()
+            for c in range(cohort):
+                stats = ScheduleResult(
+                    parallel_cycles=par[c],
+                    sequential_cycles=seqs[c],
+                    signals=prog.signals,
+                    waits=waits,
+                    transfer_words=transfer_words,
+                )
+                stats.compute_cycles = totals[c]
+                out[c][mi] = stats
+        return out  # type: ignore[return-value]
+
+    op_, a1_, a2_, src_ = prog.op, prog.a1, prog.a2, prog.src
+    pre_, off, tail_ = prog.pre, prog.off, prog.tail
+    has_next = prog.has_next
+    nops = len(op_)
+
+    # Per-op time deltas, transposed so ``dt[j]`` is a contiguous
+    # cohort-wide vector: dt[j] = at[j] - at[j-1] within an iteration,
+    # at[j] - it_start[i] for its first op; et[i] closes the iteration.
+    et = np.empty((n, cohort), dtype=np.int64)
+    dt = None
+    if nops:
+        ev_at = np.empty((cohort, len(traces[0].ev_at)), dtype=np.int64)
+        for c, tr in enumerate(traces):
+            ev_at[c] = np.frombuffer(tr.ev_at, dtype=np.int64)
+        at = ev_at[:, np.frombuffer(prog.raw, dtype=np.int64)]
+        d = np.empty_like(at)
+        d[:, 1:] = at[:, 1:] - at[:, :-1]
+        for i in range(n):
+            lo, hi = off[i], off[i + 1]
+            if lo < hi:
+                d[:, lo] = at[:, lo] - it_s[:, i]
+                et[i] = it_e[:, i] - at[:, hi - 1]
+            else:
+                et[i] = sp[:, i]
+        dt = np.ascontiguousarray(d.T)
+    else:
+        et[:] = sp.T
+
+    mt_pos: List[int] = []
+    hx_pos: List[int] = []
+    mt_entries: List[Tuple[int, ...]] = []
+    hx_entries: List[Tuple[int, ...]] = []
+    if any(
+        m.effective_prefetch_mode
+        in (PrefetchMode.HELIX, PrefetchMode.MATCHED)
+        for m in machines
+    ):
+        mt_pos, hx_pos, mt_entries, hx_entries = _resolve_agendas(
+            prog, tuple(loop.helper_order), counted
+        )
+
+    signals = prog.signals if counted else prog.signals + prog.next_iters
+    for mi, machine in enumerate(machines):
+        cores = machine.cores
+        lat = machine.signal_latency
+        fast = machine.prefetched_signal_latency
+        xfr = machine.word_transfer_cycles
+        bar = 0 if machine.total_store_ordering else machine.barrier_cycles
+        conf = machine.config_cycles_per_thread * max(cores - 1, 1)
+        mode = machine.effective_prefetch_mode
+        mode_none = mode is PrefetchMode.NONE
+        mode_ideal = mode is PrefetchMode.IDEAL
+        helix = mode is PrefetchMode.HELIX
+        do_helper = helix or mode is PrefetchMode.MATCHED
+
+        clk = np.full((cores, cohort), conf, dtype=np.int64)
+        hclk = np.zeros((cores, cohort), dtype=np.int64) if do_helper else None
+        evt = np.zeros((nops, cohort), dtype=np.int64)
+        slots_t = np.zeros((prog.slot_count, cohort), dtype=np.int64)
+        stall = np.zeros(cohort, dtype=np.int64)
+        seg = np.zeros(cohort, dtype=np.int64)
+        sigc = np.zeros(cohort, dtype=np.int64)
+        maxend = np.zeros(cohort, dtype=np.int64)
+        prev_next = None
+        cur_next = None
+
+        for i in range(n):
+            core = i % cores
+            need_ctrl = i > 0 and not counted
+            if need_ctrl:
+                assert has_next[i - 1], "iteration without start signal"
+
+            pfv = None
+            if do_helper and i > 0:
+                entries = hx_entries[i] if helix else mt_entries[i]
+                if entries:
+                    cursor = hclk[core]
+                    pfv = []
+                    for source in entries:
+                        ts = (
+                            prev_next
+                            if source == _CTRL_SRC
+                            else evt[source]
+                        )
+                        cursor = np.maximum(cursor, ts) + lat
+                        pfv.append(cursor)
+                    hclk[core] = cursor
+
+            t = clk[core]
+            if need_ctrl:
+                ts = prev_next
+                started = t
+                if mode_none:
+                    t = np.maximum(t, ts) + lat
+                elif mode_ideal:
+                    t = np.maximum(t, ts) + fast
+                else:
+                    # The control entry always leads the resolved agenda.
+                    pull = np.maximum(t, ts) + lat
+                    t = np.minimum(pull, np.maximum(t + fast, pfv[0]))
+                sigc += t - started
+
+            ivl = []
+            for j in range(off[i], off[i + 1]):
+                o = op_[j]
+                pj = pre_[j]
+                if o == OP_WAIT_SYNC:
+                    t = t + dt[j]
+                    if bar:
+                        t += (pj + 1) * bar
+                    ts = evt[src_[j]]
+                    if mode_none:
+                        arrival = np.maximum(t, ts) + lat
+                    elif mode_ideal:
+                        arrival = np.maximum(t, ts) + fast
+                    else:
+                        arrival = np.maximum(t, ts) + lat
+                        pos = hx_pos[j] if helix else mt_pos[j]
+                        if pos >= 0:
+                            np.minimum(
+                                arrival,
+                                np.maximum(t + fast, pfv[pos]),
+                                out=arrival,
+                            )
+                    stall += arrival - t
+                    t = arrival
+                    slots_t[a2_[j]] = t
+                elif o == OP_WAIT:
+                    t = t + dt[j]
+                    if bar:
+                        t += (pj + 1) * bar
+                    slots_t[a2_[j]] = t
+                elif o == OP_SIGNAL:
+                    t = t + dt[j]
+                    if bar:
+                        t += (pj + 1) * bar
+                    evt[j] = t
+                    slot = a2_[j]
+                    if slot >= 0:
+                        ivl.append((slots_t[slot], t))
+                elif o == OP_XFER:
+                    t = t + dt[j]
+                    extra = pj * bar + a1_[j] * xfr
+                    if extra:
+                        t += extra
+                else:  # OP_NEXT
+                    t = t + dt[j]
+                    if bar:
+                        t += pj * bar
+                    cur_next = t
+
+            t = t + et[i]
+            if bar:
+                t += tail_[i] * bar
+            clk[core] = t
+            np.maximum(maxend, t, out=maxend)
+            if ivl:
+                if len(ivl) == 1:
+                    seg += ivl[0][1] - ivl[0][0]
+                else:
+                    # Merge in append order for everyone, then redo the
+                    # rare members whose openings were out of order with
+                    # the scalar sort-and-merge.
+                    violated = None
+                    prev_open = ivl[0][0]
+                    for s_, _e in ivl[1:]:
+                        v = s_ < prev_open
+                        violated = v if violated is None else violated | v
+                        prev_open = s_
+                    ms, me = ivl[0]
+                    busy = np.zeros(cohort, dtype=np.int64)
+                    for s_, e_ in ivl[1:]:
+                        ov = s_ <= me
+                        busy = np.where(ov, busy, busy + (me - ms))
+                        ms = np.where(ov, ms, s_)
+                        me = np.where(ov, np.maximum(me, e_), e_)
+                    closed = busy + (me - ms)
+                    if violated.any():
+                        for c in np.nonzero(violated)[0]:
+                            pairs = sorted(
+                                (int(s_[c]), int(e_[c])) for s_, e_ in ivl
+                            )
+                            closed[c] = _merge_segments(pairs, False)
+                    seg += closed
+            prev_next = cur_next
+
+        par = (maxend + (lat + cores - 1)).tolist()
+        stall_l = stall.tolist()
+        seg_l = seg.tolist()
+        sigc_l = sigc.tolist()
+        comp_l = (span_total + bar * barrier_events).tolist()
+        transfer_cycles = transfer_words * xfr
+        for c in range(cohort):
+            stats = ScheduleResult(
+                parallel_cycles=par[c],
+                sequential_cycles=seqs[c],
+                signals=signals,
+                waits=waits,
+                transfer_words=transfer_words,
+            )
+            stats.wait_stall_cycles = stall_l[c]
+            stats.segment_cycles = seg_l[c]
+            stats.signal_cycles = sigc_l[c]
+            stats.compute_cycles = comp_l[c]
+            stats.transfer_cycles = transfer_cycles
+            out[c][mi] = stats
+    return out  # type: ignore[return-value]
+
+
+def schedule_many(
+    traces: Sequence[CompactInvocationTrace],
+    loops: Sequence[ParallelizedLoop],
+    machines: Sequence[MachineConfig],
+) -> List[List[ScheduleResult]]:
+    """Schedule many invocations under many machines in one pass.
+
+    ``loops[i]`` is the parallelized-loop info of ``traces[i]``.
+    Returns ``columns[i][mi]``, field-exact with per-trace
+    :func:`schedule_compact`.  Traces are grouped into cohorts of
+    identical shape (:func:`trace_signature`); cohorts of at least
+    :data:`_MIN_COHORT` members run through the numpy-vectorized
+    :func:`_schedule_cohort` walk, the stragglers through the per-trace
+    lockstep engine :func:`schedule_compact_many`.
+    """
+    results: List[Optional[List[ScheduleResult]]] = [None] * len(traces)
+    if not traces:
+        return []
+    groups: Dict[Tuple, List[int]] = {}
+    for idx, (trace, loop) in enumerate(zip(traces, loops)):
+        key = (id(loop),) + trace_signature(trace)
+        groups.setdefault(key, []).append(idx)
+    for members in groups.values():
+        if len(members) < _MIN_COHORT:
+            for idx in members:
+                results[idx] = schedule_compact_many(
+                    traces[idx], loops[idx], machines
+                )
+        else:
+            cols = _schedule_cohort(
+                [traces[idx] for idx in members],
+                loops[members[0]],
+                machines,
+            )
+            for c, idx in enumerate(members):
+                results[idx] = cols[c]
+    return results  # type: ignore[return-value]
 
 
 def schedule_invocation_reference(

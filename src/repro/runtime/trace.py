@@ -152,6 +152,19 @@ class TraceProgram:
     #: Operand 2: segment slot (waits; signals carry the slot of the
     #: wait they close, or -1 when the dependence was never waited on).
     a2: array
+    #: Synchronization source: for ``OP_WAIT_SYNC`` the flat op index of
+    #: the previous iteration's matching ``OP_SIGNAL`` (pack-time
+    #: guarantee: present), -1 for every other opcode.  Lets schedulers
+    #: read the predecessor's signal time from a per-op timetable column
+    #: instead of rebuilding a dependence dict per iteration.
+    src: array
+    #: Index of each kept op's source event in the raw ``ev_*`` columns.
+    #: Compilation decisions depend only on the event *shape* (kinds,
+    #: deps, per-iteration slicing, word counts), never on timestamps,
+    #: so traces with identical shapes share one program structure and
+    #: this column gathers their per-trace ``at`` values from the raw
+    #: ``ev_at`` column (the cohort scheduler's zero-compile path).
+    raw: array
     #: Absolute trace cycles of the event.
     at: array
     #: Elided barrier-bearing events (duplicate waits/signals) between
@@ -216,6 +229,16 @@ class CompactInvocationTrace:
     _program: Optional[TraceProgram] = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    def __getstate__(self) -> dict:
+        # The compiled program is cheap to rebuild and heavy to pickle;
+        # sharded replay ships bare columns and workers recompile.
+        state = self.__dict__.copy()
+        state["_program"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     @property
     def iteration_count(self) -> int:
@@ -356,6 +379,8 @@ class CompactInvocationTrace:
         op = array("q")
         a1 = array("q")
         a2 = array("q")
+        src = array("q")
+        raw_ix = array("q")
         at_out = array("q")
         pre = array("q")
         off = array("q", [0])
@@ -369,13 +394,14 @@ class CompactInvocationTrace:
         waits = signals = next_iters = transfer_total = active = 0
         raw_signals = span_total = 0
         slot_count = 0
-        prev_sig: frozenset = frozenset()
+        #: dep -> flat op index of the iteration's kept OP_SIGNAL.
+        prev_sig: Dict[int, int] = {}
         prev_produced: frozenset = frozenset()
 
         for i in range(len(self.it_start)):
             words = self.words[i]
             waited: set = set()
-            cur_sig: set = set()
+            cur_sig: Dict[int, int] = {}
             transferred: set = set()
             produced: set = set()
             agenda: List[int] = []
@@ -398,11 +424,12 @@ class CompactInvocationTrace:
                         continue
                     waited.add(dep)
                     open_slot[dep] = nslot
-                    op.append(
-                        OP_WAIT_SYNC if i > 0 and dep in prev_sig else OP_WAIT
-                    )
+                    source = prev_sig.get(dep, -1) if i > 0 else -1
+                    op.append(OP_WAIT_SYNC if source >= 0 else OP_WAIT)
                     a1.append(dep)
                     a2.append(nslot)
+                    src.append(source)
+                    raw_ix.append(j)
                     at_out.append(ats[j])
                     pre.append(pending)
                     pending = 0
@@ -413,11 +440,13 @@ class CompactInvocationTrace:
                     if dep in cur_sig:
                         pending += 1  # barrier-only duplicate
                         continue
-                    cur_sig.add(dep)
+                    cur_sig[dep] = len(op)
                     signals += 1
                     op.append(OP_SIGNAL)
                     a1.append(dep)
                     a2.append(open_slot.pop(dep, -1))
+                    src.append(-1)
+                    raw_ix.append(j)
                     at_out.append(ats[j])
                     pre.append(pending)
                     pending = 0
@@ -430,6 +459,8 @@ class CompactInvocationTrace:
                     op.append(OP_NEXT)
                     a1.append(0)
                     a2.append(-1)
+                    src.append(-1)
+                    raw_ix.append(j)
                     at_out.append(ats[j])
                     pre.append(pending)
                     pending = 0
@@ -441,6 +472,8 @@ class CompactInvocationTrace:
                         op.append(OP_XFER)
                         a1.append(n_words)
                         a2.append(-1)
+                        src.append(-1)
+                        raw_ix.append(j)
                         at_out.append(ats[j])
                         pre.append(pending)
                         pending = 0
@@ -458,13 +491,15 @@ class CompactInvocationTrace:
             has_next.append(seen_next)
             if nslot > slot_count:
                 slot_count = nslot
-            prev_sig = frozenset(cur_sig)
+            prev_sig = cur_sig
             prev_produced = frozenset(produced)
 
         return TraceProgram(
             op=op,
             a1=a1,
             a2=a2,
+            src=src,
+            raw=raw_ix,
             at=at_out,
             pre=pre,
             off=off,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.loops import find_loops
-from repro.core import HelixOptions, parallelize_module
+from repro.core import parallelize_module
 from repro.core.loopinfo import ParallelizedLoop
 from repro.frontend import compile_source
 from repro.runtime import run_module
@@ -164,6 +164,71 @@ class TestReplay:
 
         with pytest.raises(RuntimeFault):
             executor.replay(machine)
+
+    def test_replay_many_duplicate_and_baseline_machines(self):
+        """A sweep list may repeat machines and include the baseline
+        itself; every entry stays field-exact with a solo ``replay``."""
+        module, transformed, infos, machine = transform(
+            SEQUENTIAL_SEGMENT, cores=6
+        )
+        executor = ParallelExecutor(transformed, infos, machine)
+        direct = executor.execute()
+        probe = MachineConfig(cores=2)
+        sweep = [probe, machine, probe]
+        runs = executor.replay_many(sweep)
+        assert [r.machine for r in runs] == sweep
+        for swept, run in zip(sweep, runs):
+            solo = executor.replay(swept)
+            assert run.result.cycles == solo.result.cycles
+            assert run.result.output == solo.result.output
+            assert run.loop_stats == solo.loop_stats
+        # Duplicates agree with each other, the baseline entry with the
+        # recorded execution.
+        assert runs[0].result.cycles == runs[2].result.cycles
+        assert runs[1].result.cycles == direct.cycles
+        assert runs[1].result.output == direct.output
+
+    def test_replay_many_zero_trace_executor(self):
+        """A run whose parallelized loop never executed records no
+        traces; replaying it is the recorded run under every machine."""
+        source = """
+        int acc;
+        int n;
+        void main() {
+            int i;
+            if (n > 0) {
+                for (i = 0; i < n; i++) { acc = acc + i; }
+            }
+            print(acc);
+        }
+        """
+        module, transformed, infos, machine = transform(source)
+        assert infos  # the loop was parallelized...
+        executor = ParallelExecutor(transformed, infos, machine)
+        direct = executor.execute()
+        assert executor.traces == []  # ...but never entered
+        probe = MachineConfig(cores=2)
+        runs = executor.replay_many([probe, machine])
+        for run in runs:
+            assert run.result.cycles == direct.cycles
+            assert run.result.output == direct.output
+            assert run.loop_stats == {}
+        solo = executor.replay(probe)
+        assert solo.result.cycles == direct.cycles
+
+    def test_replay_many_results_share_output_and_traces(self):
+        """The sweep shares one output list and one trace list across
+        results instead of copying them per machine."""
+        module, transformed, infos, machine = transform(SEQUENTIAL_SEGMENT)
+        executor = ParallelExecutor(transformed, infos, machine)
+        executor.execute()
+        runs = executor.replay_many(
+            [MachineConfig(cores=2), MachineConfig(cores=3), machine]
+        )
+        first = runs[0]
+        for run in runs[1:]:
+            assert run.result.output is first.result.output
+            assert run.traces is first.traces
 
 
 def make_loop_info(counted=False, helper_order=()):

@@ -20,7 +20,12 @@ from repro.frontend import compile_source
 from repro.runtime import run_module
 from repro.runtime.machine import MachineConfig, PrefetchMode
 from repro.runtime.parallel import ParallelExecutor, schedule_invocation
-from repro.runtime.sched import schedule_invocation_reference
+from repro.runtime.sched import (
+    schedule_compact_many,
+    schedule_invocation_reference,
+    schedule_many,
+)
+from repro.runtime.trace import CompactInvocationTrace, InvocationTrace
 
 #: Program shapes covering the scheduler's behaviours: counted DOALL
 #: (fast path), cross-iteration data dependences (waits/signals/segment
@@ -59,6 +64,18 @@ SOURCES = {
                 v = v + (acc % 5) + 3;
             }
             print(acc); print(v);
+        }
+    """,
+    "repeat_kernel": """
+        int acc;
+        void kernel(int n, int seed) {
+            int i;
+            for (i = 0; i < n; i++) { acc = (acc + i * seed) % 9973; }
+        }
+        void main() {
+            kernel(5, 1); kernel(6, 2); kernel(7, 3);
+            kernel(8, 4); kernel(9, 5); kernel(10, 6);
+            print(acc);
         }
     """,
     "multi_invocation": """
@@ -145,6 +162,143 @@ def test_schedules_field_exact_across_machines(name):
 
 
 @pytest.mark.parametrize("name", sorted(SOURCES))
+def test_schedule_compact_many_field_exact_across_machines(name):
+    """The lockstep multi-machine engine must match per-machine
+    ``schedule_compact`` and the reference interpreter field for field
+    over the full differential grid (acceptance criterion)."""
+    _, infos, executor, result = _prepare(name)
+    info_by_id = {info.loop_id: info for info in infos}
+    for trace in result.traces:
+        info = info_by_id[trace.loop_id]
+        column = schedule_compact_many(trace, info, MACHINES)
+        assert len(column) == len(MACHINES)
+        legacy = trace.to_invocation_trace()
+        for machine, got in zip(MACHINES, column):
+            assert got == schedule_invocation(trace, info, machine)
+            assert got == schedule_invocation_reference(legacy, info, machine)
+
+
+def test_schedule_compact_many_degenerate_grids():
+    _, infos, executor, _ = _prepare("multi_invocation")
+    info_by_id = {info.loop_id: info for info in infos}
+    trace = executor.traces[0]
+    info = info_by_id[trace.loop_id]
+    assert schedule_compact_many(trace, info, []) == []
+    single = schedule_compact_many(trace, info, [MACHINES[0]])
+    assert single == [schedule_invocation(trace, info, MACHINES[0])]
+    # Zero-iteration invocations cost their sequential span everywhere,
+    # as fresh (mutable) result objects.
+    empty = CompactInvocationTrace.from_trace(
+        InvocationTrace(loop_id=trace.loop_id, start_cycles=5, end_cycles=42)
+    )
+    column = schedule_compact_many(empty, info_by_id[empty.loop_id], MACHINES)
+    assert len(column) == len(MACHINES)
+    assert len({id(r) for r in column}) == len(column)
+    for got in column:
+        assert got.parallel_cycles == got.sequential_cycles
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_cohort_engine_matches_per_trace_engines(name, monkeypatch):
+    """``schedule_many``'s numpy cohort walk (forced on by dropping the
+    cohort threshold to 1) must be field-exact with per-machine
+    ``schedule_compact`` for every trace and machine."""
+    import repro.runtime.sched as sched_mod
+
+    monkeypatch.setattr(sched_mod, "_MIN_COHORT", 1)
+    _, infos, executor, _ = _prepare(name)
+    info_by_id = {info.loop_id: info for info in infos}
+    traces = list(executor.traces)
+    loops = [info_by_id[t.loop_id] for t in traces]
+    columns = schedule_many(traces, loops, MACHINES)
+    assert len(columns) == len(traces)
+    for trace, info, column in zip(traces, loops, columns):
+        for machine, got in zip(MACHINES, column):
+            assert got == schedule_invocation(trace, info, machine)
+
+
+def test_replay_many_sharded_equals_inline(monkeypatch):
+    """``jobs`` sharding must not change a single schedule field."""
+    import repro.runtime.parallel as parallel_mod
+
+    transformed, infos, _, _ = _prepare("repeat_kernel")
+    inline = ParallelExecutor(transformed, infos, BASE)
+    inline.execute()
+    sharded = ParallelExecutor(transformed, infos, BASE)
+    sharded.execute()
+    monkeypatch.setattr(parallel_mod, "_SHARD_MIN_TRACES", 1)
+    probes = MACHINES[:6]
+    inline_runs = inline.replay_many(probes)
+    sharded_runs = sharded.replay_many(probes, jobs=2)
+    for one, two in zip(inline_runs, sharded_runs):
+        assert one.result.cycles == two.result.cycles
+        assert one.result.output == two.result.output
+        assert one.loop_stats == two.loop_stats
+    for probe in probes:
+        assert (
+            inline._schedules[probe.fingerprint()]
+            == sharded._schedules[probe.fingerprint()]
+        )
+
+
+def test_lagging_schedule_column_extends_incrementally(monkeypatch):
+    """A cached column that is merely shorter than the trace list is
+    extended in place, not recomputed from scratch."""
+    import repro.runtime.parallel as parallel_mod
+
+    transformed, infos, _, _ = _prepare("repeat_kernel")
+    executor = ParallelExecutor(transformed, infos, BASE)
+    executor.execute()
+    probe = BASE.with_cores(2)
+    executor.replay(probe)
+    full = list(executor._schedules[probe.fingerprint()])
+    assert len(full) == len(executor.traces) > 3
+
+    # Truncate the cached column as if traces had been appended since.
+    executor._schedules[probe.fingerprint()] = full[:-3]
+    scheduled = []
+    real = parallel_mod.schedule_many
+
+    def counting(traces, loops, machines):
+        scheduled.append(len(traces))
+        return real(traces, loops, machines)
+
+    monkeypatch.setattr(parallel_mod, "schedule_many", counting)
+    executor.replay(probe)
+    assert scheduled == [3]  # only the missing suffix is scheduled
+    assert executor._schedules[probe.fingerprint()] == full
+
+
+def test_scheduling_work_across_run_replay_cycles(monkeypatch):
+    """Regression for the memo lifecycle: across run -> replay_many ->
+    run -> replay_many, each sweep schedules every trace exactly once
+    per missing machine set -- re-running resets the memo (new traces)
+    and the second sweep never reschedules the fresh baseline column."""
+    import repro.runtime.parallel as parallel_mod
+
+    transformed, infos, _, _ = _prepare("reduction")
+    executor = ParallelExecutor(transformed, infos, BASE)
+    probes = [BASE.with_cores(2), BASE.with_cores(3)]
+    scheduled = []
+    real = parallel_mod.schedule_many
+
+    def counting(traces, loops, machines):
+        scheduled.append((len(traces), [m.fingerprint() for m in machines]))
+        return real(traces, loops, machines)
+
+    monkeypatch.setattr(parallel_mod, "schedule_many", counting)
+    for _ in range(2):
+        executor.execute()
+        count = len(executor.traces)
+        scheduled.clear()
+        executor.replay_many(probes)
+        assert scheduled == [(count, [p.fingerprint() for p in probes])]
+        scheduled.clear()
+        executor.replay_many(probes)
+        assert scheduled == []  # second sweep fully memoized
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
 def test_replay_many_matches_reference_replay(name):
     _, _, executor, _ = _prepare(name)
     legacy = [t.to_invocation_trace() for t in executor.traces]
@@ -178,18 +332,18 @@ def test_baseline_schedule_memoized_across_replays(monkeypatch):
     import repro.runtime.parallel as parallel_mod
 
     calls = []
-    real = parallel_mod.schedule_invocation
+    real = parallel_mod.schedule_many
 
-    def counting(trace, info, machine):
-        calls.append(machine.fingerprint())
-        return real(trace, info, machine)
+    def counting(traces, loops, machines):
+        calls.append([m.fingerprint() for m in machines])
+        return real(traces, loops, machines)
 
-    monkeypatch.setattr(parallel_mod, "schedule_invocation", counting)
+    monkeypatch.setattr(parallel_mod, "schedule_many", counting)
     probe = BASE.with_cores(2)
     executor.replay(probe)
     # Only the new machine's column is computed; the baseline is reused.
     assert calls
-    assert set(calls) == {probe.fingerprint()}
+    assert {fp for grid in calls for fp in grid} == {probe.fingerprint()}
     first = len(calls)
     executor.replay(probe)
     assert len(calls) == first  # second replay fully memoized
