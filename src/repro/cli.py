@@ -9,10 +9,12 @@ Commands:
   hit/miss/invalidation table.
 * ``ir FILE.mc``             -- dump the compiled IR.
 * ``bench NAME``             -- run one of the 13 suite benchmarks.
-* ``bench-interp``           -- time the tree-walking vs pre-decoded
-  interpreter backends and write ``BENCH_interp.json``; ``--quick``
-  restricts to a small CI-friendly subset, ``--min-speedup X`` fails
-  the run if any program's speedup drops below ``X``.
+* ``bench-interp``           -- time the tree-walking, pre-decoded and
+  superblock code-generated interpreter backends (cold and warm lanes)
+  and write ``BENCH_interp.json``; ``--quick`` restricts to a small
+  CI-friendly subset, ``--min-speedup X`` fails the run if any
+  program's speedup drops below ``X`` and ``--min-geomean-speedup X``
+  gates the aggregate.
 * ``bench-passes``           -- time cold benchmark pipelines with the
   versioned analysis cache against recompute-every-request and write
   ``BENCH_passes.json``.
@@ -180,6 +182,16 @@ def cmd_bench_interp(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if (
+        args.min_geomean_speedup is not None
+        and report.geomean_speedup < args.min_geomean_speedup
+    ):
+        print(
+            f"error: geomean speedup {report.geomean_speedup:.2f}x below "
+            f"required {args.min_geomean_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -253,6 +265,7 @@ def _cmd_suite(args) -> int:
     from repro.evaluation.parallel_runner import effective_jobs, run_suite
     from repro.evaluation.reporting import (
         format_analysis_stats,
+        format_interp_stats,
         format_stage_stats,
     )
 
@@ -268,6 +281,9 @@ def _cmd_suite(args) -> int:
         if report.analyses:
             print()
             print(format_analysis_stats(report.analyses))
+        if report.interp:
+            print()
+            print(format_interp_stats(report.interp))
         print(f"suite wall-clock: {report.wall_seconds:.2f}s "
               f"(jobs={report.jobs})")
     if args.report:
@@ -381,7 +397,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser(
         "bench-interp",
-        help="time tree-walking vs pre-decoded interpreter backends",
+        help="time tree vs decoded vs superblock interpreter backends",
     )
     p.add_argument(
         "--quick",
@@ -419,6 +435,13 @@ def main(argv=None) -> int:
         default=None,
         metavar="X",
         help="exit nonzero if any program speedup is below X",
+    )
+    p.add_argument(
+        "--min-geomean-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero if the geomean superblock speedup is below X",
     )
     p.set_defaults(func=cmd_bench_interp)
 

@@ -1,19 +1,28 @@
 """Interpreter backend microbenchmarks (``repro bench-interp``).
 
-Times the tree-walking and pre-decoded interpreter backends on the same
+Times the three interpreter tiers — the tree walker, the pre-decoded
+closure backend and the superblock code-generated backend — on the same
 compiled modules and reports per-program and aggregate speedups.  Every
-timed pair is also a differential check: the two backends must produce
-identical :class:`ExecutionResult`\\ s or the run aborts.
+timed triple is also a differential check: the three backends must
+produce field-identical :class:`ExecutionResult`\\ s (output, cycles,
+instructions, return value) or the run aborts.
 
-The harness measures the *uninstrumented* sequential path — the oracle
-path the tentpole optimisation targets — with wall-clock taken as the
-minimum over ``repeat`` runs (minimum, not mean: interpreter timing
-noise is one-sided).  Throughput is dynamic instructions per second;
-both backends execute the exact same dynamic instruction stream, so the
+Each compiled backend is timed in two lanes, like ``bench-sched``:
+
+* **cold** -- a fresh :class:`Interpreter` per run, so the measurement
+  includes decode and superblock code generation;
+* **warm** -- repeated runs on one interpreter whose per-function
+  caches are hot, measuring steady-state execution only.
+
+Wall-clock is the minimum over ``repeat`` runs (minimum, not mean:
+interpreter timing noise is one-sided).  Headline ``speedup`` is warm
+superblock over tree; the cold lane quantifies compile overhead.  All
+backends execute the exact same dynamic instruction stream, so the
 throughput ratio equals the wall-clock speedup.
 
 The JSON report (``BENCH_interp.json`` by convention) accumulates the
-repo's perf trajectory across PRs: CI uploads one per commit.
+repo's perf trajectory across PRs: CI uploads one per commit and gates
+on ``--min-geomean-speedup``.
 """
 
 from __future__ import annotations
@@ -21,11 +30,11 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bench import benchmark_names, compile_benchmark
 from repro.ir import Module
-from repro.runtime.interpreter import run_module
+from repro.runtime.interpreter import ExecutionResult, Interpreter
 from repro.runtime.machine import MachineConfig
 
 #: Benchmarks used by ``--quick`` (CI smoke): a small mix of control-
@@ -33,40 +42,78 @@ from repro.runtime.machine import MachineConfig
 QUICK_BENCHES = ("gzip", "mcf", "equake", "bzip2")
 
 
+def _geomean(values: Sequence[float]) -> float:
+    if not values:
+        return 1.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def _ratio(numer: float, denom: float) -> float:
+    return numer / denom if denom > 0 else float("inf")
+
+
 @dataclass
 class ProgramTiming:
-    """Timed comparison of both backends on one program."""
+    """Timed comparison of the three backends on one program.
+
+    ``decoded_seconds`` and ``superblock_seconds`` are the warm lane;
+    the ``*_cold_seconds`` twins include decode / code generation.
+    """
 
     name: str
     instructions: int
     tree_seconds: float
+    decoded_cold_seconds: float
     decoded_seconds: float
+    superblock_cold_seconds: float
+    superblock_seconds: float
 
     @property
     def speedup(self) -> float:
-        if self.decoded_seconds <= 0:
-            return float("inf")
-        return self.tree_seconds / self.decoded_seconds
+        """Headline ratio: warm superblock over the tree walker."""
+        return _ratio(self.tree_seconds, self.superblock_seconds)
+
+    @property
+    def decoded_speedup(self) -> float:
+        return _ratio(self.tree_seconds, self.decoded_seconds)
+
+    @property
+    def cold_speedup(self) -> float:
+        return _ratio(self.tree_seconds, self.superblock_cold_seconds)
+
+    @property
+    def codegen_overhead_seconds(self) -> float:
+        """Cold-minus-warm superblock time: decode + codegen cost."""
+        return max(0.0, self.superblock_cold_seconds - self.superblock_seconds)
 
     @property
     def tree_ips(self) -> float:
         return self.instructions / self.tree_seconds if self.tree_seconds else 0.0
 
     @property
-    def decoded_ips(self) -> float:
-        if self.decoded_seconds <= 0:
+    def superblock_ips(self) -> float:
+        if self.superblock_seconds <= 0:
             return 0.0
-        return self.instructions / self.decoded_seconds
+        return self.instructions / self.superblock_seconds
 
     def as_dict(self) -> dict:
         return {
             "name": self.name,
             "instructions": self.instructions,
             "tree_seconds": self.tree_seconds,
+            "decoded_cold_seconds": self.decoded_cold_seconds,
             "decoded_seconds": self.decoded_seconds,
+            "superblock_cold_seconds": self.superblock_cold_seconds,
+            "superblock_seconds": self.superblock_seconds,
             "tree_instr_per_sec": self.tree_ips,
-            "decoded_instr_per_sec": self.decoded_ips,
+            "superblock_instr_per_sec": self.superblock_ips,
             "speedup": self.speedup,
+            "decoded_speedup": self.decoded_speedup,
+            "cold_speedup": self.cold_speedup,
+            "codegen_overhead_seconds": self.codegen_overhead_seconds,
         }
 
 
@@ -80,12 +127,15 @@ class InterpBenchReport:
 
     @property
     def geomean_speedup(self) -> float:
-        if not self.programs:
-            return 1.0
-        product = 1.0
-        for timing in self.programs:
-            product *= timing.speedup
-        return product ** (1.0 / len(self.programs))
+        return _geomean([t.speedup for t in self.programs])
+
+    @property
+    def decoded_geomean_speedup(self) -> float:
+        return _geomean([t.decoded_speedup for t in self.programs])
+
+    @property
+    def cold_geomean_speedup(self) -> float:
+        return _geomean([t.cold_speedup for t in self.programs])
 
     @property
     def min_speedup(self) -> float:
@@ -101,10 +151,12 @@ class InterpBenchReport:
     def aggregate_speedup(self) -> float:
         """Total-time ratio: weights each program by its runtime."""
         tree = sum(t.tree_seconds for t in self.programs)
-        decoded = sum(t.decoded_seconds for t in self.programs)
-        if decoded <= 0:
-            return float("inf")
-        return tree / decoded
+        superblock = sum(t.superblock_seconds for t in self.programs)
+        return _ratio(tree, superblock)
+
+    @property
+    def codegen_overhead_seconds(self) -> float:
+        return sum(t.codegen_overhead_seconds for t in self.programs)
 
     def as_dict(self) -> dict:
         return {
@@ -114,8 +166,11 @@ class InterpBenchReport:
             "summary": {
                 "total_instructions": self.total_instructions,
                 "geomean_speedup": self.geomean_speedup,
+                "decoded_geomean_speedup": self.decoded_geomean_speedup,
+                "cold_geomean_speedup": self.cold_geomean_speedup,
                 "aggregate_speedup": self.aggregate_speedup,
                 "min_speedup": self.min_speedup,
+                "codegen_overhead_seconds": self.codegen_overhead_seconds,
             },
         }
 
@@ -125,31 +180,68 @@ class InterpBenchReport:
     def render(self) -> str:
         lines = [
             f"{'program':<10} {'instructions':>13} {'tree s':>8} "
-            f"{'decoded s':>9} {'speedup':>8}"
+            f"{'decoded s':>9} {'sb cold':>8} {'sb warm':>8} {'speedup':>8}"
         ]
         for t in self.programs:
             lines.append(
                 f"{t.name:<10} {t.instructions:>13,} {t.tree_seconds:>8.3f} "
-                f"{t.decoded_seconds:>9.3f} {t.speedup:>7.2f}x"
+                f"{t.decoded_seconds:>9.3f} {t.superblock_cold_seconds:>8.3f} "
+                f"{t.superblock_seconds:>8.3f} {t.speedup:>7.2f}x"
             )
         lines.append(
             f"{'geomean':<10} {self.total_instructions:>13,} "
             f"{sum(t.tree_seconds for t in self.programs):>8.3f} "
             f"{sum(t.decoded_seconds for t in self.programs):>9.3f} "
+            f"{sum(t.superblock_cold_seconds for t in self.programs):>8.3f} "
+            f"{sum(t.superblock_seconds for t in self.programs):>8.3f} "
             f"{self.geomean_speedup:>7.2f}x"
+        )
+        lines.append(
+            f"(vs decoded {self.decoded_geomean_speedup:.2f}x -> superblock "
+            f"gain {_ratio(self.geomean_speedup, self.decoded_geomean_speedup):.2f}x; "
+            f"cold {self.cold_geomean_speedup:.2f}x)"
         )
         return "\n".join(lines)
 
 
-def _time_backend(
-    module: Module, machine: MachineConfig, backend: str, repeat: int
-):
-    """Minimum wall-clock over ``repeat`` runs, plus the last result."""
+def _time_tree(
+    module: Module, machine: MachineConfig, repeat: int
+) -> Tuple[float, ExecutionResult]:
+    """Tree walker: no caches to warm, minimum over ``repeat`` runs."""
+    interp = Interpreter(module, machine, backend="tree")
     best = float("inf")
     result = None
-    for _ in range(repeat):
+    for _ in range(max(1, repeat)):
         start = time.perf_counter()
-        result = run_module(module, machine, backend=backend)
+        result = interp.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _time_cold(
+    module: Module, machine: MachineConfig, backend: str, repeat: int
+) -> Tuple[float, ExecutionResult]:
+    """Fresh interpreter per run: includes decode / codegen time."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        interp = Interpreter(module, machine, backend=backend)
+        start = time.perf_counter()
+        result = interp.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _time_warm(
+    module: Module, machine: MachineConfig, backend: str, repeat: int
+) -> Tuple[float, ExecutionResult]:
+    """One interpreter, caches pre-warmed by an untimed priming run."""
+    interp = Interpreter(module, machine, backend=backend)
+    result = interp.run()
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = interp.run()
         best = min(best, time.perf_counter() - start)
     return best, result
 
@@ -161,7 +253,7 @@ def run_interp_bench(
     machine: Optional[MachineConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> InterpBenchReport:
-    """Time both backends on ``benches`` and differential-check them.
+    """Time all three backends on ``benches`` and differential-check them.
 
     Raises :class:`AssertionError` if the backends ever disagree — the
     benchmark doubles as an end-to-end identity check.
@@ -173,19 +265,27 @@ def run_interp_bench(
         if progress:
             progress(name)
         module = compile_benchmark(name, scale)
-        tree_s, tree_r = _time_backend(module, machine, "tree", repeat)
-        decoded_s, decoded_r = _time_backend(module, machine, "decoded", repeat)
-        if tree_r.to_dict() != decoded_r.to_dict():  # pragma: no cover
-            raise AssertionError(
-                f"backend divergence on {name!r}: "
-                f"tree={tree_r.to_dict()} decoded={decoded_r.to_dict()}"
-            )
+        tree_s, tree_r = _time_tree(module, machine, repeat)
+        decoded_cold_s, _ = _time_cold(module, machine, "decoded", repeat)
+        decoded_s, decoded_r = _time_warm(module, machine, "decoded", repeat)
+        super_cold_s, _ = _time_cold(module, machine, "superblock", repeat)
+        super_s, super_r = _time_warm(module, machine, "superblock", repeat)
+        oracle = tree_r.to_dict()
+        for label, other in (("decoded", decoded_r), ("superblock", super_r)):
+            if oracle != other.to_dict():  # pragma: no cover - identity gate
+                raise AssertionError(
+                    f"backend divergence on {name!r}: tree={oracle} "
+                    f"{label}={other.to_dict()}"
+                )
         report.programs.append(
             ProgramTiming(
                 name=name,
                 instructions=tree_r.instructions,
                 tree_seconds=tree_s,
+                decoded_cold_seconds=decoded_cold_s,
                 decoded_seconds=decoded_s,
+                superblock_cold_seconds=super_cold_s,
+                superblock_seconds=super_s,
             )
         )
     return report

@@ -100,6 +100,11 @@ class SuiteReport:
     #: busy/stall/signal/transfer cycle totals on the baseline machine
     #: (:func:`repro.obs.timeline.timeline_block`).
     timeline: Dict[str, dict] = field(default_factory=dict)
+    #: Interpreter counters accumulated over this suite run (parent +
+    #: all workers): ``interp.backend.*`` selections plus the
+    #: ``interp.superblock.*`` / ``interp.codegen.*`` formation and
+    #: specialization statistics from :mod:`repro.runtime.codegen`.
+    interp: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -116,6 +121,7 @@ class SuiteReport:
             "analyses": self.analyses,
             "cache_traffic": self.cache_traffic,
             "timeline": self.timeline,
+            "interp": self.interp,
         }
 
     def to_json(self) -> str:
@@ -168,6 +174,7 @@ def run_suite(
     """
     machine = machine or MachineConfig(cores=6)
     start = time.perf_counter()
+    metrics_start = REGISTRY.snapshot()
 
     scratch = None
     cache_root = cache_dir
@@ -242,6 +249,15 @@ def run_suite(
         for bench in runner.benches():
             run = runner.helix_run(bench)
             report.timeline[bench] = timeline_block(run.executor)
+        # Interpreter counters this run accumulated (worker deltas were
+        # merged into the parent registry above, so one delta covers
+        # both inline and parallel execution).
+        interp_delta = metrics_delta(metrics_start, REGISTRY.snapshot())
+        report.interp = {
+            name: value
+            for name, value in interp_delta["counters"].items()
+            if name.startswith("interp.")
+        }
         report.wall_seconds = time.perf_counter() - start
         return fig9, report, runner
     finally:

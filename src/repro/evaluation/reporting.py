@@ -118,3 +118,21 @@ def format_analysis_stats(
         rows,
         title="Analysis manager statistics",
     )
+
+
+def format_interp_stats(counters: Dict[str, Union[int, float]]) -> str:
+    """Observability table for the interpreter tiers: one row per
+    ``interp.*`` counter.
+
+    ``counters`` is the ``interp``-prefixed slice of a registry
+    snapshot delta (see :attr:`SuiteReport.interp
+    <repro.evaluation.parallel_runner.SuiteReport.interp>`): backend
+    selections plus superblock formation / codegen specialization
+    totals.
+    """
+    rows: List[List[Cell]] = [
+        [name, int(counters[name])] for name in sorted(counters)
+    ]
+    return format_table(
+        ["counter", "value"], rows, title="Interpreter statistics"
+    )

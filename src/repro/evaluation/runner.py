@@ -344,8 +344,17 @@ class EvaluationRunner:
                 result = ExecutionResult.from_dict(payload)
                 outcome = "disk"
             else:
+                # Opportunistic hot-path hint: when the profile stage
+                # already ran, its block-entry counts steer superblock
+                # formation towards the hot CBR arms.  Never *forces*
+                # profiling, and never affects results -- the backend
+                # is bit-identical either way.
+                profile = self._profiles.get(bench)
                 result = run_module(
-                    ref, self.machine, backend=self.interp_backend
+                    ref,
+                    self.machine,
+                    backend=self.interp_backend,
+                    block_profile=profile.block_counts if profile else None,
                 )
                 self._disk_store("sequential", disk_key, result.to_dict())
                 outcome = "compute"

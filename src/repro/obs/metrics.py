@@ -8,8 +8,15 @@ summarised with one snapshot:
   from :class:`repro.evaluation.runner.StageStats`.
 * ``analysis.<name>.{hits,misses,invalidations}`` -- mirrored from
   :class:`repro.analysis.manager.AnalysisManager`.
-* ``interp.backend.{tree,hooked,decoded}`` -- interpreter backend
-  selections, counted once per ``run()``.
+* ``interp.backend.{tree,hooked,decoded,superblock}`` -- interpreter
+  backend selections, counted once per ``run()``.
+* ``interp.superblock.{formed,blocks_fused,fallbacks}`` -- superblock
+  formation totals and per-instruction fallback activations from
+  :mod:`repro.runtime.codegen` (a fallback means a budget could expire
+  inside a fused region, so the region re-ran on the decoded tier).
+* ``interp.codegen.{functions,specialized_ops}`` -- code-generated
+  function bodies and the fused/specialized instruction count
+  (compare+branch fusions, address+memory pairs, folded constants).
 * ``evalcache.{hits,misses,stores}.<stage>`` -- disk cache traffic from
   :class:`repro.evaluation.cache.EvaluationCache`.
 

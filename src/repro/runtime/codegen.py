@@ -1,0 +1,1021 @@
+"""Superblock-fused, code-generated interpreter backend (tier 3).
+
+The decoded backend (:mod:`repro.runtime.precompile`, tier 2) removed
+per-instruction dispatch and operand classification, but still pays one
+Python closure call per dynamic instruction plus a ``for eff in
+effects`` loop per block.  This module removes those too:
+
+* **Superblock formation** -- basic blocks are grouped into maximal
+  single-entry chains (superblocks).  A successor is fused into the
+  chain when it is the sole target of the chain's current terminator
+  (BR) or one arm of a CBR, and it has exactly one predecessor edge in
+  the function's CFG.  When the chain terminator is a CBR with both
+  arms fusable, the *hot* arm is chosen from
+  ``Interpreter.block_profile`` dynamic block-entry counts when
+  available, statically (first target) otherwise.  Chains are capped at
+  :data:`MAX_CHAIN_BLOCKS` blocks.
+* **Code generation / quickening** -- each superblock becomes one
+  generated Python function (``compile()``-ed once per
+  ``Interpreter``): registers are promoted to Python locals over the
+  tier-2 slot file, constants are folded into the source, arithmetic
+  and compare handlers are inlined (with the tree-walker's exact 64-bit
+  wrap semantics), compare+CBR pairs and LEA/PTRADD + LOADP/STOREP
+  pairs are fused, and cycle/instruction accounting is charged once per
+  segment instead of once per instruction.
+* **Exactness fallback** -- output, cycle and instruction counts,
+  ``RuntimeFault`` messages and ``ExecutionLimitExceeded`` behavior are
+  bit-identical to the tree-walker.  The driver only enters a
+  superblock when the instruction budget covers its whole linear body;
+  after every CALL (which consumes budget in the callee) the generated
+  code re-checks, and when the budget could expire inside the fused
+  region it flushes locals back to the slot file and resumes tier-2
+  execution via :func:`repro.runtime.precompile.finish_decoded` at the
+  aligned post-CALL segment boundary, whose per-instruction slow path
+  fires the limit at precisely the same dynamic instruction as the
+  walker.  Loop-shaped superblocks re-check the full body budget on
+  every back edge.
+
+Assumptions baked into the generated source (shared with tier 2):
+global regions are reset *in place* (their backing lists -- and hence
+their lengths -- are stable across runs), so bounds checks against
+known globals embed the region size as a literal.  The only tolerated
+divergence from the walker, as in tier 2: after a non-limit
+``RuntimeFault`` aborts a run mid-segment, the dead interpreter's
+counters may include instructions from the faulting segment that never
+executed (no result object is produced on a fault).
+
+Counters (:mod:`repro.obs.metrics`): ``interp.superblock.formed``,
+``interp.superblock.blocks_fused``, ``interp.codegen.specialized_ops``,
+``interp.codegen.functions`` at compile time and
+``interp.superblock.fallbacks`` per exactness-fallback activation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.ir import Function, Instruction, Opcode
+from repro.ir.operands import Const, Symbol, VReg
+from repro.ir.types import Type
+from repro.obs.metrics import REGISTRY
+from repro.runtime.interpreter import (
+    _BINARY_HANDLERS,
+    Pointer,
+    RuntimeFault,
+    _arith_div,
+    _arith_mod,
+    format_value,
+)
+from repro.runtime.precompile import (
+    _UNDEF,
+    DecodedFunction,
+    _ftoi,
+    _neg,
+    _not,
+    _undef,
+    finish_decoded,
+)
+
+_INF = float("inf")
+
+#: Upper bound on blocks fused into one superblock (bounds source size).
+MAX_CHAIN_BLOCKS = 64
+
+# 64-bit two's complement wrap, inlined: 2**63 and 2**64 - 1.
+_O = "9223372036854775808"
+_M = "18446744073709551615"
+
+#: Region/function names safe to splice verbatim into an f-string message.
+_SAFE_NAME_RE = re.compile(r"[A-Za-z0-9_.$@:\-]+\Z")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+_CMP_OPS = {
+    Opcode.EQ: "==",
+    Opcode.NE: "!=",
+    Opcode.LT: "<",
+    Opcode.LE: "<=",
+    Opcode.GT: ">",
+    Opcode.GE: ">=",
+}
+_ARITH_OPS = {Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*"}
+_BIT_OPS = {Opcode.AND: "&", Opcode.OR: "|", Opcode.XOR: "^"}
+_UNARY_FOLDS = {
+    Opcode.NEG: _neg,
+    Opcode.NOT: _not,
+    Opcode.ITOF: float,
+    Opcode.FTOI: _ftoi,
+}
+
+
+def _wrap(expr: str) -> str:
+    """Source form of ``wrap_int(expr)`` for a known-int expression."""
+    return f"((({expr}) + {_O}) & {_M}) - {_O}"
+
+
+def _literal(value) -> Optional[str]:
+    """Render ``value`` as a Python literal, or None if not exactly
+    representable (bools and non-finite floats are refused)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if isinstance(value, float) and not (
+        value == value and value not in (_INF, -_INF)
+    ):
+        return None
+    text = repr(value)
+    return f"({text})" if text.startswith("-") else text
+
+
+# -- superblock formation -----------------------------------------------------
+
+
+def _first_terminator(block) -> Optional[Instruction]:
+    for instr in block.instructions:
+        if instr.is_terminator:
+            return instr
+    return None
+
+
+def _fusable_successor(
+    func: Function,
+    term: Optional[Instruction],
+    claimed,
+    preds: Dict[str, int],
+    block_profile: Optional[Mapping[Tuple[str, str], int]],
+) -> Optional[str]:
+    """The block to extend the chain with, or None to stop."""
+    if term is None or term.opcode is Opcode.RET:
+        return None
+    blocks = func.blocks
+
+    def ok(name: str) -> bool:
+        return name in blocks and name not in claimed and preds.get(name, 0) == 1
+
+    if term.opcode is Opcode.BR:
+        target = term.targets[0]
+        return target if ok(target) else None
+    # CBR: fuse along any fusable arm; prefer the profiled-hot one.
+    candidates = [t for t in term.targets if ok(t)]
+    if not candidates:
+        return None
+    if block_profile and len(candidates) > 1:
+        fname = func.name
+        return max(candidates, key=lambda t: block_profile.get((fname, t), 0))
+    return candidates[0]
+
+
+def form_superblocks(
+    func: Function,
+    block_profile: Optional[Mapping[Tuple[str, str], int]] = None,
+) -> List[List[str]]:
+    """Partition ``func``'s blocks into single-entry chains.
+
+    Every block lands in exactly one chain; the entry block always
+    heads the first chain.  Interior blocks of a chain have exactly one
+    CFG predecessor (the fused edge), which guarantees that every side
+    exit of every chain targets a chain *head* -- the invariant the
+    generated code relies on to dispatch between superblocks.
+    """
+    blocks = func.blocks
+    terms = {name: _first_terminator(b) for name, b in blocks.items()}
+    preds: Dict[str, int] = {}
+    for term in terms.values():
+        if term is not None and term.opcode is not Opcode.RET:
+            for target in term.targets:
+                if target in blocks:
+                    preds[target] = preds.get(target, 0) + 1
+    entry_name = func.entry.name
+    order = [entry_name] + [n for n in blocks if n != entry_name]
+    claimed = set()
+    chains: List[List[str]] = []
+    for head in order:
+        if head in claimed:
+            continue
+        chain = [head]
+        claimed.add(head)
+        current = head
+        while len(chain) < MAX_CHAIN_BLOCKS:
+            nxt = _fusable_successor(
+                func, terms[current], claimed, preds, block_profile
+            )
+            if nxt is None:
+                break
+            chain.append(nxt)
+            claimed.add(nxt)
+            current = nxt
+        chains.append(chain)
+    return chains
+
+
+# -- compiled artifacts -------------------------------------------------------
+
+
+class Superblock:
+    """One compiled chain: its generated function plus fallback anchors."""
+
+    __slots__ = ("head", "chain", "run", "max_instructions", "dblock")
+
+    def __init__(self) -> None:
+        self.head = ""
+        self.chain: Tuple[str, ...] = ()
+        #: ``run(frame, limit)`` -> next Superblock or None (RET taken).
+        self.run = None
+        #: Linear instruction count of the whole chain: an upper bound
+        #: on what one pass (one loop iteration) can charge.
+        self.max_instructions = 0
+        #: Tier-2 decoded block of the head, for the exactness fallback.
+        self.dblock = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<superblock {'+'.join(self.chain)}>"
+
+
+class SuperblockFunction:
+    """All superblocks of one function, compiled against one interpreter."""
+
+    __slots__ = (
+        "func", "nslots", "param_slots", "entry", "blocks", "dfunc", "source"
+    )
+
+    def __init__(
+        self,
+        func: Function,
+        nslots: int,
+        param_slots: Tuple[int, ...],
+        entry: Superblock,
+        blocks: Dict[str, Superblock],
+        dfunc: DecodedFunction,
+        source: str,
+    ) -> None:
+        self.func = func
+        self.nslots = nslots
+        self.param_slots = param_slots
+        self.entry = entry
+        self.blocks = blocks
+        self.dfunc = dfunc
+        #: Generated Python source, kept for tests and debugging.
+        self.source = source
+
+
+# -- code generation ----------------------------------------------------------
+
+
+class _FunctionCodegen:
+    """Generates and compiles the superblock source for one function."""
+
+    def __init__(self, interp, func: Function, dfunc: DecodedFunction) -> None:
+        self.interp = interp
+        self.func = func
+        self.dfunc = dfunc
+        self.slot_map = dfunc.slot_map
+        self.cost_model = interp.cost_model
+        self.specialized = 0
+        #: Globals of the generated module: runtime objects pre-bound
+        #: under stable dunder names.
+        self.ns: Dict[str, object] = {
+            "__I": interp,
+            "__U": _UNDEF,
+            "__undef": _undef,
+            "__RF": RuntimeFault,
+            "__Ptr": Pointer,
+            "__fmt": format_value,
+            "__div": _arith_div,
+            "__mod": _arith_mod,
+            "__call": interp.call_function,
+            "__fin": finish_decoded,
+            "__inc": REGISTRY.inc,
+            "__fb": func.blocks,
+            "__FN": func.name,
+        }
+        self._binds: Dict[Tuple[str, int], str] = {}
+        self._ptr_cache: Dict[Tuple[int, object, str], str] = {}
+        #: VReg uid -> number of argument occurrences function-wide.
+        self.uses: Dict[int, int] = {}
+        for block in func.blocks.values():
+            for instr in block.instructions:
+                for arg in instr.args:
+                    if isinstance(arg, VReg):
+                        self.uses[arg.uid] = self.uses.get(arg.uid, 0) + 1
+
+    def bind(self, prefix: str, obj) -> str:
+        """Expose ``obj`` to the generated code under a memoized name."""
+        key = (prefix, id(obj))
+        name = self._binds.get(key)
+        if name is None:
+            name = f"__{prefix}{len(self._binds)}"
+            self._binds[key] = name
+            self.ns[name] = obj
+        return name
+
+    def pointer_for(self, store: List, base, name: str) -> str:
+        """A pre-built Pointer into a stable (global) region."""
+        key = (id(store), base, name)
+        bound = self._ptr_cache.get(key)
+        if bound is None:
+            bound = self.bind("ptr", Pointer(store, base, name))
+            self._ptr_cache[key] = bound
+        return bound
+
+    def cost(self, instr: Instruction) -> int:
+        is_float = instr.dest is not None and instr.dest.type is Type.FLOAT
+        return self.cost_model.cycles(instr.opcode, is_float)
+
+    def const_expr(self, operand: Const) -> str:
+        lit = _literal(operand.value)
+        return lit if lit is not None else self.bind("c", operand.value)
+
+    def fstr_name(self, name: str) -> str:
+        """Fragment rendering ``name`` inside a generated f-string."""
+        if _SAFE_NAME_RE.match(name):
+            return name
+        return "{" + self.bind("nm", name) + "}"
+
+    def build(self) -> SuperblockFunction:
+        func = self.func
+        chains = form_superblocks(func, self.interp.block_profile)
+        sblocks: Dict[str, Superblock] = {}
+        sb_names: Dict[str, str] = {}
+        for i, chain in enumerate(chains):
+            sb = Superblock()
+            sb.head = chain[0]
+            sb.chain = tuple(chain)
+            sb.dblock = self.dfunc.blocks[chain[0]]
+            sblocks[chain[0]] = sb
+            sb_names[chain[0]] = self.bind("SB", sb)
+        parts = [
+            _ChainEmitter(self, chain, i, sblocks[chain[0]], sb_names).render()
+            for i, chain in enumerate(chains)
+        ]
+        source = "\n".join(parts)
+        code = compile(source, f"<superblocks:{func.name}>", "exec")
+        exec(code, self.ns)
+        for i, chain in enumerate(chains):
+            sblocks[chain[0]].run = self.ns[f"__sb{i}"]
+        REGISTRY.inc("interp.superblock.formed", len(chains))
+        REGISTRY.inc(
+            "interp.superblock.blocks_fused",
+            sum(len(chain) - 1 for chain in chains),
+        )
+        if self.specialized:
+            REGISTRY.inc("interp.codegen.specialized_ops", self.specialized)
+        REGISTRY.inc("interp.codegen.functions")
+        return SuperblockFunction(
+            func,
+            self.dfunc.nslots,
+            self.dfunc.param_slots,
+            sblocks[func.entry.name],
+            sblocks,
+            self.dfunc,
+            source,
+        )
+
+
+class _ChainEmitter:
+    """Renders one superblock chain as one generated Python function.
+
+    Layout of the generated function (loop form adds ``while True:``)::
+
+        def __sb3(frame, __limit):
+            __i = __I
+            s = frame.slots
+            <charge segment>; <ops>; ...; <exit: return <Superblock>|None>
+
+    Registers live in locals ``r<slot>`` (lazily loaded from the slot
+    file with the walker's undefined-register check) and are flushed
+    back to ``frame.slots`` at every exit, back edge and fallback so
+    tier-2 can resume from consistent state.  Charges are emitted
+    *before* each segment's operations, exactly like tier 2's fast
+    path; a segment that follows a CALL first re-checks the remaining
+    linear budget and diverts to :func:`finish_decoded` when the limit
+    could expire before the chain ends.
+    """
+
+    def __init__(self, g: _FunctionCodegen, chain, index, sb, sb_names) -> None:
+        self.g = g
+        self.chain = chain
+        self.index = index
+        self.sb = sb
+        self.sb_names = sb_names
+        self.blocks = g.func.blocks
+        # Prescan: linear instruction total and loop shape.
+        total = 0
+        loop_form = False
+        for name in chain:
+            block = self.blocks[name]
+            term = _first_terminator(block)
+            if term is None:
+                total += len(block.instructions)
+            else:
+                total += block.instructions.index(term) + 1
+                if term.opcode is not Opcode.RET and chain[0] in term.targets:
+                    loop_form = True
+        self.total = total
+        self.loop_form = loop_form
+        sb.max_instructions = total
+        self.indent = "        " if loop_form else "    "
+        self.lines: List[str] = []
+        self.buf: List[str] = []
+        self.seg_count = 0
+        self.seg_cycles = 0
+        self.charged = 0
+        self.pending_check: Optional[Tuple[str, int]] = None
+        self.pending_cond: Optional[str] = None
+        self.defined: set = set()
+        self.written_prev: Dict[int, bool] = {}
+        self.written_cur: Dict[int, bool] = {}
+        self.local_regions: Dict[str, str] = {}
+        self._tmp = 0
+
+    # -- small helpers -------------------------------------------------------
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"__t{self._tmp}"
+
+    def emit(self, line: str, extra: str = "") -> None:
+        self.lines.append(self.indent + extra + line)
+
+    def flush_buf(self) -> None:
+        ind = self.indent
+        self.lines.extend(ind + line for line in self.buf)
+        self.buf = []
+
+    def as_name(self, expr: str) -> str:
+        """Materialize ``expr`` into a local if it isn't a plain name."""
+        if _IDENT_RE.match(expr):
+            return expr
+        name = self.tmp()
+        self.buf.append(f"{name} = {expr}")
+        return name
+
+    def charge_op(self, instr: Instruction) -> None:
+        self.seg_count += 1
+        self.seg_cycles += self.g.cost(instr)
+
+    # -- operand access ------------------------------------------------------
+
+    def read(self, operand) -> str:
+        g = self.g
+        if isinstance(operand, Const):
+            return g.const_expr(operand)
+        if isinstance(operand, VReg):
+            slot = g.slot_map[operand.uid]
+            name = f"r{slot}"
+            if slot not in self.defined:
+                self.defined.add(slot)
+                reg = g.bind("vr", operand)
+                self.buf.append(f"{name} = s[{slot}]")
+                self.buf.append(f"if {name} is __U:")
+                self.buf.append(f"    __undef({reg}, __FN)")
+            return name
+        return self.sym_pointer(operand)
+
+    def sym_pointer(self, sym: Symbol) -> str:
+        """A Symbol operand decaying to a Pointer, as in eval_operand."""
+        g = self.g
+        if sym.is_global:
+            store = g.interp.memory.get(sym.name)
+            if store is not None:
+                g.specialized += 1
+                return g.pointer_for(store, 0, sym.name)
+            sname = g.bind("sym", sym)
+            name = self.tmp()
+            self.buf.append(
+                f"{name} = __Ptr(__i.region_of({sname}, frame), 0, "
+                f"{sym.name!r})"
+            )
+            return name
+        region = self.local_store(sym)
+        name = self.tmp()
+        self.buf.append(f"{name} = __Ptr({region}, 0, {sym.name!r})")
+        return name
+
+    def local_store(self, sym: Symbol) -> str:
+        name = self.local_regions.get(sym.name)
+        if name is None:
+            sname = self.g.bind("sym", sym)
+            name = f"__lm{len(self.local_regions)}"
+            self.local_regions[sym.name] = name
+            self.buf.append(f"{name} = frame.local_region({sname})")
+        return name
+
+    def store_ref(self, sym: Symbol) -> Tuple[str, Optional[int]]:
+        """(store expression, static size or None) for LEA/LOADG/STOREG.
+
+        Emitted *after* the index read, matching the walker's operand
+        order.  Known-global and local region sizes are static: regions
+        are reset in place and never resized.
+        """
+        g = self.g
+        if sym.is_global:
+            store = g.interp.memory.get(sym.name)
+            if store is not None:
+                return g.bind("st", store), len(store)
+            sname = g.bind("sym", sym)
+            name = self.tmp()
+            self.buf.append(f"{name} = __i.region_of({sname}, frame)")
+            return name, None
+        return self.local_store(sym), sym.size
+
+    def wreg(self, reg: VReg) -> str:
+        slot = self.g.slot_map[reg.uid]
+        self.defined.add(slot)
+        self.written_cur[slot] = True
+        return f"r{slot}"
+
+    def bounds(self, kind: str, name_frag: str, index: str,
+               store: str, size: Optional[int]) -> None:
+        """Emit the walker's bounds check + fault message."""
+        if size is not None:
+            self.buf.append(f"if {index} < 0 or {index} >= {size}:")
+            self.buf.append(
+                f'    raise __RF(f"{kind} out of bounds: '
+                f'{name_frag}[{{{index}}}] (size {size})")'
+            )
+        else:
+            self.buf.append(f"if {index} < 0 or {index} >= len({store}):")
+            self.buf.append(
+                f'    raise __RF(f"{kind} out of bounds: '
+                f'{name_frag}[{{{index}}}] (size {{len({store})}})")'
+            )
+
+    # -- segment charging ----------------------------------------------------
+
+    def close_segment(self, new_check: Optional[Tuple[str, int]] = None) -> None:
+        """Emit the pending charge block, then the buffered op lines.
+
+        When a CALL preceded this segment (``pending_check``), the
+        charge is guarded by a conservative remaining-budget test: if
+        the rest of the chain's linear body might not fit, flush the
+        locals *written by already-executed segments* and resume tier-2
+        at the aligned post-CALL segment of the call's block.
+        """
+        out = self.lines
+        ind = self.indent
+        count, cycles = self.seg_count, self.seg_cycles
+        check = self.pending_check
+        if check is not None and count:
+            dbname, seg_index = check
+            remaining = self.total - self.charged
+            out.append(f"{ind}__n = __i.instructions")
+            out.append(f"{ind}if __n + {remaining} > __limit:")
+            for slot in self.written_prev:
+                out.append(f"{ind}    s[{slot}] = r{slot}")
+            out.append(f"{ind}    __inc('interp.superblock.fallbacks')")
+            out.append(f"{ind}    __fin(__i, frame, {dbname}, {seg_index}, __limit)")
+            out.append(f"{ind}    return None")
+            out.append(f"{ind}__i.instructions = __n + {count}")
+            if cycles:
+                out.append(f"{ind}__i.cycles += {cycles}")
+            self.pending_check = None
+        else:
+            if count:
+                out.append(f"{ind}__i.instructions += {count}")
+            if cycles:
+                out.append(f"{ind}__i.cycles += {cycles}")
+        out.extend(ind + line for line in self.buf)
+        self.buf = []
+        self.charged += count
+        self.seg_count = 0
+        self.seg_cycles = 0
+        self.written_prev.update(self.written_cur)
+        self.written_cur.clear()
+        if new_check is not None:
+            self.pending_check = new_check
+
+    # -- exits ---------------------------------------------------------------
+
+    def exit_lines(self, target: str, extra: str) -> None:
+        """Leave the superblock towards ``target`` (always a chain head)."""
+        out = self.lines
+        ind = self.indent + extra
+        if self.loop_form and target == self.chain[0]:
+            # Back edge: next iteration re-charges the full linear body,
+            # so re-check it; over budget -> let the driver fall back.
+            out.append(f"{ind}if __i.instructions + {self.total} > __limit:")
+            for slot in self.written_prev:
+                out.append(f"{ind}    s[{slot}] = r{slot}")
+            out.append(f"{ind}    return {self.sb_names[target]}")
+            for slot in self.written_prev:
+                out.append(f"{ind}s[{slot}] = r{slot}")
+            out.append(f"{ind}continue")
+            return
+        if target not in self.blocks:
+            # Dangling branch target: KeyError, like the walker's
+            # func.blocks[name] lookup.
+            out.append(f"{ind}__fb[{target!r}]")
+            return
+        for slot in self.written_prev:
+            out.append(f"{ind}s[{slot}] = r{slot}")
+        out.append(f"{ind}return {self.sb_names[target]}")
+
+    # -- instruction emission ------------------------------------------------
+
+    def emit_op(self, instr: Instruction, nxt: Optional[Instruction]) -> int:
+        """Emit one non-terminator op (or a fused pair); returns the
+        number of instructions consumed."""
+        g = self.g
+        buf = self.buf
+        op = instr.opcode
+
+        # LEA/PTRADD + LOADP/STOREP pair fusion: the intermediate
+        # pointer register is consumed exactly once, by the next op.
+        if (
+            op in (Opcode.LEA, Opcode.PTRADD)
+            and instr.dest is not None
+            and nxt is not None
+            and nxt.opcode in (Opcode.LOADP, Opcode.STOREP)
+            and isinstance(nxt.args[0], VReg)
+            and nxt.args[0].uid == instr.dest.uid
+            and g.uses.get(instr.dest.uid, 0) == 1
+        ):
+            self.emit_pair(instr, nxt)
+            return 2
+
+        if op is Opcode.MOV:
+            self.charge_op(instr)
+            expr = self.read(instr.args[0])
+            buf.append(f"{self.wreg(instr.dest)} = {expr}")
+            return 1
+
+        handler = _BINARY_HANDLERS.get(op)
+        if handler is not None:
+            self.charge_op(instr)
+            a_op, b_op = instr.args
+            # compare + CBR fusion: skip the register store, stash the
+            # condition expression for the terminator.
+            if (
+                op in _CMP_OPS
+                and nxt is not None
+                and nxt.opcode is Opcode.CBR
+                and isinstance(nxt.args[0], VReg)
+                and nxt.args[0].uid == instr.dest.uid
+                and g.uses.get(instr.dest.uid, 0) == 1
+            ):
+                a = self.read(a_op)
+                b = self.read(b_op)
+                self.pending_cond = f"{a} {_CMP_OPS[op]} {b}"
+                g.specialized += 1
+                return 1
+            if isinstance(a_op, Const) and isinstance(b_op, Const):
+                try:
+                    value = handler(a_op.value, b_op.value)
+                except Exception:
+                    value = None
+                else:
+                    lit = _literal(value)
+                    if lit is not None:
+                        buf.append(f"{self.wreg(instr.dest)} = {lit}")
+                        g.specialized += 1
+                        return 1
+            a = self.read(a_op)
+            b = self.read(b_op)
+            dest = self.wreg(instr.dest)
+            if op in _CMP_OPS:
+                buf.append(f"{dest} = 1 if {a} {_CMP_OPS[op]} {b} else 0")
+            elif op in _ARITH_OPS:
+                t = self.tmp()
+                buf.append(f"{t} = {a} {_ARITH_OPS[op]} {b}")
+                buf.append(
+                    f"{dest} = ({_wrap(t)}) if isinstance({t}, int) else {t}"
+                )
+            elif op in _BIT_OPS:
+                buf.append(f"{dest} = {_wrap(f'{a} {_BIT_OPS[op]} {b}')}")
+            elif op is Opcode.DIV:
+                buf.append(f"{dest} = __div({a}, {b})")
+            elif op is Opcode.MOD:
+                buf.append(f"{dest} = __mod({a}, {b})")
+            else:  # SHL / SHR
+                buf.append(f"if {b} < 0 or {b} > 63:")
+                buf.append(
+                    f'    raise __RF(f"shift amount {{{b}}} out of range")'
+                )
+                if op is Opcode.SHL:
+                    buf.append(f"{dest} = {_wrap(f'{a} << {b}')}")
+                else:
+                    buf.append(f"{dest} = {a} >> {b}")
+            return 1
+
+        fold = _UNARY_FOLDS.get(op)
+        if fold is not None:
+            self.charge_op(instr)
+            a_op = instr.args[0]
+            if isinstance(a_op, Const):
+                try:
+                    lit = _literal(fold(a_op.value))
+                except Exception:
+                    lit = None
+                if lit is not None:
+                    buf.append(f"{self.wreg(instr.dest)} = {lit}")
+                    g.specialized += 1
+                    return 1
+            a = self.read(a_op)
+            dest = self.wreg(instr.dest)
+            if op is Opcode.NEG:
+                buf.append(
+                    f"{dest} = ({_wrap(f'-{a}')}) "
+                    f"if isinstance({a}, int) else -{a}"
+                )
+            elif op is Opcode.NOT:
+                buf.append(f"{dest} = 1 if {a} == 0 else 0")
+            elif op is Opcode.ITOF:
+                buf.append(f"{dest} = float({a})")
+            else:  # FTOI
+                buf.append(f"{dest} = {_wrap(f'int({a})')}")
+            return 1
+
+        if op is Opcode.LEA:
+            self.charge_op(instr)
+            sym = instr.args[0]
+            idx_op = instr.args[1]
+            store = g.interp.memory.get(sym.name) if sym.is_global else None
+            if store is not None and isinstance(idx_op, Const):
+                pointer = g.pointer_for(store, idx_op.value, sym.name)
+                buf.append(f"{self.wreg(instr.dest)} = {pointer}")
+                g.specialized += 1
+                return 1
+            index = self.read(idx_op)
+            region, _size = self.store_ref(sym)
+            buf.append(
+                f"{self.wreg(instr.dest)} = __Ptr({region}, {index}, "
+                f"{sym.name!r})"
+            )
+            return 1
+
+        if op is Opcode.PTRADD:
+            self.charge_op(instr)
+            ptr = self.read(instr.args[0])
+            delta = self.read(instr.args[1])
+            p = self.as_name(ptr)
+            buf.append(f"if not isinstance({p}, __Ptr):")
+            buf.append(f'    raise __RF(f"PTRADD on non-pointer {{{p}!r}}")')
+            buf.append(
+                f"{self.wreg(instr.dest)} = "
+                f"__Ptr({p}.store, {p}.base + {delta}, {p}.region)"
+            )
+            return 1
+
+        if op is Opcode.LOADG or op is Opcode.STOREG:
+            self.charge_op(instr)
+            sym = instr.args[0]
+            kind = "load" if op is Opcode.LOADG else "store"
+            index = self.read(instr.args[1])
+            value = self.read(instr.args[2]) if op is Opcode.STOREG else None
+            region, size = self.store_ref(sym)
+            idx_op = instr.args[1]
+            if size is not None and isinstance(idx_op, Const) and not isinstance(
+                idx_op.value, bool
+            ) and isinstance(idx_op.value, int):
+                # Statically decidable bounds: elide the check, or fault
+                # unconditionally with the walker's exact message.
+                if 0 <= idx_op.value < size:
+                    g.specialized += 1
+                else:
+                    msg = (
+                        f"{kind} out of bounds: {sym.name}[{idx_op.value}] "
+                        f"(size {size})"
+                    )
+                    buf.append(f"raise __RF({msg!r})")
+                    return 1
+            else:
+                self.bounds(kind, g.fstr_name(sym.name), index, region, size)
+            if op is Opcode.LOADG:
+                buf.append(f"{self.wreg(instr.dest)} = {region}[{index}]")
+            else:
+                buf.append(f"{region}[{index}] = {value}")
+            return 1
+
+        if op is Opcode.LOADP or op is Opcode.STOREP:
+            self.charge_op(instr)
+            kind = "load" if op is Opcode.LOADP else "store"
+            opname = "LOADP" if op is Opcode.LOADP else "STOREP"
+            ptr = self.read(instr.args[0])
+            index = self.read(instr.args[1])
+            value = self.read(instr.args[2]) if op is Opcode.STOREP else None
+            p = self.as_name(ptr)
+            buf.append(f"if not isinstance({p}, __Ptr):")
+            buf.append(
+                f'    raise __RF(f"{opname} on non-pointer {{{p}!r}}")'
+            )
+            slot = self.tmp()
+            buf.append(f"{slot} = {p}.base + {index}")
+            store = self.tmp()
+            buf.append(f"{store} = {p}.store")
+            self.bounds(kind, f"{{{p}.region}}", slot, store, None)
+            if op is Opcode.LOADP:
+                buf.append(f"{self.wreg(instr.dest)} = {store}[{slot}]")
+            else:
+                buf.append(f"{store}[{slot}] = {value}")
+            return 1
+
+        if op is Opcode.CALL:
+            self.charge_op(instr)
+            args = [self.read(a) for a in instr.args]
+            callee = g.interp.module.functions.get(instr.callee)
+            arglist = ", ".join(args)
+            if callee is not None:
+                call = f"__call({g.bind('fn', callee)}, [{arglist}])"
+            else:
+                # Unknown callee: KeyError at execution, like the walker.
+                call = (
+                    f"__call(__i.module.functions[{instr.callee!r}], "
+                    f"[{arglist}])"
+                )
+            if instr.dest is not None:
+                buf.append(f"{self.wreg(instr.dest)} = {call}")
+            else:
+                buf.append(call)
+            return 1
+
+        if op is Opcode.PRINT:
+            self.charge_op(instr)
+            expr = self.read(instr.args[0])
+            buf.append(f"__i.output.append(__fmt({expr}))")
+            return 1
+
+        if op in (Opcode.WAIT, Opcode.SIGNAL, Opcode.NEXT_ITER, Opcode.XFER):
+            # Timing-only in the fast variant: charge, no effect.
+            self.charge_op(instr)
+            return 1
+
+        # Verifier-rejected shapes: fault at execution, like the walker.
+        self.charge_op(instr)  # pragma: no cover - defensive
+        buf.append(f"raise __RF({f'cannot execute opcode {op}'!r})")
+        return 1
+
+    def emit_pair(self, first: Instruction, second: Instruction) -> None:
+        """Fused LEA/PTRADD + LOADP/STOREP: the Pointer is never built."""
+        g = self.g
+        buf = self.buf
+        self.charge_op(first)
+        self.charge_op(second)
+        g.specialized += 2
+        kind = "load" if second.opcode is Opcode.LOADP else "store"
+        if first.opcode is Opcode.LEA:
+            sym = first.args[0]
+            base = self.read(first.args[1])
+            region, size = self.store_ref(sym)
+            index = self.read(second.args[1])
+            value = (
+                self.read(second.args[2])
+                if second.opcode is Opcode.STOREP
+                else None
+            )
+            slot = self.tmp()
+            buf.append(f"{slot} = {base} + {index}")
+            self.bounds(kind, g.fstr_name(sym.name), slot, region, size)
+            if second.opcode is Opcode.LOADP:
+                buf.append(f"{self.wreg(second.dest)} = {region}[{slot}]")
+            else:
+                buf.append(f"{region}[{slot}] = {value}")
+            return
+        # PTRADD + LOADP/STOREP
+        ptr = self.read(first.args[0])
+        delta = self.read(first.args[1])
+        p = self.as_name(ptr)
+        buf.append(f"if not isinstance({p}, __Ptr):")
+        buf.append(f'    raise __RF(f"PTRADD on non-pointer {{{p}!r}}")')
+        index = self.read(second.args[1])
+        value = (
+            self.read(second.args[2])
+            if second.opcode is Opcode.STOREP
+            else None
+        )
+        slot = self.tmp()
+        buf.append(f"{slot} = {p}.base + {delta} + {index}")
+        store = self.tmp()
+        buf.append(f"{store} = {p}.store")
+        self.bounds(kind, f"{{{p}.region}}", slot, store, None)
+        if second.opcode is Opcode.LOADP:
+            buf.append(f"{self.wreg(second.dest)} = {store}[{slot}]")
+        else:
+            buf.append(f"{store}[{slot}] = {value}")
+
+    # -- terminators ---------------------------------------------------------
+
+    def emit_terminator(
+        self, instr: Instruction, next_name: Optional[str]
+    ) -> None:
+        op = instr.opcode
+        self.seg_count += 1
+        self.seg_cycles += self.g.cost(instr)
+        if op is Opcode.RET:
+            self.close_segment()
+            if instr.args:
+                expr = self.read(instr.args[0])
+                self.flush_buf()
+                self.emit(f"frame.ret = {expr}")
+            # Slots die with the frame on RET: no flush needed.
+            self.emit("return None")
+            return
+        if op is Opcode.BR:
+            target = instr.targets[0]
+            if target == next_name:
+                # Fused fallthrough: the charge folds into the running
+                # segment; no control flow is emitted at all.
+                return
+            self.close_segment()
+            self.exit_lines(target, "")
+            return
+        # CBR
+        self.close_segment()
+        cond_op = instr.args[0]
+        if self.pending_cond is not None:
+            cond = self.pending_cond
+            self.pending_cond = None
+            self.flush_buf()
+        elif isinstance(cond_op, Const):
+            taken = instr.targets[0] if cond_op.value != 0 else instr.targets[1]
+            self.g.specialized += 1
+            if taken != next_name:
+                self.exit_lines(taken, "")
+            return
+        else:
+            expr = self.read(cond_op)
+            self.flush_buf()
+            cond = f"{expr} != 0"
+        t0, t1 = instr.targets[0], instr.targets[1]
+        if t0 == next_name:
+            self.emit(f"if not ({cond}):")
+            self.exit_lines(t1, "    ")
+        elif t1 == next_name:
+            self.emit(f"if {cond}:")
+            self.exit_lines(t0, "    ")
+        else:
+            self.emit(f"if {cond}:")
+            self.exit_lines(t0, "    ")
+            self.exit_lines(t1, "")
+
+    # -- chain rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        g = self.g
+        head = [
+            f"def __sb{self.index}(frame, __limit):",
+            "    __i = __I",
+            "    s = frame.slots",
+        ]
+        if self.loop_form:
+            head.append("    while True:")
+        for pos, name in enumerate(self.chain):
+            block = self.blocks[name]
+            dbname = g.bind("db", g.dfunc.blocks[name])
+            next_name = self.chain[pos + 1] if pos + 1 < len(self.chain) else None
+            calls_seen = 0
+            instructions = block.instructions
+            terminated = False
+            i = 0
+            while i < len(instructions):
+                instr = instructions[i]
+                if instr.is_terminator:
+                    self.emit_terminator(instr, next_name)
+                    terminated = True
+                    break
+                nxt = instructions[i + 1] if i + 1 < len(instructions) else None
+                consumed = self.emit_op(instr, nxt)
+                if instr.opcode is Opcode.CALL:
+                    # Tier-2 segments split after every CALL; anchoring
+                    # the budget re-check here keeps both backends'
+                    # resume points aligned.
+                    calls_seen += 1
+                    self.close_segment(new_check=(dbname, calls_seen))
+                i += consumed
+            if not terminated:
+                msg = f"block {name} fell through without terminator"
+                self.buf.append(f"raise __RF({msg!r})")
+                self.close_segment()
+        return "\n".join(head + self.lines) + "\n"
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def compile_superblocks(
+    interp, func: Function, dfunc: DecodedFunction
+) -> SuperblockFunction:
+    """Form, generate and compile all superblocks of ``func``."""
+    return _FunctionCodegen(interp, func, dfunc).build()
+
+
+def execute_superblocks(interp, sfunc: SuperblockFunction, frame) -> object:
+    """Run one activation over compiled superblocks to its RET.
+
+    A superblock is only entered when the remaining instruction budget
+    covers its entire linear body; otherwise the activation finishes on
+    tier-2's exact per-instruction path from the same block, so
+    ``ExecutionLimitExceeded`` fires at precisely the same dynamic
+    instruction as the tree-walker.
+    """
+    limit = interp.max_instructions
+    if limit is None:
+        limit = _INF
+    sb = sfunc.entry
+    while True:
+        if interp.instructions + sb.max_instructions > limit:
+            REGISTRY.inc("interp.superblock.fallbacks")
+            finish_decoded(interp, frame, sb.dblock, 0, limit)
+            return frame.ret
+        nxt = sb.run(frame, limit)
+        if nxt is None:
+            return frame.ret
+        sb = nxt

@@ -17,24 +17,30 @@ Integer semantics are C-like: 64-bit two's-complement wrap-around,
 truncating division.  This keeps benchmark programs (hash functions, RNGs)
 deterministic and portable.
 
-Two execution backends share these semantics (selected per activation by
-:meth:`Interpreter.call_function`):
+Three execution backends share these semantics (selected per activation
+by :meth:`Interpreter.call_function`):
 
 * the **tree-walker** in this module -- simple, hookable everywhere, and
   the reference for subclasses that override the core execution methods;
 * the **pre-decoded backend** (:mod:`repro.runtime.precompile`) -- each
   function is lowered once to slot-allocated, closure-compiled blocks and
-  runs several times faster.  It is selected automatically whenever it
-  can reproduce the tree-walker bit-for-bit: uninstrumented runs use its
-  fast variant, listener/hook users (profiler, parallel executor) its
-  hooked variant, and subclasses that override ``exec_instr``-level
-  methods fall back to the tree-walker.
+  runs several times faster;
+* the **superblock backend** (:mod:`repro.runtime.codegen`) -- basic
+  blocks are fused into single-entry superblocks and each superblock is
+  code-generated into one compiled Python function, removing the
+  per-instruction closure calls entirely.
+
+Selection is automatic and always bit-identical to the tree-walker:
+uninstrumented runs use the superblock backend, listener/hook users
+(profiler, parallel executor) the decoded backend's hooked variant, and
+subclasses that override ``exec_instr``-level methods fall back to the
+tree-walker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ir import BasicBlock, Function, Instruction, Module, Opcode
 from repro.ir.operands import Const, Operand, Symbol, VReg
@@ -181,13 +187,14 @@ _TREE_FORCING = frozenset(
 _HOOK_FORCING = frozenset({"on_block_entry", "exec_sync", "exec_xfer"})
 
 #: Backend modes resolved per activation.
-_BACKEND_TREE, _BACKEND_HOOKED, _BACKEND_FAST = 0, 1, 2
+_BACKEND_TREE, _BACKEND_HOOKED, _BACKEND_FAST, _BACKEND_SUPER = 0, 1, 2, 3
 
 #: Registry counter names, indexed by backend mode.
 _BACKEND_COUNTERS = (
     "interp.backend.tree",
     "interp.backend.hooked",
     "interp.backend.decoded",
+    "interp.backend.superblock",
 )
 
 
@@ -199,10 +206,20 @@ class Interpreter:
     :meth:`eval_operand` to execute individual instructions.
 
     ``backend`` selects the execution engine: ``"auto"`` (default) uses
-    the pre-decoded backend whenever it is bit-identical to the
-    tree-walker and falls back otherwise, ``"tree"`` always tree-walks,
-    and ``"decoded"`` asserts that the decoded backend is usable (raising
-    ``ValueError`` for subclasses that override core execution methods).
+    the fastest backend that is bit-identical to the tree-walker (the
+    superblock backend for uninstrumented runs, the decoded backend's
+    hooked variant for listener/hook users) and falls back otherwise,
+    ``"tree"`` always tree-walks, while ``"decoded"`` and
+    ``"superblock"`` pin the fast path to one engine and assert that it
+    is usable (raising ``ValueError`` for subclasses that override core
+    execution methods).
+
+    ``block_profile`` optionally supplies dynamic block-entry counts
+    keyed ``(function name, block name)`` (the shape of
+    :attr:`repro.runtime.profiler.ProfileData.block_counts`); the
+    superblock backend uses them to pick hot branch directions when
+    fusing across conditional branches.  Purely a performance hint --
+    never affects semantics.
     """
 
     def __init__(
@@ -211,8 +228,9 @@ class Interpreter:
         machine: Optional[MachineConfig] = None,
         max_instructions: Optional[int] = 500_000_000,
         backend: str = "auto",
+        block_profile: Optional[Mapping[Tuple[str, str], int]] = None,
     ) -> None:
-        if backend not in ("auto", "decoded", "tree"):
+        if backend not in ("auto", "superblock", "decoded", "tree"):
             raise ValueError(f"unknown interpreter backend {backend!r}")
         self.module = module
         self.machine = machine or MachineConfig()
@@ -237,6 +255,7 @@ class Interpreter:
         self.count_loads = False
         self.load_count = 0
         self.backend = backend
+        self.block_profile = dict(block_profile) if block_profile else None
         cls = type(self)
         core_overrides = sorted(
             name
@@ -244,10 +263,10 @@ class Interpreter:
             if getattr(cls, name) is not getattr(Interpreter, name)
         )
         core_overridden = bool(core_overrides)
-        if backend == "decoded" and core_overridden:
+        if backend in ("decoded", "superblock") and core_overridden:
             raise ValueError(
                 f"{cls.__name__} overrides core execution methods "
-                f"({', '.join(core_overrides)}); the decoded backend "
+                f"({', '.join(core_overrides)}); the {backend} backend "
                 "cannot honor them"
             )
         self._force_tree = backend == "tree" or core_overridden
@@ -257,11 +276,14 @@ class Interpreter:
         )
         #: (function name, hooked, counting loads) -> DecodedFunction.
         self._decoded: Dict[Tuple[str, bool, bool], object] = {}
+        #: function name -> SuperblockFunction (codegen backend cache).
+        self._superblocks: Dict[str, object] = {}
         # Imported here (not at module top) to break the import cycle;
         # by construction time repro.runtime is fully initialized.
-        from repro.runtime import precompile
+        from repro.runtime import codegen, precompile
 
         self._precompile = precompile
+        self._codegen = codegen
         self.reset_memory()
 
     # -- memory ------------------------------------------------------------
@@ -324,7 +346,9 @@ class Interpreter:
             or (self.__dict__.keys() & _HOOK_FORCING)
         ):
             return _BACKEND_HOOKED
-        return _BACKEND_FAST
+        if self.backend == "decoded":
+            return _BACKEND_FAST
+        return _BACKEND_SUPER
 
     def call_function(self, func: Function, args: Sequence) -> object:
         """Run one activation of ``func`` and return its value."""
@@ -339,7 +363,9 @@ class Interpreter:
         if self.call_listener is not None:
             self.call_listener(func.name, True, self.cycles)
         mode = self._backend_mode()
-        if mode == _BACKEND_TREE:
+        if mode == _BACKEND_SUPER:
+            value = self._call_super(func, args)
+        elif mode == _BACKEND_TREE:
             value = self._call_tree(func, args)
         else:
             value = self._call_decoded(func, args, mode == _BACKEND_HOOKED)
@@ -381,6 +407,26 @@ class Interpreter:
         for slot, value in zip(dfunc.param_slots, args):
             slots[slot] = value
         return precompile.execute_decoded(self, dfunc, frame, hooked)
+
+    def _call_super(self, func: Function, args: Sequence) -> object:
+        """Superblock code-generated activation; compiles on first use."""
+        codegen = self._codegen
+        sfunc = self._superblocks.get(func.name)
+        if sfunc is None:
+            # Tier 3 shares the fast tier-2 decode (slot file and exact
+            # fallback blocks), so decode it first if needed.
+            key = (func.name, False, False)
+            dfunc = self._decoded.get(key)
+            if dfunc is None:
+                dfunc = self._precompile.decode_function(self, func, False)
+                self._decoded[key] = dfunc
+            sfunc = codegen.compile_superblocks(self, func, dfunc)
+            self._superblocks[func.name] = sfunc
+        frame = self._precompile.DecodedFrame(func, sfunc.nslots)
+        slots = frame.slots
+        for slot, value in zip(sfunc.param_slots, args):
+            slots[slot] = value
+        return codegen.execute_superblocks(self, sfunc, frame)
 
     def on_block_entry(
         self, frame: Frame, prev: Optional[BasicBlock], block: BasicBlock
@@ -442,92 +488,23 @@ class Interpreter:
         return ("jump", instr.targets[0] if cond != 0 else instr.targets[1])
 
     def exec_instr(self, frame: Frame, instr: Instruction) -> None:
-        """Execute one non-terminator instruction."""
+        """Execute one non-terminator instruction.
+
+        Dispatch is a precomputed ``Opcode -> handler`` table
+        (:data:`_EXEC_HANDLERS`) rather than an ``if``/``elif`` chain, so
+        the reference backend's cost per instruction doesn't grow with
+        the opcode's position in the ISA.  Handlers route every operand
+        through :meth:`eval_operand` (and sync ops through
+        :meth:`exec_sync` / :meth:`exec_xfer`), preserving all subclass
+        hook points.
+        """
         if self.count_loads and instr.reads_memory:
             self.load_count += 1
         self.charge(instr)
-        opcode = instr.opcode
-        regs = frame.regs
-
-        if opcode is Opcode.MOV:
-            regs[instr.dest.uid] = self.eval_operand(instr.args[0], frame)
-        elif opcode in _BINARY_HANDLERS:
-            a = self.eval_operand(instr.args[0], frame)
-            b = self.eval_operand(instr.args[1], frame)
-            regs[instr.dest.uid] = _BINARY_HANDLERS[opcode](a, b)
-        elif opcode is Opcode.NEG:
-            a = self.eval_operand(instr.args[0], frame)
-            regs[instr.dest.uid] = (
-                wrap_int(-a) if isinstance(a, int) else -a
-            )
-        elif opcode is Opcode.NOT:
-            a = self.eval_operand(instr.args[0], frame)
-            regs[instr.dest.uid] = 1 if a == 0 else 0
-        elif opcode is Opcode.ITOF:
-            regs[instr.dest.uid] = float(self.eval_operand(instr.args[0], frame))
-        elif opcode is Opcode.FTOI:
-            regs[instr.dest.uid] = wrap_int(int(self.eval_operand(instr.args[0], frame)))
-        elif opcode is Opcode.LEA:
-            symbol = instr.args[0]
-            index = self.eval_operand(instr.args[1], frame)
-            store = self.region_of(symbol, frame)
-            regs[instr.dest.uid] = Pointer(store, index, symbol.name)
-        elif opcode is Opcode.PTRADD:
-            ptr = self.eval_operand(instr.args[0], frame)
-            delta = self.eval_operand(instr.args[1], frame)
-            if not isinstance(ptr, Pointer):
-                raise RuntimeFault(f"PTRADD on non-pointer {ptr!r}")
-            regs[instr.dest.uid] = ptr.offset(delta)
-        elif opcode is Opcode.LOADG:
-            symbol = instr.args[0]
-            index = self.eval_operand(instr.args[1], frame)
-            store = self.region_of(symbol, frame)
-            if index < 0 or index >= len(store):
-                raise RuntimeFault(
-                    f"load out of bounds: {symbol.name}[{index}] "
-                    f"(size {len(store)})"
-                )
-            regs[instr.dest.uid] = store[index]
-        elif opcode is Opcode.STOREG:
-            symbol = instr.args[0]
-            index = self.eval_operand(instr.args[1], frame)
-            value = self.eval_operand(instr.args[2], frame)
-            store = self.region_of(symbol, frame)
-            if index < 0 or index >= len(store):
-                raise RuntimeFault(
-                    f"store out of bounds: {symbol.name}[{index}] "
-                    f"(size {len(store)})"
-                )
-            store[index] = value
-        elif opcode is Opcode.LOADP:
-            ptr = self.eval_operand(instr.args[0], frame)
-            index = self.eval_operand(instr.args[1], frame)
-            if not isinstance(ptr, Pointer):
-                raise RuntimeFault(f"LOADP on non-pointer {ptr!r}")
-            regs[instr.dest.uid] = ptr.read(index)
-        elif opcode is Opcode.STOREP:
-            ptr = self.eval_operand(instr.args[0], frame)
-            index = self.eval_operand(instr.args[1], frame)
-            value = self.eval_operand(instr.args[2], frame)
-            if not isinstance(ptr, Pointer):
-                raise RuntimeFault(f"STOREP on non-pointer {ptr!r}")
-            ptr.write(index, value)
-        elif opcode is Opcode.CALL:
-            args = [self.eval_operand(a, frame) for a in instr.args]
-            callee = self.module.functions[instr.callee]
-            value = self.call_function(callee, args)
-            if instr.dest is not None:
-                regs[instr.dest.uid] = value
-        elif opcode is Opcode.PRINT:
-            self.output.append(format_value(self.eval_operand(instr.args[0], frame)))
-        elif opcode in (Opcode.WAIT, Opcode.SIGNAL, Opcode.NEXT_ITER):
-            # Synchronization pseudo-ops are timing-only; functionally inert.
-            self.exec_sync(frame, instr)
-        elif opcode is Opcode.XFER:
-            # Data-forwarding marker; functionally inert, timed by executor.
-            self.exec_xfer(frame, instr)
-        else:  # pragma: no cover - verifier rejects unknown shapes
-            raise RuntimeFault(f"cannot execute opcode {opcode}")
+        handler = _EXEC_HANDLERS.get(instr.opcode)
+        if handler is None:  # pragma: no cover - verifier rejects these
+            raise RuntimeFault(f"cannot execute opcode {instr.opcode}")
+        handler(self, frame, instr)
 
     def exec_sync(self, frame: Frame, instr: Instruction) -> None:
         """Hook for WAIT/SIGNAL/NEXT_ITER (overridden by the executor)."""
@@ -599,15 +576,163 @@ _BINARY_HANDLERS = {
 }
 
 
+# -- tree-walker dispatch table ----------------------------------------------
+#
+# One handler per opcode, bound into _EXEC_HANDLERS below.  Handlers take
+# (interp, frame, instr) and must only touch operand/region state through
+# the interpreter's overridable methods so subclass hooks keep working.
+
+
+def _exec_mov(interp, frame, instr):
+    frame.regs[instr.dest.uid] = interp.eval_operand(instr.args[0], frame)
+
+
+def _make_exec_binary(handler):
+    def run(interp, frame, instr):
+        a = interp.eval_operand(instr.args[0], frame)
+        b = interp.eval_operand(instr.args[1], frame)
+        frame.regs[instr.dest.uid] = handler(a, b)
+
+    return run
+
+
+def _exec_neg(interp, frame, instr):
+    a = interp.eval_operand(instr.args[0], frame)
+    frame.regs[instr.dest.uid] = wrap_int(-a) if isinstance(a, int) else -a
+
+
+def _exec_not(interp, frame, instr):
+    a = interp.eval_operand(instr.args[0], frame)
+    frame.regs[instr.dest.uid] = 1 if a == 0 else 0
+
+
+def _exec_itof(interp, frame, instr):
+    frame.regs[instr.dest.uid] = float(interp.eval_operand(instr.args[0], frame))
+
+
+def _exec_ftoi(interp, frame, instr):
+    frame.regs[instr.dest.uid] = wrap_int(
+        int(interp.eval_operand(instr.args[0], frame))
+    )
+
+
+def _exec_lea(interp, frame, instr):
+    symbol = instr.args[0]
+    index = interp.eval_operand(instr.args[1], frame)
+    store = interp.region_of(symbol, frame)
+    frame.regs[instr.dest.uid] = Pointer(store, index, symbol.name)
+
+
+def _exec_ptradd(interp, frame, instr):
+    ptr = interp.eval_operand(instr.args[0], frame)
+    delta = interp.eval_operand(instr.args[1], frame)
+    if not isinstance(ptr, Pointer):
+        raise RuntimeFault(f"PTRADD on non-pointer {ptr!r}")
+    frame.regs[instr.dest.uid] = ptr.offset(delta)
+
+
+def _exec_loadg(interp, frame, instr):
+    symbol = instr.args[0]
+    index = interp.eval_operand(instr.args[1], frame)
+    store = interp.region_of(symbol, frame)
+    if index < 0 or index >= len(store):
+        raise RuntimeFault(
+            f"load out of bounds: {symbol.name}[{index}] "
+            f"(size {len(store)})"
+        )
+    frame.regs[instr.dest.uid] = store[index]
+
+
+def _exec_storeg(interp, frame, instr):
+    symbol = instr.args[0]
+    index = interp.eval_operand(instr.args[1], frame)
+    value = interp.eval_operand(instr.args[2], frame)
+    store = interp.region_of(symbol, frame)
+    if index < 0 or index >= len(store):
+        raise RuntimeFault(
+            f"store out of bounds: {symbol.name}[{index}] "
+            f"(size {len(store)})"
+        )
+    store[index] = value
+
+
+def _exec_loadp(interp, frame, instr):
+    ptr = interp.eval_operand(instr.args[0], frame)
+    index = interp.eval_operand(instr.args[1], frame)
+    if not isinstance(ptr, Pointer):
+        raise RuntimeFault(f"LOADP on non-pointer {ptr!r}")
+    frame.regs[instr.dest.uid] = ptr.read(index)
+
+
+def _exec_storep(interp, frame, instr):
+    ptr = interp.eval_operand(instr.args[0], frame)
+    index = interp.eval_operand(instr.args[1], frame)
+    value = interp.eval_operand(instr.args[2], frame)
+    if not isinstance(ptr, Pointer):
+        raise RuntimeFault(f"STOREP on non-pointer {ptr!r}")
+    ptr.write(index, value)
+
+
+def _exec_call(interp, frame, instr):
+    args = [interp.eval_operand(a, frame) for a in instr.args]
+    callee = interp.module.functions[instr.callee]
+    value = interp.call_function(callee, args)
+    if instr.dest is not None:
+        frame.regs[instr.dest.uid] = value
+
+
+def _exec_print(interp, frame, instr):
+    interp.output.append(format_value(interp.eval_operand(instr.args[0], frame)))
+
+
+def _exec_sync_op(interp, frame, instr):
+    # Synchronization pseudo-ops are timing-only; functionally inert.
+    interp.exec_sync(frame, instr)
+
+
+def _exec_xfer_op(interp, frame, instr):
+    # Data-forwarding marker; functionally inert, timed by executor.
+    interp.exec_xfer(frame, instr)
+
+
+_EXEC_HANDLERS: Dict[Opcode, Callable] = {
+    Opcode.MOV: _exec_mov,
+    Opcode.NEG: _exec_neg,
+    Opcode.NOT: _exec_not,
+    Opcode.ITOF: _exec_itof,
+    Opcode.FTOI: _exec_ftoi,
+    Opcode.LEA: _exec_lea,
+    Opcode.PTRADD: _exec_ptradd,
+    Opcode.LOADG: _exec_loadg,
+    Opcode.STOREG: _exec_storeg,
+    Opcode.LOADP: _exec_loadp,
+    Opcode.STOREP: _exec_storep,
+    Opcode.CALL: _exec_call,
+    Opcode.PRINT: _exec_print,
+    Opcode.WAIT: _exec_sync_op,
+    Opcode.SIGNAL: _exec_sync_op,
+    Opcode.NEXT_ITER: _exec_sync_op,
+    Opcode.XFER: _exec_xfer_op,
+}
+_EXEC_HANDLERS.update(
+    {op: _make_exec_binary(h) for op, h in _BINARY_HANDLERS.items()}
+)
+
+
 def run_module(
     module: Module,
     machine: Optional[MachineConfig] = None,
     entry: str = "main",
     max_instructions: Optional[int] = 500_000_000,
     backend: str = "auto",
+    block_profile: Optional[Mapping[Tuple[str, str], int]] = None,
 ) -> ExecutionResult:
     """Convenience: interpret ``module`` sequentially and return the result."""
     interp = Interpreter(
-        module, machine, max_instructions=max_instructions, backend=backend
+        module,
+        machine,
+        max_instructions=max_instructions,
+        backend=backend,
+        block_profile=block_profile,
     )
     return interp.run(entry)

@@ -248,9 +248,10 @@ class ParallelExecutor(Interpreter):
             module, machine, max_instructions=max_instructions,
             backend=backend,
         )
-        # Memory reads are priced by the data-forwarding model; both
-        # backends count them when this is set (the decoded backend runs
-        # its hooked variant).
+        # Memory reads are priced by the data-forwarding model; every
+        # backend counts them when this is set (under "auto" the hooked
+        # decoded variant is selected, never the superblock tier, whose
+        # fused regions elide the per-load callback).
         self.count_loads = True
         self.infos = list(infos)
         self.record_traces = record_traces

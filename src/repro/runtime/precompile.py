@@ -49,6 +49,14 @@ tolerated divergence: after a *non-limit* ``RuntimeFault`` aborts a run
 mid-segment, the dead interpreter's counters may include instructions
 from the faulting segment that never executed (no result object is
 produced on a fault, so nothing observable depends on them).
+
+This module is also the substrate of the **third tier**, the
+superblock-fused code-generated backend in
+:mod:`repro.runtime.codegen`: tier 3 reuses this decoder's slot
+allocation (:attr:`DecodedFunction.slot_map`) and decoded blocks, and
+its exactness fallback resumes tier-2 execution mid-activation through
+:func:`finish_decoded` whenever the instruction budget could expire
+inside a fused region.
 """
 
 from __future__ import annotations
@@ -129,7 +137,7 @@ class DecodedBlock:
 class DecodedFunction:
     """All blocks of one function, decoded against one interpreter."""
 
-    __slots__ = ("func", "nslots", "param_slots", "entry", "blocks")
+    __slots__ = ("func", "nslots", "param_slots", "entry", "blocks", "slot_map")
 
     def __init__(
         self,
@@ -138,12 +146,18 @@ class DecodedFunction:
         param_slots: Tuple[int, ...],
         entry: DecodedBlock,
         blocks: Dict[str, DecodedBlock],
+        slot_map: Dict[int, int],
     ) -> None:
         self.func = func
         self.nslots = nslots
         self.param_slots = param_slots
         self.entry = entry
         self.blocks = blocks
+        #: VReg uid -> slot index.  The superblock backend
+        #: (:mod:`repro.runtime.codegen`) generates code over the same
+        #: slot file so its exactness fallback can resume mid-activation
+        #: on the same :class:`DecodedFrame`.
+        self.slot_map = slot_map
 
 
 # -- operand resolution -----------------------------------------------------
@@ -714,7 +728,8 @@ class _FunctionDecoder:
             self.slot_map[param.uid] for param in self.func.params
         )
         return DecodedFunction(
-            self.func, len(self.slot_map), param_slots, entry, blocks
+            self.func, len(self.slot_map), param_slots, entry, blocks,
+            self.slot_map,
         )
 
 
@@ -744,9 +759,11 @@ def execute_decoded(interp, dfunc: DecodedFunction, frame: DecodedFrame,
     limit = interp.max_instructions
     if limit is None:
         limit = _INF
+    if not hooked:
+        finish_decoded(interp, frame, dfunc.entry, 0, limit)
+        return frame.ret
     db = dfunc.entry
-    if hooked:
-        interp.on_block_entry(frame, None, db.block)
+    interp.on_block_entry(frame, None, db.block)
     while True:
         for total, count, op_cycles, effects in db.segments:
             n = interp.instructions + count
@@ -772,9 +789,56 @@ def execute_decoded(interp, dfunc: DecodedFunction, frame: DecodedFrame,
         nxt = term(frame)
         if nxt is None:
             return frame.ret
-        if hooked:
-            interp.on_block_entry(frame, db.block, nxt.block)
+        interp.on_block_entry(frame, db.block, nxt.block)
         db = nxt
+
+
+def finish_decoded(interp, frame: DecodedFrame, dblock: DecodedBlock,
+                   seg_index: int = 0, limit: Optional[float] = None) -> None:
+    """Run the rest of a *fast-variant* activation exactly, to its RET.
+
+    Starts at ``dblock``'s ``seg_index``-th segment and follows
+    terminators through successor blocks until the activation completes
+    (``frame.ret`` is set) or faults.  This is both the fast variant of
+    :func:`execute_decoded` (entry block, segment 0) and the exactness
+    fallback of the superblock backend (:mod:`repro.runtime.codegen`):
+    when the instruction budget could expire inside a fused region, the
+    generated code diverts here at a segment boundary -- tier-2 segments
+    split after every CALL, so the boundaries of both backends align --
+    and the per-instruction slow path fires the limit at precisely the
+    same dynamic instruction as the tree-walker.
+    """
+    if limit is None:
+        limit = _INF
+    db = dblock
+    segments = db.segments[seg_index:] if seg_index else db.segments
+    while True:
+        for total, count, op_cycles, effects in segments:
+            n = interp.instructions + count
+            if n <= limit:
+                interp.instructions = n
+                interp.cycles += total
+                for eff in effects:
+                    eff(frame)
+            else:
+                _run_segment_exact(interp, frame, op_cycles, effects, limit)
+        term = db.term
+        if term is None:
+            raise RuntimeFault(
+                f"block {db.block.name} fell through without terminator"
+            )
+        interp.cycles += db.term_cycles
+        n = interp.instructions + 1
+        interp.instructions = n
+        if n > limit:
+            raise ExecutionLimitExceeded(
+                f"exceeded {interp.max_instructions} instructions"
+            )
+        nxt = term(frame)
+        if nxt is None:
+            return
+        db = nxt
+        segments = db.segments
 
 
 def _run_segment_exact(interp, frame, op_cycles, effects, limit) -> None:

@@ -255,7 +255,8 @@ def profile_module(
     """Run ``module`` once under instrumentation and return the profile.
 
     The listeners select the decoded backend's hooked variant under
-    ``backend="auto"``; the collected profile is identical under
+    ``backend="auto"`` (never the superblock tier, whose fused regions
+    skip per-block events); the collected profile is identical under
     ``backend="tree"`` (the differential tests assert this).
     """
     machine = machine or MachineConfig()

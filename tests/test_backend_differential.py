@@ -1,6 +1,7 @@
-"""Differential identity: decoded backend vs tree-walker, whole corpus.
+"""Differential identity: compiled backends vs tree-walker, whole corpus.
 
-The acceptance bar for the pre-decoded backend is *bit-identical*
+The acceptance bar for both compiled backends — the pre-decoded closure
+tier and the superblock code-generated tier — is *bit-identical*
 observable behavior: output, cycles, instructions and return value must
 match the tree-walker on every program in ``examples/`` and the
 benchmark suite, with and without profiler instrumentation, and through
@@ -29,6 +30,9 @@ EXAMPLE_FILES = ("quickstart.py", "inspect_transformation.py")
 #: Benchmarks given the (expensive) full parallel-pipeline comparison.
 EXECUTOR_BENCHES = ("equake", "mcf")
 
+#: The compiled backends, each checked against the tree oracle.
+COMPILED_BACKENDS = ("decoded", "superblock")
+
 _modules = {}
 
 
@@ -50,40 +54,45 @@ def _example_module(filename):
     return module
 
 
-def _assert_sequential_identity(module):
+def _assert_sequential_identity(module, backend):
     tree = run_module(module, backend="tree")
-    decoded = run_module(module, backend="decoded")
-    assert tree.to_dict() == decoded.to_dict()
+    compiled = run_module(module, backend=backend)
+    assert tree.to_dict() == compiled.to_dict()
 
 
-def _assert_profile_identity(module):
+def _assert_profile_identity(module, backend):
     tree = profile_module(module, backend="tree")
-    decoded = profile_module(module, backend="decoded")
-    assert tree.to_dict() == decoded.to_dict()
+    compiled = profile_module(module, backend=backend)
+    assert tree.to_dict() == compiled.to_dict()
 
 
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
 @pytest.mark.parametrize("bench", benchmark_names())
-def test_benchmark_sequential_identity(bench):
-    _assert_sequential_identity(_bench_module(bench))
+def test_benchmark_sequential_identity(bench, backend):
+    _assert_sequential_identity(_bench_module(bench), backend)
 
 
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
 @pytest.mark.parametrize("bench", benchmark_names())
-def test_benchmark_profile_identity(bench):
-    _assert_profile_identity(_bench_module(bench))
+def test_benchmark_profile_identity(bench, backend):
+    _assert_profile_identity(_bench_module(bench), backend)
 
 
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
 @pytest.mark.parametrize("filename", EXAMPLE_FILES)
-def test_example_sequential_identity(filename):
-    _assert_sequential_identity(_example_module(filename))
+def test_example_sequential_identity(filename, backend):
+    _assert_sequential_identity(_example_module(filename), backend)
 
 
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
 @pytest.mark.parametrize("filename", EXAMPLE_FILES)
-def test_example_profile_identity(filename):
-    _assert_profile_identity(_example_module(filename))
+def test_example_profile_identity(filename, backend):
+    _assert_profile_identity(_example_module(filename), backend)
 
 
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
 @pytest.mark.parametrize("bench", EXECUTOR_BENCHES)
-def test_parallel_executor_identity(bench):
+def test_parallel_executor_identity(bench, backend):
     machine = MachineConfig(cores=6)
     module = _bench_module(bench)
     profile = profile_module(module, machine)
@@ -96,10 +105,12 @@ def test_parallel_executor_identity(bench):
     tree = ParallelExecutor(
         transformed, infos, machine, backend="tree"
     ).execute()
-    decoded = ParallelExecutor(transformed, infos, machine).execute()
-    assert tree.result.to_dict() == decoded.result.to_dict()
-    assert tree.cycles == decoded.cycles
+    compiled = ParallelExecutor(
+        transformed, infos, machine, backend=backend
+    ).execute()
+    assert tree.result.to_dict() == compiled.result.to_dict()
+    assert tree.cycles == compiled.cycles
     assert {k: s.to_dict() for k, s in tree.loop_stats.items()} == {
-        k: s.to_dict() for k, s in decoded.loop_stats.items()
+        k: s.to_dict() for k, s in compiled.loop_stats.items()
     }
-    assert len(tree.traces) == len(decoded.traces)
+    assert len(tree.traces) == len(compiled.traces)

@@ -458,6 +458,12 @@ class TestParallelSuite:
                 block["totals"]["compute"] + block["totals"]["sequential"]
                 > 0
             )
+        # Interpreter counter block: sequential references run on the
+        # superblock tier, so formation/codegen totals accumulate.
+        interp = payload["interp"]
+        assert interp["interp.backend.superblock"] >= len(tiny_pair)
+        assert interp["interp.superblock.formed"] > 0
+        assert interp["interp.codegen.functions"] > 0
 
     @pytest.mark.skipif(
         multiprocessing.get_start_method() != "fork",

@@ -22,6 +22,7 @@ from repro.runtime import precompile
 from repro.runtime.interpreter import (
     _BACKEND_FAST,
     _BACKEND_HOOKED,
+    _BACKEND_SUPER,
     _BACKEND_TREE,
 )
 
@@ -73,8 +74,12 @@ class TestSlotAllocation:
 
 
 class TestBackendSelection:
-    def test_plain_interpreter_uses_fast_path(self):
+    def test_plain_interpreter_uses_superblock_path(self):
         interp = Interpreter(compile_source(COUNT_SRC))
+        assert interp._backend_mode() == _BACKEND_SUPER
+
+    def test_backend_decoded_pins_fast_variant(self):
+        interp = Interpreter(compile_source(COUNT_SRC), backend="decoded")
         assert interp._backend_mode() == _BACKEND_FAST
 
     def test_listeners_select_hooked_variant(self):
@@ -82,7 +87,7 @@ class TestBackendSelection:
         interp.block_listener = lambda f, p, b, c: None
         assert interp._backend_mode() == _BACKEND_HOOKED
         interp.block_listener = None
-        assert interp._backend_mode() == _BACKEND_FAST
+        assert interp._backend_mode() == _BACKEND_SUPER
         interp.call_listener = lambda n, e, c: None
         assert interp._backend_mode() == _BACKEND_HOOKED
 
