@@ -1,0 +1,178 @@
+"""Unified, content-addressed artifact store for the evaluation stack.
+
+Before the service refactor the pipeline's cached artifacts lived behind
+two private APIs: :class:`EvaluationRunner` kept ``_disk_key`` /
+``_disk_load`` / ``_disk_store`` helpers beside
+:mod:`repro.evaluation.cache`, and every
+:class:`~repro.runtime.parallel.ParallelExecutor` grew its own
+schedule-column memo dict.  The :class:`ArtifactStore` absorbs both
+behind one keyed API:
+
+* **Stage artifacts** (modules, profiles, sequential results, executed
+  pipelines) are addressed by :meth:`stage_key` -- *byte-identical* to
+  the fingerprints the runner used to compute privately, so caches
+  written before the refactor stay warm after it -- and persisted
+  through an optional :class:`~repro.evaluation.cache.EvaluationCache`.
+* **Schedule columns** (per-machine :class:`ScheduleResult` lists,
+  aligned with an executor's recorded traces) live in
+  :class:`ScheduleMemo` namespaces handed out by
+  :meth:`schedule_memo`; the store keeps a registry of them so one
+  :meth:`counters` call describes every memoized column in the process.
+
+One store is shared by every runner of an orchestrator (and by all the
+daemon's worker threads): artifacts travel between them by key, exactly
+as the process-parallel suite runner already moves them between worker
+processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from repro.bench import benchmark_fingerprint
+
+if TYPE_CHECKING:  # imported lazily at runtime: evaluation imports us
+    from repro.evaluation.cache import EvaluationCache
+
+
+class ScheduleMemo(Dict[str, List[Any]]):
+    """One executor's schedule-column namespace.
+
+    A plain dict of machine fingerprint -> list of
+    :class:`~repro.runtime.sched.ScheduleResult` columns (aligned with
+    the owning executor's trace list), as
+    :class:`~repro.runtime.parallel.ParallelExecutor` has always kept --
+    but handed out and tracked by an :class:`ArtifactStore` so schedule
+    memoization shows up in the same accounting as disk artifacts.
+    """
+
+    def occupancy(self) -> Dict[str, int]:
+        return {
+            "machines": len(self),
+            "columns": sum(len(column) for column in self.values()),
+        }
+
+
+class ArtifactStore:
+    """Content-addressed artifact store unifying disk + schedule memos.
+
+    ``cache`` may be an :class:`EvaluationCache`, a directory path, or
+    ``None`` (memory-only: stage loads always miss, schedule memos still
+    work).  The store is safe to share across threads: the disk layer
+    already uses atomic writes, and the counters are lock-protected.
+    """
+
+    def __init__(
+        self,
+        cache: Union["EvaluationCache", str, Path, None] = None,
+    ) -> None:
+        if isinstance(cache, (str, Path)):
+            from repro.evaluation.cache import EvaluationCache
+
+            cache = EvaluationCache(cache)
+        self.cache: Optional["EvaluationCache"] = cache
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        self._stores: Dict[str, int] = {}
+        self._memos: List[ScheduleMemo] = []
+
+    # -- stage artifacts ---------------------------------------------------
+
+    def stage_key(
+        self, bench: str, scales: Sequence[str], extra: dict
+    ) -> str:
+        """Key of one stage artifact: code version + benchmark sources
+        at the scales the stage consumed + stage-specific components.
+
+        This is exactly the fingerprint formula of the pre-refactor
+        ``EvaluationRunner._disk_key``, so existing cache directories
+        stay warm (enforced by the parity tests).
+        """
+        from repro.evaluation.cache import code_version, fingerprint
+
+        return fingerprint(
+            {
+                "code": code_version(),
+                "bench": bench,
+                "sources": {
+                    scale: benchmark_fingerprint(bench, scale)
+                    for scale in scales
+                },
+                **extra,
+            }
+        )
+
+    def load(self, kind: str, key: str) -> Optional[dict]:
+        """The stored payload, or ``None`` on a miss (no cache attached
+        counts as a miss)."""
+        payload = None
+        if self.cache is not None:
+            payload = self.cache.load(kind, key)
+        with self._lock:
+            if payload is None:
+                self._misses[kind] = self._misses.get(kind, 0) + 1
+            else:
+                self._hits[kind] = self._hits.get(kind, 0) + 1
+        return payload
+
+    def store(self, kind: str, key: str, payload: dict) -> bool:
+        """Persist one artifact; returns whether it was written (False
+        when the store is memory-only)."""
+        if self.cache is None:
+            return False
+        self.cache.store(kind, key, payload)
+        with self._lock:
+            self._stores[kind] = self._stores.get(kind, 0) + 1
+        return True
+
+    # -- schedule columns --------------------------------------------------
+
+    def schedule_memo(self) -> ScheduleMemo:
+        """A fresh schedule-column namespace (one per executor)."""
+        memo = ScheduleMemo()
+        with self._lock:
+            self._memos.append(memo)
+        return memo
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def warm_hits(self) -> int:
+        """Total stage-artifact loads served from the store."""
+        with self._lock:
+            return sum(self._hits.values())
+
+    def counters(self) -> Dict[str, Any]:
+        """One snapshot of everything this store has served.
+
+        ``artifacts`` mirrors the per-kind hit/miss/store tallies (the
+        store's own view; the attached cache keeps its own identical
+        disk-traffic counters), ``schedules`` aggregates the occupancy
+        of every handed-out schedule memo.
+        """
+        with self._lock:
+            kinds = set(self._hits) | set(self._misses) | set(self._stores)
+            machines = sum(len(memo) for memo in self._memos)
+            columns = sum(
+                len(column)
+                for memo in self._memos
+                for column in memo.values()
+            )
+            return {
+                "artifacts": {
+                    kind: {
+                        "hits": self._hits.get(kind, 0),
+                        "misses": self._misses.get(kind, 0),
+                        "stores": self._stores.get(kind, 0),
+                    }
+                    for kind in sorted(kinds)
+                },
+                "schedules": {
+                    "memos": len(self._memos),
+                    "machines": machines,
+                    "columns": columns,
+                },
+            }

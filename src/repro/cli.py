@@ -32,6 +32,12 @@ Commands:
   tracer and export Chrome trace-event JSON (loadable in
   ui.perfetto.dev or about:tracing); ``--sim-timeline`` adds one
   simulated-time track per core.
+* ``serve``                  -- long-running compile/run daemon: a
+  JSON-lines protocol over a Unix socket (or ``--host``/``--port``
+  TCP) through which concurrent clients submit compile/run/suite/trace
+  jobs and stream back observer events; all jobs share one
+  content-addressed artifact store, so repeated requests are served
+  warm.  SIGTERM drains gracefully.
 
 ``run``, ``compile`` and ``suite`` also accept ``--trace PATH`` to
 record the same span stream while doing their normal job.
@@ -62,6 +68,35 @@ def _parse_machine(spec: str) -> MachineConfig:
     if mode:
         machine = machine.with_prefetch(PrefetchMode(mode.lower()))
     return machine
+
+
+def _write_json_report(path, report) -> bool:
+    """Shared writer for the ``BENCH_*`` / suite JSON reports.
+
+    Every report object exposes ``to_json``; an empty/None path
+    disables writing.  Returns False (after printing why) when the
+    write failed, so callers can turn it into a nonzero exit.
+    """
+    if not path:
+        return True
+    try:
+        Path(path).write_text(report.to_json() + "\n")
+    except OSError as exc:
+        print(f"error: cannot write report: {exc}", file=sys.stderr)
+        return False
+    print(f"report written to {path}", file=sys.stderr)
+    return True
+
+
+def _gate(value, minimum, label) -> bool:
+    """One ``--min-*`` exit gate; False when ``value`` is below it."""
+    if minimum is None or value >= minimum:
+        return True
+    print(
+        f"error: {label} {value:.2f}x below required {minimum:.2f}x",
+        file=sys.stderr,
+    )
+    return False
 
 
 def _traced(args, fn) -> int:
@@ -168,29 +203,13 @@ def cmd_bench_interp(args) -> int:
         progress=lambda name: print(f"timing {name}...", file=sys.stderr),
     )
     print(report.render())
-    if args.out:
-        try:
-            Path(args.out).write_text(report.to_json() + "\n")
-        except OSError as exc:
-            print(f"error: cannot write report: {exc}", file=sys.stderr)
-            return 1
-        print(f"report written to {args.out}", file=sys.stderr)
-    if args.min_speedup is not None and report.min_speedup < args.min_speedup:
-        print(
-            f"error: min speedup {report.min_speedup:.2f}x below "
-            f"required {args.min_speedup:.2f}x",
-            file=sys.stderr,
-        )
+    if not _write_json_report(args.out, report):
         return 1
-    if (
-        args.min_geomean_speedup is not None
-        and report.geomean_speedup < args.min_geomean_speedup
+    if not _gate(report.min_speedup, args.min_speedup, "min speedup"):
+        return 1
+    if not _gate(
+        report.geomean_speedup, args.min_geomean_speedup, "geomean speedup"
     ):
-        print(
-            f"error: geomean speedup {report.geomean_speedup:.2f}x below "
-            f"required {args.min_geomean_speedup:.2f}x",
-            file=sys.stderr,
-        )
         return 1
     return 0
 
@@ -204,14 +223,7 @@ def cmd_bench_passes(args) -> int:
         progress=lambda name: print(f"timing {name}...", file=sys.stderr),
     )
     print(report.render())
-    if args.out:
-        try:
-            Path(args.out).write_text(report.to_json() + "\n")
-        except OSError as exc:
-            print(f"error: cannot write report: {exc}", file=sys.stderr)
-            return 1
-        print(f"report written to {args.out}", file=sys.stderr)
-    return 0
+    return 0 if _write_json_report(args.out, report) else 1
 
 
 def cmd_bench_sched(args) -> int:
@@ -227,30 +239,15 @@ def cmd_bench_sched(args) -> int:
         jobs=args.jobs,
     )
     print(report.render())
-    if args.out:
-        try:
-            Path(args.out).write_text(report.to_json() + "\n")
-        except OSError as exc:
-            print(f"error: cannot write report: {exc}", file=sys.stderr)
-            return 1
-        print(f"report written to {args.out}", file=sys.stderr)
-    if args.min_speedup is not None and report.min_speedup < args.min_speedup:
-        print(
-            f"error: min speedup {report.min_speedup:.2f}x below "
-            f"required {args.min_speedup:.2f}x",
-            file=sys.stderr,
-        )
+    if not _write_json_report(args.out, report):
         return 1
-    if (
-        args.min_batched_speedup is not None
-        and report.aggregate_batched_speedup < args.min_batched_speedup
+    if not _gate(report.min_speedup, args.min_speedup, "min speedup"):
+        return 1
+    if not _gate(
+        report.aggregate_batched_speedup,
+        args.min_batched_speedup,
+        "aggregate batched speedup",
     ):
-        print(
-            f"error: aggregate batched speedup "
-            f"{report.aggregate_batched_speedup:.2f}x below "
-            f"required {args.min_batched_speedup:.2f}x",
-            file=sys.stderr,
-        )
         return 1
     return 0
 
@@ -259,21 +256,60 @@ def cmd_suite(args) -> int:
     return _traced(args, lambda: _cmd_suite(args))
 
 
-def _cmd_suite(args) -> int:
-    from pathlib import Path as _Path
+class _SuiteProgress:
+    """Observer printing one line per finished benchmark (``--stats``).
 
-    from repro.evaluation.parallel_runner import effective_jobs, run_suite
+    Implements the :class:`repro.service.jobs.EvaluationObserver`
+    protocol; the parallel suite runner reports whole-benchmark rows as
+    ``stage="bench"`` completions.
+    """
+
+    def __init__(self) -> None:
+        self.done = 0
+
+    def job_started(self, job) -> None:  # pragma: no cover - protocol
+        pass
+
+    def stage_completed(self, job, bench, stage, outcome, seconds) -> None:
+        if stage == "bench":
+            self.done += 1
+            print(
+                f"  [{self.done}] {bench}: {seconds:.2f}s", file=sys.stderr
+            )
+
+    def artifact_stored(self, job, kind, key, outcome) -> None:
+        pass
+
+    def job_finished(self, job) -> None:  # pragma: no cover - protocol
+        pass
+
+
+def _cmd_suite(args) -> int:
+    from repro.evaluation.parallel_runner import (
+        SuiteInterrupted,
+        effective_jobs,
+        run_suite,
+    )
     from repro.evaluation.reporting import (
         format_analysis_stats,
         format_interp_stats,
         format_stage_stats,
     )
 
-    fig9, report, _runner = run_suite(
-        machine=MachineConfig(cores=args.cores),
-        jobs=effective_jobs(args.jobs),
-        cache_dir=args.cache_dir,
-    )
+    try:
+        fig9, report, _runner = run_suite(
+            machine=MachineConfig(cores=args.cores),
+            jobs=effective_jobs(args.jobs),
+            cache_dir=args.cache_dir,
+            observer=_SuiteProgress() if args.stats else None,
+        )
+    except SuiteInterrupted as exc:
+        # Persist whatever completed before the interrupt, then report
+        # the conventional SIGINT exit status.
+        print("suite interrupted", file=sys.stderr)
+        if args.report:
+            _write_json_report(args.report, exc.report)
+        return 130
     print(fig9.render())
     if args.stats:
         print()
@@ -299,12 +335,53 @@ def _cmd_suite(args) -> int:
             ),
             file=sys.stderr,
         )
-        try:
-            _Path(args.report).write_text(report.to_json() + "\n")
-        except OSError as exc:
-            print(f"error: cannot write report: {exc}", file=sys.stderr)
+        if not _write_json_report(args.report, report):
             return 1
-        print(f"report written to {args.report}", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import tempfile
+
+    from repro.service.daemon import serve_forever
+    from repro.service.orchestrator import Orchestrator
+
+    scratch = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        # The daemon's whole point is cross-request warmth, so it always
+        # runs over a cache -- a scratch one when none was given.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-serve-cache-")
+        cache_dir = scratch.name
+    orchestrator = Orchestrator(
+        cache=cache_dir,
+        workers=args.workers,
+        default_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+    )
+    where = (
+        f"{args.host}:{args.port}" if args.host is not None else args.socket
+    )
+    print(
+        f"repro serve: listening on {where} "
+        f"(cache {cache_dir}, workers {args.workers})",
+        file=sys.stderr,
+    )
+    try:
+        serve_forever(
+            orchestrator,
+            socket_path=None if args.host is not None else args.socket,
+            host=args.host,
+            port=args.port,
+            drain_timeout=args.drain_timeout,
+            log_path=args.log,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - loops without signal
+        pass                   # handler support fall through to here
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    print("repro serve: drained", file=sys.stderr)
     return 0
 
 
@@ -550,6 +627,72 @@ def main(argv=None) -> int:
     )
     p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the compile/run daemon (JSON-lines over a socket)",
+    )
+    p.add_argument(
+        "--socket",
+        default="repro.sock",
+        metavar="PATH",
+        help="Unix socket to listen on (default ./repro.sock)",
+    )
+    p.add_argument(
+        "--host",
+        default=None,
+        metavar="HOST",
+        help="listen on TCP HOST:PORT instead of the Unix socket",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="TCP port (0 = ephemeral; only with --host)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="artifact-store cache directory (default: scratch dir "
+        "that lives as long as the daemon)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent job-executing worker threads (default 2)",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock budget (default unbounded)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="requeues per job after transient failures (default 1)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="grace period for in-flight jobs on SIGTERM (default 60)",
+    )
+    p.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="append every job event to this JSON-lines log",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace",

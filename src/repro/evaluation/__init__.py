@@ -7,7 +7,9 @@
   persists interpretation artifacts across processes and runs.
 * :mod:`repro.evaluation.parallel_runner` -- fans independent benchmark
   pipelines out over worker processes and merges them back through the
-  shared disk cache.
+  shared disk cache.  Interrupted runs raise
+  :class:`~repro.evaluation.parallel_runner.SuiteInterrupted` carrying
+  the partial report.
 * :mod:`repro.evaluation.figures` -- one driver per experiment:
   Figure 9 (speedups), Table 1 (loop characteristics), Figure 10
   (Step 6/8 ablation), Section 3.3 (prefetching study), Section 3.4

@@ -34,6 +34,7 @@ from repro.evaluation.cache import EvaluationCache, code_version
 from repro.evaluation.runner import EvaluationRunner, StageStats
 from repro.obs import REGISTRY, get_tracer, metrics_delta, tracing
 from repro.runtime.machine import MachineConfig
+from repro.service.jobs import NULL_OBSERVER, EvaluationObserver
 
 
 def suite_environment() -> Dict[str, object]:
@@ -82,6 +83,9 @@ class SuiteReport:
     cache_dir: Optional[str]
     code_version: str
     wall_seconds: float = 0.0
+    #: True when the run was interrupted (SIGINT/SIGTERM) and this
+    #: report covers only the benchmarks that completed before that.
+    interrupted: bool = False
     #: bench -> core count (as str, JSON keys) -> speedup.
     speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
     geomeans: Dict[str, float] = field(default_factory=dict)
@@ -113,6 +117,7 @@ class SuiteReport:
             "cache_dir": self.cache_dir,
             "code_version": self.code_version,
             "wall_seconds": self.wall_seconds,
+            "interrupted": self.interrupted,
             "environment": self.environment,
             "speedups": self.speedups,
             "geomeans": self.geomeans,
@@ -160,19 +165,44 @@ def _run_bench(
     return payload
 
 
+class SuiteInterrupted(Exception):
+    """A suite run was interrupted (SIGINT/SIGTERM) mid-flight.
+
+    Carries the partial :class:`SuiteReport` (completed benchmarks +
+    merged stage counters, ``interrupted=True``) so callers can still
+    persist what finished -- the CLI writes it to ``--report`` before
+    exiting 130.
+    """
+
+    def __init__(self, report: "SuiteReport") -> None:
+        super().__init__("suite run interrupted")
+        self.report = report
+
+
 def run_suite(
     machine: Optional[MachineConfig] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     benches: Optional[Sequence[str]] = None,
+    observer: Optional[EvaluationObserver] = None,
 ):
     """Evaluate the suite, optionally in parallel and/or disk-cached.
 
     Returns ``(figure9, report, runner)``: the rendered-figure result,
     the :class:`SuiteReport`, and the warm parent runner (reusable for
     further figures against the same caches).
+
+    ``observer`` receives the parent runner's stage/artifact events
+    plus one ``stage="bench"`` completion per worker benchmark -- CLI
+    progress printing and the service daemon's event streams are both
+    just observers here.
+
+    On KeyboardInterrupt the worker pool is torn down cleanly (pending
+    futures cancelled, running workers joined, nothing orphaned) and
+    :class:`SuiteInterrupted` is raised carrying the partial report.
     """
     machine = machine or MachineConfig(cores=6)
+    observer = observer or NULL_OBSERVER
     start = time.perf_counter()
     metrics_start = REGISTRY.snapshot()
 
@@ -187,7 +217,7 @@ def run_suite(
 
     try:
         cache = EvaluationCache(cache_root) if cache_root else None
-        runner = EvaluationRunner(machine, cache=cache)
+        runner = EvaluationRunner(machine, cache=cache, observer=observer)
         if benches is not None:
             bench_list = list(benches)
             runner.benches = lambda: bench_list  # type: ignore[method-assign]
@@ -201,24 +231,52 @@ def run_suite(
 
         tracer = get_tracer()
         if jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    pool.submit(
-                        _run_bench, bench, machine, cache_root,
-                        tracer.enabled,
-                    )
-                    for bench in runner.benches()
-                ]
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            futures = [
+                pool.submit(
+                    _run_bench, bench, machine, cache_root,
+                    tracer.enabled,
+                )
+                for bench in runner.benches()
+            ]
+
+            def consume(payload: dict) -> None:
+                spans = payload.pop("spans", [])
+                metrics = payload.pop("metrics", None)
+                if spans:
+                    tracer.absorb(spans)
+                if metrics:
+                    REGISTRY.merge(metrics)
+                outcome = BenchOutcome(**payload)
+                report.benches.append(outcome)
+                observer.stage_completed(
+                    None, outcome.bench, "bench", "compute",
+                    outcome.wall_seconds,
+                )
+
+            consumed = 0
+            try:
                 # Completion order is racy; report in suite order.
                 for future in futures:
-                    payload = future.result()
-                    spans = payload.pop("spans", [])
-                    metrics = payload.pop("metrics", None)
-                    if spans:
-                        tracer.absorb(spans)
-                    if metrics:
-                        REGISTRY.merge(metrics)
-                    report.benches.append(BenchOutcome(**payload))
+                    consume(future.result())
+                    consumed += 1
+                pool.shutdown()
+            except BaseException:
+                # Clean teardown on interrupt (or any worker failure):
+                # cancel everything still pending, then wait so no
+                # worker process outlives this call.  Results that did
+                # complete are harvested into the partial report.
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future in futures[consumed:]:
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        consume(future.result())
+                raise
 
         fig9 = figures.figure9(runner)
 
@@ -260,6 +318,18 @@ def run_suite(
         }
         report.wall_seconds = time.perf_counter() - start
         return fig9, report, runner
+    except KeyboardInterrupt:
+        # Partial accounting still gets written: merge the stage
+        # counters of whatever completed and hand the report back on
+        # the exception (the CLI persists it before exiting 130).
+        stats = StageStats()
+        for outcome in report.benches:
+            stats.merge(outcome.stages)
+        stats.merge(runner.stats.as_dict())
+        report.stages = stats.as_dict()
+        report.interrupted = True
+        report.wall_seconds = time.perf_counter() - start
+        raise SuiteInterrupted(report) from None
     finally:
         if scratch is not None:
             scratch.cleanup()

@@ -28,7 +28,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.loopnest import LoopId
 from repro.analysis.manager import AnalysisManager
-from repro.bench import benchmark_fingerprint, benchmark_names, compile_benchmark
+from repro.artifacts import ArtifactStore
+from repro.bench import benchmark_names, compile_benchmark
 from repro.core.loopinfo import HelixOptions, ParallelizedLoop
 from repro.core.parallelizer import parallelize_module
 from repro.core.selection import (
@@ -39,8 +40,6 @@ from repro.core.selection import (
 )
 from repro.evaluation.cache import (
     EvaluationCache,
-    code_version,
-    fingerprint,
     pipeline_fingerprint,
 )
 from repro.ir import Module
@@ -56,6 +55,7 @@ from repro.runtime.parallel import (
 )
 from repro.runtime.trace import TRACE_FORMAT_VERSION, CompactInvocationTrace
 from repro.runtime.profiler import ProfileData, profile_module
+from repro.service.jobs import NULL_OBSERVER, EvaluationObserver
 
 #: Pipeline stages, in execution order (keys of :class:`StageStats`).
 STAGES = (
@@ -228,9 +228,19 @@ class EvaluationRunner:
         machine: Optional[MachineConfig] = None,
         cache: Optional[EvaluationCache] = None,
         interp_backend: str = "auto",
+        artifacts: Optional[ArtifactStore] = None,
+        observer: Optional[EvaluationObserver] = None,
     ) -> None:
         self.machine = machine or MachineConfig(cores=6)
-        self.cache = cache
+        #: Unified artifact store: stage artifacts (optionally disk-
+        #: persisted) plus schedule-column memos.  ``cache`` is kept as
+        #: a convenience alias of ``artifacts.cache``.
+        self.artifacts = artifacts if artifacts is not None else ArtifactStore(cache)
+        self.cache = self.artifacts.cache
+        #: Progress sink (the domain protocol): stage completions and
+        #: artifact traffic stream through it.  Rebindable -- the
+        #: orchestrator points it at a job-bound observer per attempt.
+        self.observer: EvaluationObserver = observer or NULL_OBSERVER
         #: Interpreter backend for every interpretation stage ("auto",
         #: "decoded" or "tree"); cache keys are backend-independent
         #: because both backends produce identical results.
@@ -249,70 +259,65 @@ class EvaluationRunner:
 
     # -- cache plumbing --------------------------------------------------------
 
-    def _disk_key(self, bench: str, scales: Sequence[str], extra: dict) -> str:
-        """Key of one disk artifact: code version + benchmark sources at
-        the scales the stage consumed + stage-specific components."""
-        return fingerprint(
-            {
-                "code": code_version(),
-                "bench": bench,
-                "sources": {
-                    scale: benchmark_fingerprint(bench, scale)
-                    for scale in scales
-                },
-                **extra,
-            }
-        )
+    def _load(self, bench: str, kind: str, key: str) -> Optional[dict]:
+        payload = self.artifacts.load(kind, key)
+        if payload is not None:
+            self.observer.artifact_stored(None, kind, key, "hit")
+        return payload
 
-    def _disk_load(self, kind: str, key: str) -> Optional[dict]:
-        if self.cache is None:
-            return None
-        return self.cache.load(kind, key)
+    def _store(self, bench: str, kind: str, key: str, payload: dict) -> None:
+        if self.artifacts.store(kind, key, payload):
+            self.observer.artifact_stored(None, kind, key, "store")
 
-    def _disk_store(self, kind: str, key: str, payload: dict) -> None:
-        if self.cache is not None:
-            self.cache.store(kind, key, payload)
+    def _record(
+        self, bench: str, stage: str, outcome: str, seconds: float = 0.0
+    ) -> None:
+        """Tally one stage request and stream it to the observer."""
+        self.stats.record(stage, outcome, seconds)
+        self.observer.stage_completed(None, bench, stage, outcome, seconds)
 
     # -- stages ----------------------------------------------------------------
 
     def module(self, bench: str, scale: str) -> Module:
         key = (bench, scale)
         if key in self._modules:
-            self.stats.record("compile", "memory")
+            self._record(bench, "compile", "memory")
             return self._modules[key]
         start = time.perf_counter()
         with get_tracer().span(
             "stage.compile", cat="stage", bench=bench, scale=scale
         ) as sp:
-            disk_key = self._disk_key(bench, (scale,), {"kind": "module"})
-            payload = self._disk_load("module", disk_key)
+            disk_key = self.artifacts.stage_key(
+                bench, (scale,), {"kind": "module"}
+            )
+            payload = self._load(bench, "module", disk_key)
             if payload is not None:
                 module = parse_module(payload["ir"])
                 outcome = "disk"
             else:
                 module = compile_benchmark(bench, scale)
-                self._disk_store(
-                    "module", disk_key, {"ir": module_to_str(module)}
+                self._store(
+                    bench, "module", disk_key, {"ir": module_to_str(module)}
                 )
                 outcome = "compute"
             sp.set(outcome=outcome)
         self._modules[key] = module
-        self.stats.record("compile", outcome, time.perf_counter() - start)
+        self._record(bench, "compile", outcome, time.perf_counter() - start)
         return module
 
     def profile(self, bench: str) -> ProfileData:
         """Training-input profile (on the train build, so the ref build
         stays the untouched sequential baseline)."""
         if bench in self._profiles:
-            self.stats.record("profile", "memory")
+            self._record(bench, "profile", "memory")
             return self._profiles[bench]
         train = self.module(bench, "train")
         start = time.perf_counter()
         with get_tracer().span("stage.profile", cat="stage", bench=bench) as sp:
-            disk_key = self._disk_key(
+            disk_key = self.artifacts.stage_key(
                 bench, ("train",), {"kind": "profile", "machine": self.machine}
             )
-            payload = self._disk_load("profile", disk_key)
+            payload = self._load(bench, "profile", disk_key)
             if payload is not None:
                 data = ProfileData.from_dict(payload, train)
                 outcome = "disk"
@@ -320,26 +325,26 @@ class EvaluationRunner:
                 data = profile_module(
                     train, self.machine, backend=self.interp_backend
                 )
-                self._disk_store("profile", disk_key, data.to_dict())
+                self._store(bench, "profile", disk_key, data.to_dict())
                 outcome = "compute"
             sp.set(outcome=outcome)
         self._profiles[bench] = data
-        self.stats.record("profile", outcome, time.perf_counter() - start)
+        self._record(bench, "profile", outcome, time.perf_counter() - start)
         return data
 
     def sequential(self, bench: str) -> ExecutionResult:
         if bench in self._sequential:
-            self.stats.record("sequential", "memory")
+            self._record(bench, "sequential", "memory")
             return self._sequential[bench]
         ref = self.module(bench, "ref")
         start = time.perf_counter()
         with get_tracer().span(
             "stage.sequential", cat="stage", bench=bench
         ) as sp:
-            disk_key = self._disk_key(
+            disk_key = self.artifacts.stage_key(
                 bench, ("ref",), {"kind": "sequential", "machine": self.machine}
             )
-            payload = self._disk_load("sequential", disk_key)
+            payload = self._load(bench, "sequential", disk_key)
             if payload is not None:
                 result = ExecutionResult.from_dict(payload)
                 outcome = "disk"
@@ -356,11 +361,11 @@ class EvaluationRunner:
                     backend=self.interp_backend,
                     block_profile=profile.block_counts if profile else None,
                 )
-                self._disk_store("sequential", disk_key, result.to_dict())
+                self._store(bench, "sequential", disk_key, result.to_dict())
                 outcome = "compute"
             sp.set(outcome=outcome)
         self._sequential[bench] = result
-        self.stats.record("sequential", outcome, time.perf_counter() - start)
+        self._record(bench, "sequential", outcome, time.perf_counter() - start)
         return result
 
     def selection(
@@ -372,7 +377,7 @@ class EvaluationRunner:
     ) -> LoopSelection:
         key = (bench, signal_cost, unoptimized_signals, cores)
         if key in self._selections:
-            self.stats.record("selection", "memory")
+            self._record(bench, "selection", "memory")
             return self._selections[key]
         module = self.module(bench, "ref")
         profile = self.profile(bench)
@@ -388,7 +393,7 @@ class EvaluationRunner:
                 module, profile, config, manager=self.analysis
             )
         self._selections[key] = selection
-        self.stats.record("selection", "compute", time.perf_counter() - start)
+        self._record(bench, "selection", "compute", time.perf_counter() - start)
         return selection
 
     def fixed_level(self, bench: str, level: int) -> List[LoopId]:
@@ -420,7 +425,7 @@ class EvaluationRunner:
         )
         key = (bench, config_fp, cache_key)
         if key in self._pipelines:
-            self.stats.record("execute", "memory")
+            self._record(bench, "execute", "memory")
             return self._pipelines[key]
 
         selection = None
@@ -440,16 +445,17 @@ class EvaluationRunner:
             transformed, infos = parallelize_module(
                 module, loop_ids, machine, options, manager=self.analysis
             )
-        self.stats.record("transform", "compute", time.perf_counter() - start)
+        self._record(bench, "transform", "compute", time.perf_counter() - start)
 
         executor = ParallelExecutor(
-            transformed, infos, machine, backend=self.interp_backend
+            transformed, infos, machine, backend=self.interp_backend,
+            schedule_memo=self.artifacts.schedule_memo(),
         )
         start = time.perf_counter()
         with get_tracer().span(
             "stage.execute", cat="stage", bench=bench
         ) as sp:
-            disk_key = self._disk_key(
+            disk_key = self.artifacts.stage_key(
                 bench,
                 ("train", "ref"),
                 {
@@ -459,7 +465,7 @@ class EvaluationRunner:
                     "loops": [list(l) for l in loop_ids],
                 },
             )
-            payload = self._disk_load("pipeline", disk_key)
+            payload = self._load(bench, "pipeline", disk_key)
             if payload is not None:
                 # ``from_dict`` reads both the versioned compact format
                 # and the legacy per-iteration dicts of older caches;
@@ -482,7 +488,8 @@ class EvaluationRunner:
                 outcome = "disk"
             else:
                 parallel = executor.execute()
-                self._disk_store(
+                self._store(
+                    bench,
                     "pipeline",
                     disk_key,
                     {
@@ -498,7 +505,7 @@ class EvaluationRunner:
                 )
                 outcome = "compute"
             sp.set(outcome=outcome)
-        self.stats.record("execute", outcome, time.perf_counter() - start)
+        self._record(bench, "execute", outcome, time.perf_counter() - start)
 
         run = PipelineRun(
             bench=bench,

@@ -243,6 +243,7 @@ class ParallelExecutor(Interpreter):
         record_traces: bool = True,
         max_instructions: Optional[int] = 500_000_000,
         backend: str = "auto",
+        schedule_memo: Optional[Dict[str, List[ScheduleResult]]] = None,
     ) -> None:
         super().__init__(
             module, machine, max_instructions=max_instructions,
@@ -268,8 +269,14 @@ class ParallelExecutor(Interpreter):
         #: Memoized per-machine schedule columns, aligned with
         #: :attr:`traces`, keyed by machine fingerprint.  The executing
         #: machine's column is seeded during :meth:`run`, so replays
-        #: never reschedule the baseline.
-        self._schedules: Dict[str, List[ScheduleResult]] = {}
+        #: never reschedule the baseline.  An
+        #: :class:`~repro.artifacts.ArtifactStore` may inject a tracked
+        #: namespace here (``schedule_memo``) so column occupancy shows
+        #: up in the store's unified accounting; standalone executors
+        #: default to a private dict with identical semantics.
+        self._schedules: Dict[str, List[ScheduleResult]] = (
+            schedule_memo if schedule_memo is not None else {}
+        )
 
     # -- interpreter hooks -------------------------------------------------
 
@@ -368,7 +375,7 @@ class ParallelExecutor(Interpreter):
         self.load_count = 0
         self.loop_stats = {}
         self.traces = []
-        self._schedules = {}
+        self._schedules.clear()
         return super().run(entry, args)
 
     def execute(self) -> ParallelRunResult:
@@ -408,7 +415,7 @@ class ParallelExecutor(Interpreter):
         self.instructions = result.instructions
         self.traces = [as_compact(trace) for trace in traces]
         self.loop_stats = dict(loop_stats)
-        self._schedules = {}
+        self._schedules.clear()
         if load_count is None:
             load_count = sum(trace.loads for trace in self.traces)
         self.load_count = load_count

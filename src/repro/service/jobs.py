@@ -1,0 +1,402 @@
+"""Domain layer of the evaluation service: jobs, states, observers.
+
+Everything here is a pure data structure or protocol -- no sockets, no
+threads, no evaluation imports -- so the orchestration above it stays
+testable without infrastructure.  The four job kinds mirror the one-shot
+CLI commands they replace:
+
+* :class:`CompileJob` -- profile, select and transform one benchmark
+  without executing (``repro compile``).
+* :class:`RunJob` -- the full HELIX pipeline of one benchmark
+  (``repro bench`` / ``EvaluationRunner.helix_run``).
+* :class:`SuiteJob` -- Figure 9 over a benchmark list (``repro suite``).
+* :class:`TraceJob` -- one pipeline under the span tracer
+  (``repro trace``).
+
+A :class:`Job` wraps a spec with identity and lifecycle: the state
+machine is ``queued -> running -> done | failed | cancelled``, with the
+single back-edge ``running -> queued`` used by the orchestrator to
+requeue a job after a *transient* failure (bounded by its retry budget).
+
+Progress flows through the :class:`EvaluationObserver` protocol.  The
+CLI's progress printer, the daemon's per-client event stream and tests'
+recording observers are all just observers; :class:`CompositeObserver`
+fans one event out to several of them and :class:`BoundObserver` pins
+the ``job`` argument so layers that know nothing about jobs (the
+evaluation runner's stage accounting) still emit well-attributed events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+
+class JobState(str, Enum):
+    """Lifecycle of one job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+#: Legal state-machine edges.  ``running -> queued`` is the retry edge.
+_TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
+    JobState.QUEUED: (JobState.RUNNING, JobState.CANCELLED),
+    JobState.RUNNING: (
+        JobState.DONE,
+        JobState.FAILED,
+        JobState.CANCELLED,
+        JobState.QUEUED,
+    ),
+    JobState.DONE: (),
+    JobState.FAILED: (),
+    JobState.CANCELLED: (),
+}
+
+
+class InvalidTransition(Exception):
+    """An illegal job state-machine edge was requested."""
+
+
+# -- job specs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """Profile, select and transform one benchmark (no execution)."""
+
+    bench: str
+    cores: int = 6
+    include_ir: bool = False
+
+    op = "compile"
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """Full HELIX pipeline of one benchmark: transform + simulate."""
+
+    bench: str
+    cores: int = 6
+
+    op = "run"
+
+
+@dataclass(frozen=True)
+class SuiteJob:
+    """Figure 9 over a benchmark list (``None`` = the whole suite)."""
+
+    benches: Optional[Tuple[str, ...]] = None
+    cores: int = 6
+    jobs: int = 1
+
+    op = "suite"
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One benchmark pipeline under the span tracer."""
+
+    bench: str
+    cores: int = 6
+    include_trace: bool = False
+
+    op = "trace"
+
+
+JobSpec = Union[CompileJob, RunJob, SuiteJob, TraceJob]
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One unit of service work: a spec plus identity and lifecycle."""
+
+    spec: Any
+    id: str = ""
+    state: JobState = JobState.QUEUED
+    #: Times this job was requeued after a transient failure.
+    retries: int = 0
+    #: Upper bound on one attempt's wall-clock (None = unbounded).
+    timeout: Optional[float] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    #: ``repro.obs`` counter/gauge delta captured over the attempt that
+    #: finished the job (orchestrator-filled).
+    metrics: Optional[dict] = None
+    #: Set by :meth:`request_cancel`; cooperative handlers poll it.
+    cancel_requested: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+    #: Set exactly once, when the job reaches a terminal state.
+    finished: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            self.id = f"j{next(_job_ids)}"
+
+    @property
+    def op(self) -> str:
+        return getattr(self.spec, "op", type(self.spec).__name__)
+
+    def transition(self, new: JobState) -> None:
+        """Move to ``new``, enforcing the state machine."""
+        if new not in _TRANSITIONS[self.state]:
+            raise InvalidTransition(
+                f"job {self.id}: illegal transition "
+                f"{self.state.value} -> {new.value}"
+            )
+        self.state = new
+        if new.terminal:
+            self.finished.set()
+
+    def request_cancel(self) -> None:
+        self.cancel_requested.set()
+
+    def as_dict(self) -> dict:
+        """JSON-stable summary (the daemon's wire form of a job)."""
+        spec: Dict[str, Any] = {}
+        for name in getattr(self.spec, "__dataclass_fields__", {}):
+            value = getattr(self.spec, name)
+            spec[name] = list(value) if isinstance(value, tuple) else value
+        return {
+            "id": self.id,
+            "op": self.op,
+            "state": self.state.value,
+            "retries": self.retries,
+            "error": self.error,
+            "spec": spec,
+            "metrics": self.metrics,
+        }
+
+
+# -- observer protocol -------------------------------------------------------
+
+
+class EvaluationObserver:
+    """Protocol through which service layers report progress.
+
+    Implementations override any subset; the base class is a usable
+    no-op (also exposed as :class:`NullObserver` /
+    :data:`NULL_OBSERVER`).  ``job`` may be ``None`` when the emitting
+    layer has no job context (a bare :class:`EvaluationRunner` outside
+    the service); :class:`BoundObserver` fills it in.
+    """
+
+    def job_started(self, job: Optional[Job]) -> None:
+        """``job`` entered RUNNING (fires again after each retry)."""
+
+    def stage_completed(
+        self,
+        job: Optional[Job],
+        bench: str,
+        stage: str,
+        outcome: str,
+        seconds: float,
+    ) -> None:
+        """One pipeline stage finished; ``outcome`` is ``compute``,
+        ``memory`` or ``disk`` (or ``bench`` for whole-benchmark rows
+        reported by the parallel suite runner)."""
+
+    def artifact_stored(
+        self, job: Optional[Job], kind: str, key: str, outcome: str
+    ) -> None:
+        """Artifact-store traffic: ``outcome`` is ``store`` (newly
+        persisted) or ``hit`` (served warm)."""
+
+    def job_finished(self, job: Optional[Job]) -> None:
+        """``job`` reached a terminal state (done/failed/cancelled)."""
+
+
+class NullObserver(EvaluationObserver):
+    """Observer that ignores everything (the default)."""
+
+
+NULL_OBSERVER = NullObserver()
+
+
+class CompositeObserver(EvaluationObserver):
+    """Fans each event out to several observers, in order."""
+
+    def __init__(self, *observers: EvaluationObserver) -> None:
+        self.observers: Tuple[EvaluationObserver, ...] = tuple(
+            obs for obs in observers if obs is not None
+        )
+
+    def job_started(self, job: Optional[Job]) -> None:
+        for obs in self.observers:
+            obs.job_started(job)
+
+    def stage_completed(
+        self,
+        job: Optional[Job],
+        bench: str,
+        stage: str,
+        outcome: str,
+        seconds: float,
+    ) -> None:
+        for obs in self.observers:
+            obs.stage_completed(job, bench, stage, outcome, seconds)
+
+    def artifact_stored(
+        self, job: Optional[Job], kind: str, key: str, outcome: str
+    ) -> None:
+        for obs in self.observers:
+            obs.artifact_stored(job, kind, key, outcome)
+
+    def job_finished(self, job: Optional[Job]) -> None:
+        for obs in self.observers:
+            obs.job_finished(job)
+
+
+class BoundObserver(EvaluationObserver):
+    """Pins the ``job`` argument of every forwarded event.
+
+    The evaluation runner emits stage/artifact events with ``job=None``
+    (it predates jobs and stays job-agnostic); the orchestrator wraps
+    the real observer in a bound one per attempt so those events arrive
+    attributed to the right job.
+    """
+
+    def __init__(self, observer: EvaluationObserver, job: Job) -> None:
+        self.observer = observer
+        self.job = job
+
+    def job_started(self, job: Optional[Job]) -> None:
+        self.observer.job_started(self.job)
+
+    def stage_completed(
+        self,
+        job: Optional[Job],
+        bench: str,
+        stage: str,
+        outcome: str,
+        seconds: float,
+    ) -> None:
+        self.observer.stage_completed(self.job, bench, stage, outcome, seconds)
+
+    def artifact_stored(
+        self, job: Optional[Job], kind: str, key: str, outcome: str
+    ) -> None:
+        self.observer.artifact_stored(self.job, kind, key, outcome)
+
+    def job_finished(self, job: Optional[Job]) -> None:
+        self.observer.job_finished(self.job)
+
+
+@dataclass
+class ObservedEvent:
+    """One recorded observer call (test/debug support)."""
+
+    kind: str
+    job_id: Optional[str]
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class RecordingObserver(EvaluationObserver):
+    """Thread-safe observer that records every event, in arrival order.
+
+    Used by the daemon tests and the hypothesis event-ordering test;
+    :meth:`for_job` slices one job's event stream back out.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: List[ObservedEvent] = []
+
+    def _record(self, event: str, job: Optional[Job], **args: Any) -> None:
+        record = ObservedEvent(
+            kind=event, job_id=job.id if job is not None else None, args=args
+        )
+        with self._lock:
+            self.events.append(record)
+
+    def job_started(self, job: Optional[Job]) -> None:
+        self._record(
+            "job_started", job,
+            retries=job.retries if job is not None else 0,
+        )
+
+    def stage_completed(
+        self,
+        job: Optional[Job],
+        bench: str,
+        stage: str,
+        outcome: str,
+        seconds: float,
+    ) -> None:
+        self._record(
+            "stage_completed", job,
+            bench=bench, stage=stage, outcome=outcome, seconds=seconds,
+        )
+
+    def artifact_stored(
+        self, job: Optional[Job], kind: str, key: str, outcome: str
+    ) -> None:
+        self._record(
+            "artifact_stored", job, kind=kind, key=key, outcome=outcome
+        )
+
+    def job_finished(self, job: Optional[Job]) -> None:
+        self._record(
+            "job_finished", job,
+            state=job.state.value if job is not None else None,
+            retries=job.retries if job is not None else 0,
+        )
+
+    def for_job(self, job_id: str) -> List[ObservedEvent]:
+        with self._lock:
+            return [e for e in self.events if e.job_id == job_id]
+
+    def kinds(self, job_id: str) -> List[str]:
+        return [e.kind for e in self.for_job(job_id)]
+
+
+def check_event_ordering(events: Sequence[ObservedEvent]) -> List[str]:
+    """Validate one job's event stream against the observer contract.
+
+    Returns a list of violations (empty = well-ordered):
+
+    * the stream starts with ``job_started`` and ends with
+      ``job_finished``,
+    * ``job_finished`` appears exactly once, at the end,
+    * every stage/artifact event falls between a ``job_started`` and the
+      final ``job_finished``,
+    * ``job_started`` fires once per attempt with strictly increasing
+      ``retries`` starting at 0.
+    """
+    problems: List[str] = []
+    if not events:
+        return ["empty event stream"]
+    if events[0].kind != "job_started":
+        problems.append(f"first event is {events[0].kind}, not job_started")
+    if events[-1].kind != "job_finished":
+        problems.append(f"last event is {events[-1].kind}, not job_finished")
+    finishes = [e for e in events if e.kind == "job_finished"]
+    if len(finishes) != 1:
+        problems.append(f"{len(finishes)} job_finished events (expected 1)")
+    starts = [e for e in events if e.kind == "job_started"]
+    retries = [e.args.get("retries", 0) for e in starts]
+    if retries != sorted(set(retries)) or (retries and retries[0] != 0):
+        problems.append(f"job_started retries not 0,1,2,...: {retries}")
+    started = False
+    for event in events:
+        if event.kind == "job_started":
+            started = True
+        elif event.kind in ("stage_completed", "artifact_stored"):
+            if not started:
+                problems.append(f"{event.kind} before any job_started")
+    return problems

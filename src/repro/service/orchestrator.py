@@ -1,0 +1,497 @@
+"""Application layer: queue-driven orchestration of evaluation jobs.
+
+The :class:`Orchestrator` owns a FIFO job queue and a pool of worker
+threads, each of which executes jobs through per-job
+:class:`~repro.evaluation.runner.EvaluationRunner` instances -- all
+runners share one :class:`~repro.artifacts.ArtifactStore`, so artifacts
+computed for one client warm every later request exactly like the
+process-parallel suite runner's shared disk cache.  Because every stage artifact is an
+exact recorded object (never a timing), results are byte-identical to
+the one-shot CLI regardless of which worker computed them or in what
+order.
+
+Execution discipline:
+
+* **Timeouts.** Each attempt may be bounded (``Job.timeout``); a timed
+  out attempt fails the job, and the worker abandons its runner cache
+  (the overrun handler may still be mutating those runners from its
+  zombie thread -- Python cannot kill it, so the worker simply stops
+  sharing state with it).
+* **Bounded retry.** A handler signalling :class:`TransientJobError`
+  (worker-process death under the suite fan-out, interrupted system
+  calls, ...) requeues the job up to ``max_retries`` times; every
+  requeue increments ``job.retries``, which is surfaced in observer
+  events and the daemon's report JSON.
+* **Cancellation.** :meth:`Orchestrator.cancel` finishes a queued job
+  immediately; a running job is cancelled cooperatively -- handlers
+  call :meth:`JobContext.check` between pipeline stages and raise
+  :class:`JobCancelled` at the next checkpoint.
+* **Shutdown.** :meth:`drain` stops intake and waits for the queue to
+  empty (the daemon's SIGTERM path); :meth:`shutdown` additionally
+  cancels whatever is still queued, delivers one poison pill per worker
+  and joins them -- KeyboardInterrupt-safe, since only the main thread
+  receives the signal.
+
+Progress streams through the domain
+:class:`~repro.service.jobs.EvaluationObserver` protocol: the
+orchestrator emits ``job_started``/``job_finished``, and binds the
+per-attempt observer into each runner so stage and artifact events
+arrive attributed to the right job.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.artifacts import ArtifactStore
+from repro.obs import REGISTRY, get_tracer, metrics_delta
+from repro.runtime.machine import MachineConfig
+from repro.service.jobs import (
+    NULL_OBSERVER,
+    BoundObserver,
+    CompileJob,
+    CompositeObserver,
+    EvaluationObserver,
+    Job,
+    JobState,
+    RunJob,
+    SuiteJob,
+    TraceJob,
+)
+
+
+class JobCancelled(Exception):
+    """Raised inside a handler at a cancellation checkpoint."""
+
+
+class JobTimeout(Exception):
+    """One attempt exceeded its wall-clock budget."""
+
+
+class TransientJobError(Exception):
+    """A failure worth retrying (e.g. worker-process death)."""
+
+
+#: The process-wide tracer is ambient, so trace-capturing jobs are
+#: serialized; concurrent non-trace jobs keep running (their spans may
+#: appear in the capture, attributed by their ``job`` span argument).
+_TRACE_LOCK = threading.Lock()
+
+
+@dataclass
+class JobContext:
+    """What a handler gets to work with during one attempt."""
+
+    job: Job
+    observer: EvaluationObserver
+    artifacts: ArtifactStore
+    #: This attempt's runner cache (keyed by core count).  Runners are
+    #: per-job on purpose: cross-job warmth flows through the shared
+    #: :class:`ArtifactStore` instead of private memos, so every repeat
+    #: request shows up as store hits and results never depend on which
+    #: worker thread served the job.
+    runners: Dict[int, Any] = field(default_factory=dict)
+    interp_backend: str = "auto"
+
+    @property
+    def cancelled(self) -> bool:
+        return self.job.cancel_requested.is_set()
+
+    def check(self) -> None:
+        """Cancellation checkpoint: raise if a cancel was requested."""
+        if self.cancelled:
+            raise JobCancelled(self.job.id)
+
+    def runner(self, cores: int):
+        """This attempt's :class:`EvaluationRunner` for ``cores``."""
+        runner = self.runners.get(cores)
+        if runner is None:
+            from repro.evaluation.runner import EvaluationRunner
+
+            runner = EvaluationRunner(
+                MachineConfig(cores=cores),
+                artifacts=self.artifacts,
+                interp_backend=self.interp_backend,
+            )
+            self.runners[cores] = runner
+        # Rebind progress onto this attempt's job-bound observer.
+        runner.observer = self.observer
+        return runner
+
+
+Handler = Callable[[JobContext, Any], dict]
+
+
+class Orchestrator:
+    """Executes evaluation jobs from a queue over shared artifacts."""
+
+    def __init__(
+        self,
+        cache: Any = None,
+        artifacts: Optional[ArtifactStore] = None,
+        workers: int = 2,
+        observer: Optional[EvaluationObserver] = None,
+        default_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        interp_backend: str = "auto",
+    ) -> None:
+        self.artifacts = (
+            artifacts if artifacts is not None else ArtifactStore(cache)
+        )
+        self.observer: EvaluationObserver = observer or NULL_OBSERVER
+        self.default_timeout = default_timeout
+        self.max_retries = max_retries
+        self.interp_backend = interp_backend
+        self.handlers: Dict[Type[Any], Handler] = {
+            CompileJob: self._handle_compile,
+            RunJob: self._handle_run,
+            SuiteJob: self._handle_suite,
+            TraceJob: self._handle_trace,
+        }
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._jobs: Dict[str, Job] = {}
+        self._job_observers: Dict[str, EvaluationObserver] = {}
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._threads: List[threading.Thread] = []
+        for index in range(max(1, workers)):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Any,
+        timeout: Optional[float] = None,
+        observer: Optional[EvaluationObserver] = None,
+    ) -> Job:
+        """Queue one job; returns it immediately (state QUEUED).
+
+        ``observer`` (optional) receives this job's events in addition
+        to the orchestrator-wide observer -- the daemon registers the
+        submitting connection's stream here.
+        """
+        if type(spec) not in self.handlers:
+            raise TypeError(f"no handler for job spec {type(spec).__name__}")
+        with self._lock:
+            if not self._accepting:
+                raise RuntimeError("orchestrator is draining")
+            job = Job(
+                spec=spec,
+                timeout=self.default_timeout if timeout is None else timeout,
+            )
+            self._jobs[job.id] = job
+            if observer is not None:
+                self._job_observers[job.id] = observer
+        self._queue.put(job)
+        return job
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job: Job, timeout: Optional[float] = None) -> Job:
+        """Block until ``job`` reaches a terminal state."""
+        job.finished.wait(timeout)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns whether the job will stop.
+
+        A queued job is finished (CANCELLED) on the spot; a running one
+        is flagged and stops at its handler's next checkpoint; terminal
+        jobs are left alone (returns False).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state.terminal:
+                return False
+            job.request_cancel()
+            if job.state is JobState.QUEUED:
+                job.transition(JobState.CANCELLED)
+                observer = self._observer_for(job)
+            else:
+                return True  # running: cooperative
+        observer.job_finished(job)
+        return True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting submissions and wait for in-flight work.
+
+        Returns True when every accepted job reached a terminal state
+        within ``timeout`` (None = wait indefinitely).
+        """
+        with self._lock:
+            self._accepting = False
+            pending = [j for j in self._jobs.values() if not j.state.terminal]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in pending:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                return False
+            if not job.finished.wait(remaining):
+                return False
+        return True
+
+    def shutdown(
+        self, wait: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Cancel queued jobs, poison the workers, and join them."""
+        with self._lock:
+            self._accepting = False
+            queued = [
+                j for j in self._jobs.values() if j.state is JobState.QUEUED
+            ]
+        for job in queued:
+            self.cancel(job.id)
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout)
+
+    def stats(self) -> dict:
+        """Job accounting + unified artifact-store counters."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        states: Dict[str, int] = {}
+        for job in jobs:
+            states[job.state.value] = states.get(job.state.value, 0) + 1
+        return {
+            "jobs": {
+                "total": len(jobs),
+                "states": states,
+                "retries": sum(job.retries for job in jobs),
+            },
+            "artifacts": self.artifacts.counters(),
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def _observer_for(self, job: Job) -> EvaluationObserver:
+        extra = self._job_observers.get(job.id)
+        if extra is None:
+            return self.observer
+        return CompositeObserver(self.observer, extra)
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if job.state is not JobState.QUEUED:
+                    continue  # cancelled while queued
+                job.transition(JobState.RUNNING)
+                observer = self._observer_for(job)
+            observer.job_started(job)
+            bound = BoundObserver(observer, job)
+            ctx = JobContext(
+                job=job,
+                observer=bound,
+                artifacts=self.artifacts,
+                interp_backend=self.interp_backend,
+            )
+            handler = self.handlers[type(job.spec)]
+            metrics_before = REGISTRY.snapshot()
+            try:
+                with get_tracer().span(
+                    f"job.{job.op}", cat="job", job=job.id,
+                    retries=job.retries,
+                ):
+                    result = self._attempt(handler, ctx, job)
+            except JobCancelled:
+                with self._lock:
+                    job.transition(JobState.CANCELLED)
+            except JobTimeout as exc:
+                # The overrun handler's zombie thread keeps its own
+                # per-job runners; only the thread-safe artifact store
+                # is shared with it, so nothing to abandon here.
+                with self._lock:
+                    job.error = str(exc)
+                    job.transition(JobState.FAILED)
+            except TransientJobError as exc:
+                requeued = False
+                with self._lock:
+                    if (
+                        job.retries < self.max_retries
+                        and not job.cancel_requested.is_set()
+                    ):
+                        job.retries += 1
+                        job.transition(JobState.QUEUED)
+                        requeued = True
+                    else:
+                        job.error = str(exc)
+                        job.transition(JobState.FAILED)
+                if requeued:
+                    self._queue.put(job)
+                    continue  # no job_finished: the next attempt restarts
+            except Exception as exc:  # noqa: BLE001 - job isolation barrier
+                with self._lock:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.transition(JobState.FAILED)
+            else:
+                with self._lock:
+                    job.result = result
+                    job.transition(JobState.DONE)
+            job.metrics = metrics_delta(metrics_before, REGISTRY.snapshot())
+            observer.job_finished(job)
+
+    def _attempt(self, handler: Handler, ctx: JobContext, job: Job) -> dict:
+        """One attempt, bounded by the job's timeout.
+
+        Python threads cannot be killed, so the budget is enforced by
+        running the handler in a disposable thread and abandoning it on
+        overrun -- the worker raises :class:`JobTimeout` and never reads
+        the late result.
+        """
+        if not job.timeout:
+            return handler(ctx, job.spec)
+        box: Dict[str, Any] = {}
+        done = threading.Event()
+
+        def target() -> None:
+            try:
+                box["result"] = handler(ctx, job.spec)
+            except BaseException as exc:  # noqa: BLE001 - crosses threads
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=target, name=f"attempt-{job.id}", daemon=True
+        )
+        thread.start()
+        if not done.wait(job.timeout):
+            job.request_cancel()  # tell the zombie to stop at a checkpoint
+            raise JobTimeout(
+                f"job {job.id} exceeded its {job.timeout:.1f}s budget"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    # -- default handlers --------------------------------------------------
+
+    def _handle_compile(self, ctx: JobContext, spec: CompileJob) -> dict:
+        from repro.core.loopinfo import HelixOptions
+        from repro.core.parallelizer import parallelize_module
+        from repro.ir.printer import module_to_str
+
+        runner = ctx.runner(spec.cores)
+        module = runner.module(spec.bench, "ref")
+        ctx.check()
+        selection = runner.selection(spec.bench)
+        ctx.check()
+        transformed, infos = parallelize_module(
+            module,
+            selection.chosen,
+            runner.machine,
+            HelixOptions(),
+            manager=runner.analysis,
+        )
+        result = {
+            "bench": spec.bench,
+            "cores": spec.cores,
+            "chosen": [list(loop) for loop in selection.chosen],
+            "parallelized": len(infos),
+        }
+        if spec.include_ir:
+            result["ir"] = module_to_str(transformed)
+        return result
+
+    def _handle_run(self, ctx: JobContext, spec: RunJob) -> dict:
+        runner = ctx.runner(spec.cores)
+        # Stage-by-stage with checkpoints, so cancellation lands between
+        # stages instead of only at the end.
+        runner.module(spec.bench, "train")
+        ctx.check()
+        runner.profile(spec.bench)
+        ctx.check()
+        runner.sequential(spec.bench)
+        ctx.check()
+        run = runner.helix_run(spec.bench)
+        return {
+            "bench": spec.bench,
+            "cores": spec.cores,
+            "speedup": run.speedup,
+            "cycles": run.parallel.cycles,
+            "sequential_cycles": run.sequential.cycles,
+            "output": list(run.parallel.result.output),
+            "output_matches": run.output_matches,
+            "chosen": [list(loop) for loop in run.chosen],
+        }
+
+    def _handle_suite(self, ctx: JobContext, spec: SuiteJob) -> dict:
+        from repro.evaluation.parallel_runner import run_suite
+
+        cache_root = (
+            str(self.artifacts.cache.root)
+            if self.artifacts.cache is not None
+            else None
+        )
+        try:
+            fig9, report, _runner = run_suite(
+                machine=MachineConfig(cores=spec.cores),
+                jobs=spec.jobs,
+                cache_dir=cache_root,
+                benches=list(spec.benches) if spec.benches else None,
+                observer=ctx.observer,
+            )
+        except BrokenProcessPool as exc:
+            raise TransientJobError(f"suite worker pool died: {exc}") from exc
+        return {
+            "cores": spec.cores,
+            "geomeans": report.geomeans,
+            "speedups": report.speedups,
+            "wall_seconds": report.wall_seconds,
+            "interrupted": report.interrupted,
+            "rendered": fig9.render(),
+        }
+
+    def _handle_trace(self, ctx: JobContext, spec: TraceJob) -> dict:
+        from repro.evaluation.runner import EvaluationRunner
+        from repro.obs import chrome_trace, tracing
+
+        ctx.check()
+        with _TRACE_LOCK:
+            # A fresh runner (cold memos, warm disk) so the capture
+            # contains the full stage-span taxonomy.
+            with tracing() as tracer:
+                runner = EvaluationRunner(
+                    MachineConfig(cores=spec.cores),
+                    artifacts=self.artifacts,
+                    observer=ctx.observer,
+                    interp_backend=self.interp_backend,
+                )
+                run = runner.helix_run(spec.bench)
+            events = tracer.finished()
+        result = {
+            "bench": spec.bench,
+            "cores": spec.cores,
+            "spans": len(events),
+            "speedup": run.speedup,
+            "output_matches": run.output_matches,
+        }
+        if spec.include_trace:
+            result["trace"] = chrome_trace(
+                events, registry_snapshot=REGISTRY.snapshot()
+            )
+        return result

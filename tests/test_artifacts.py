@@ -1,0 +1,140 @@
+"""Tests for the unified content-addressed :class:`ArtifactStore`."""
+
+import pytest
+
+from repro.artifacts import ArtifactStore, ScheduleMemo
+from repro.bench import benchmark_fingerprint
+from repro.evaluation.cache import EvaluationCache, code_version, fingerprint
+
+PROGRAM = """
+int total;
+void main() {
+    int i;
+    for (i = 0; i < 30; i++) {
+        int k = 0;
+        int f = 0;
+        while (k < 20) { f = f + (k ^ i); k++; }
+        total = (total + f) % 9973;
+    }
+    print(total);
+}
+"""
+
+
+@pytest.fixture()
+def tiny_bench(monkeypatch):
+    from repro.bench import suite as bench_suite
+    from repro.evaluation import runner as runner_mod
+
+    spec = bench_suite.BenchmarkSpec(
+        "tinyart", "synthetic artifact test bench",
+        lambda scale: PROGRAM, 1.0, "test",
+    )
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "tinyart", spec)
+    monkeypatch.setattr(runner_mod, "benchmark_names", lambda: ["tinyart"])
+    return "tinyart"
+
+
+def test_stage_key_matches_pre_refactor_formula(tiny_bench):
+    """The store's key is byte-identical to the old ``_disk_key``."""
+    store = ArtifactStore()
+    scales = ("train", "ref")
+    extra = {"stage": "profile", "scale": "train"}
+    expected = fingerprint(
+        {
+            "code": code_version(),
+            "bench": tiny_bench,
+            "sources": {
+                scale: benchmark_fingerprint(tiny_bench, scale)
+                for scale in scales
+            },
+            **extra,
+        }
+    )
+    assert store.stage_key(tiny_bench, scales, extra) == expected
+
+
+def test_memory_only_store():
+    store = ArtifactStore()
+    assert store.cache is None
+    assert store.load("module", "k") is None
+    assert store.store("module", "k", {"x": 1}) is False
+    counters = store.counters()
+    assert counters["artifacts"]["module"] == {
+        "hits": 0, "misses": 1, "stores": 0,
+    }
+    assert store.warm_hits == 0
+
+
+def test_disk_roundtrip_and_counters(tmp_path):
+    store = ArtifactStore(tmp_path / "cache")
+    assert store.load("profile", "key1") is None  # miss
+    assert store.store("profile", "key1", {"v": 42}) is True
+    assert store.load("profile", "key1") == {"v": 42}  # hit
+    counters = store.counters()["artifacts"]["profile"]
+    assert counters == {"hits": 1, "misses": 1, "stores": 1}
+    assert store.warm_hits == 1
+
+
+def test_store_accepts_cache_instance(tmp_path):
+    cache = EvaluationCache(tmp_path / "cache")
+    store = ArtifactStore(cache)
+    assert store.cache is cache
+    store.store("module", "k", {"a": 1})
+    # Same directory through a second store: the artifact is shared.
+    other = ArtifactStore(EvaluationCache(tmp_path / "cache"))
+    assert other.load("module", "k") == {"a": 1}
+
+
+def test_runner_hits_pre_refactor_warm_cache(tmp_path, tiny_bench):
+    """A cache dir written by one runner serves a fresh runner entirely
+    from disk -- the hit/miss parity contract of the refactor."""
+    from repro.evaluation.runner import EvaluationRunner
+    from repro.runtime.machine import MachineConfig
+
+    cache_dir = tmp_path / "cache"
+    machine = MachineConfig(cores=4)
+
+    cold = EvaluationRunner(machine, cache=EvaluationCache(cache_dir))
+    cold_run = cold.helix_run(tiny_bench)
+    cold_counters = cold.artifacts.counters()["artifacts"]
+    assert all(row["hits"] == 0 for row in cold_counters.values())
+    assert sum(row["stores"] for row in cold_counters.values()) > 0
+
+    warm = EvaluationRunner(machine, cache=EvaluationCache(cache_dir))
+    warm_run = warm.helix_run(tiny_bench)
+    warm_counters = warm.artifacts.counters()["artifacts"]
+    assert sum(row["hits"] for row in warm_counters.values()) > 0
+    assert all(row["misses"] == 0 for row in warm_counters.values())
+    assert all(row["stores"] == 0 for row in warm_counters.values())
+
+    assert warm_run.speedup == cold_run.speedup
+    assert warm_run.parallel.cycles == cold_run.parallel.cycles
+    assert list(warm_run.parallel.result.output) == list(
+        cold_run.parallel.result.output
+    )
+
+
+def test_schedule_memo_accounting():
+    store = ArtifactStore()
+    memo = store.schedule_memo()
+    assert isinstance(memo, ScheduleMemo)
+    memo["machine-a"] = [object(), object()]
+    memo["machine-b"] = [object()]
+    assert memo.occupancy() == {"machines": 2, "columns": 3}
+    other = store.schedule_memo()
+    other["machine-a"] = [object()]
+    schedules = store.counters()["schedules"]
+    assert schedules == {"memos": 2, "machines": 3, "columns": 4}
+
+
+def test_executor_schedules_live_in_store_memo():
+    """The runner's executors memoize schedule columns inside a
+    store-registered namespace, so store counters see them."""
+    from repro.evaluation.runner import EvaluationRunner
+
+    runner = EvaluationRunner()
+    runner.helix_run("mcf")
+    schedules = runner.artifacts.counters()["schedules"]
+    assert schedules["memos"] >= 1
+    assert schedules["columns"] > 0

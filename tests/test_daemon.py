@@ -1,0 +1,264 @@
+"""End-to-end tests for the ``repro serve`` daemon and its client."""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.service import Orchestrator
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import Daemon, validate_event
+
+PROGRAM = """
+int total;
+void main() {
+    int i;
+    for (i = 0; i < 30; i++) {
+        int k = 0;
+        int f = 0;
+        while (k < 20) { f = f + (k ^ i); k++; }
+        total = (total + f) % 9973;
+    }
+    print(total);
+}
+"""
+
+SLOW_DELAY = 1.5
+
+
+@pytest.fixture()
+def tiny_bench(monkeypatch):
+    from repro.bench import suite as bench_suite
+    from repro.evaluation import runner as runner_mod
+
+    def slow_source(scale):
+        time.sleep(SLOW_DELAY)
+        return PROGRAM
+
+    spec = bench_suite.BenchmarkSpec(
+        "tinyd", "synthetic daemon test bench",
+        lambda scale: PROGRAM, 1.0, "test",
+    )
+    slow = bench_suite.BenchmarkSpec(
+        "slowd", "synthetic slow daemon test bench",
+        slow_source, 1.0, "test",
+    )
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "tinyd", spec)
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "slowd", slow)
+    monkeypatch.setattr(
+        runner_mod, "benchmark_names", lambda: ["tinyd"]
+    )
+    return "tinyd"
+
+
+@pytest.fixture()
+def daemon(tmp_path, tiny_bench):
+    socket_path = str(tmp_path / "repro.sock")
+    log_path = str(tmp_path / "jobs.jsonl")
+    orchestrator = Orchestrator(cache=tmp_path / "cache", workers=2)
+    server = Daemon(
+        orchestrator,
+        socket_path=socket_path,
+        drain_timeout=60.0,
+        log_path=log_path,
+    )
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            server.serve(install_signal_handlers=False)
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert server.ready.wait(10)
+    yield server
+    server.request_stop()
+    thread.join(30)
+    assert not thread.is_alive()
+
+
+def one_shot_run(bench, cores, cache_dir):
+    """The one-shot CLI equivalent of a daemon ``run`` job."""
+    from repro.evaluation.cache import EvaluationCache
+    from repro.evaluation.runner import EvaluationRunner
+    from repro.runtime.machine import MachineConfig
+
+    runner = EvaluationRunner(
+        MachineConfig(cores=cores), cache=EvaluationCache(cache_dir)
+    )
+    run = runner.helix_run(bench)
+    return {
+        "bench": bench,
+        "cores": cores,
+        "speedup": run.speedup,
+        "cycles": run.parallel.cycles,
+        "sequential_cycles": run.sequential.cycles,
+        "output": list(run.parallel.result.output),
+        "output_matches": run.output_matches,
+        "chosen": [list(loop) for loop in run.chosen],
+    }
+
+
+def test_ping_and_stats(daemon):
+    with ServiceClient(socket_path=daemon.socket_path) as client:
+        assert client.ping() is True
+        stats = client.stats()
+        assert validate_event(stats) == []
+        assert stats["jobs"]["total"] == 0
+
+
+def test_concurrent_clients_byte_identical(daemon, tiny_bench, tmp_path):
+    """>= 8 concurrent clients all get byte-identical results, equal to
+    the one-shot CLI pipeline's."""
+    clients = 8
+    results = [None] * clients
+    errors = []
+
+    def worker(index):
+        try:
+            with ServiceClient(socket_path=daemon.socket_path) as client:
+                finished = client.run(
+                    {"op": "run", "bench": tiny_bench, "cores": 4}
+                )
+                for event in finished["events"]:
+                    assert validate_event(event) == []
+                results[index] = finished["result"]
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    assert not errors
+    assert all(result is not None for result in results)
+
+    blobs = {json.dumps(r, sort_keys=True) for r in results}
+    assert len(blobs) == 1, "daemon results differ across clients"
+
+    expected = one_shot_run(tiny_bench, 4, tmp_path / "oneshot-cache")
+    assert json.dumps(results[0], sort_keys=True) == json.dumps(
+        expected, sort_keys=True
+    )
+
+
+def test_resubmission_hits_warm_store(daemon, tiny_bench):
+    with ServiceClient(socket_path=daemon.socket_path) as client:
+        client.run({"op": "run", "bench": tiny_bench, "cores": 4})
+        finished = client.run(
+            {"op": "run", "bench": tiny_bench, "cores": 4}
+        )
+        hits = [
+            event for event in finished["events"]
+            if event["event"] == "artifact_stored"
+            and event["outcome"] == "hit"
+        ]
+        assert hits, "resubmitted job saw no warm artifact hits"
+        stats = client.stats()
+        counters = stats["artifacts"]["artifacts"]
+        assert sum(row["hits"] for row in counters.values()) > 0
+
+
+def test_compile_and_trace_ops(daemon, tiny_bench):
+    with ServiceClient(socket_path=daemon.socket_path) as client:
+        # The synthetic bench has no profitable loops; compile a real
+        # one to see the transform actually fire.
+        compiled = client.run({"op": "compile", "bench": "mcf", "cores": 4})
+        assert compiled["result"]["parallelized"] >= 1
+        traced = client.run({"op": "trace", "bench": tiny_bench})
+        assert traced["result"]["spans"] > 0
+        assert traced["result"]["output_matches"] is True
+
+
+def test_suite_op_streams_bench_progress(daemon, tiny_bench):
+    with ServiceClient(socket_path=daemon.socket_path) as client:
+        finished = client.run(
+            {"op": "suite", "benches": [tiny_bench], "cores": 4}
+        )
+        assert finished["result"]["geomeans"]
+        stages = [
+            event for event in finished["events"]
+            if event["event"] == "stage_completed"
+        ]
+        assert stages, "suite job streamed no stage events"
+
+
+def test_cancel_queued_job(daemon, tiny_bench):
+    """With both workers busy on slow jobs, a queued job can be
+    cancelled before it ever runs."""
+    with ServiceClient(socket_path=daemon.socket_path) as client:
+        blockers = [
+            client.request({"op": "run", "bench": "slowd", "cores": 2}),
+            client.request({"op": "run", "bench": "slowd", "cores": 3}),
+        ]
+        victim = client.request(
+            {"op": "run", "bench": tiny_bench, "cores": 4}
+        )
+        assert client.cancel(victim) is True
+        finished = client.wait(victim)
+        assert finished["state"] == "cancelled"
+        for job in blockers:
+            done = client.wait(job)
+            assert done["state"] == "done"
+
+
+def test_bad_requests_get_errors(daemon):
+    with ServiceClient(socket_path=daemon.socket_path) as client:
+        with pytest.raises(ServiceError, match="unknown op"):
+            client.request({"op": "explode"})
+        with pytest.raises(ServiceError, match="bad run request"):
+            client.request({"op": "run"})
+        with pytest.raises(ServiceError, match="unknown benchmark"):
+            client.run({"op": "run", "bench": "does-not-exist"})
+
+
+def test_job_log_written(daemon, tiny_bench):
+    with ServiceClient(socket_path=daemon.socket_path) as client:
+        client.run({"op": "run", "bench": tiny_bench, "cores": 4})
+    lines = [
+        json.loads(line)
+        for line in open(daemon.log_path, encoding="utf-8")
+    ]
+    assert any(event["event"] == "accepted" for event in lines)
+    assert any(event["event"] == "job_finished" for event in lines)
+    for event in lines:
+        assert validate_event(event) == []
+
+
+def test_graceful_drain(tmp_path, tiny_bench):
+    """request_stop (the SIGTERM path) finishes in-flight jobs, tears
+    the workers down, and removes the socket."""
+    socket_path = str(tmp_path / "drain.sock")
+    orchestrator = Orchestrator(cache=tmp_path / "cache", workers=2)
+    server = Daemon(orchestrator, socket_path=socket_path, drain_timeout=60)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            server.serve(install_signal_handlers=False)
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert server.ready.wait(10)
+
+    client = ServiceClient(socket_path=socket_path)
+    job = client.request({"op": "run", "bench": "slowd", "cores": 4})
+    server.request_stop()
+    # The in-flight job still completes and streams its terminal event.
+    finished = client.wait(job)
+    assert finished["state"] == "done"
+    client.close()
+    thread.join(30)
+    assert not thread.is_alive()
+    assert not os.path.exists(socket_path)
+    # Workers were joined; a fresh submit is refused.
+    with pytest.raises(RuntimeError):
+        orchestrator.submit(
+            __import__("repro.service.jobs", fromlist=["RunJob"]).RunJob(
+                "tinyd"
+            )
+        )

@@ -1,0 +1,316 @@
+"""Tests for the application-layer job orchestrator."""
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    JobState,
+    Orchestrator,
+    RecordingObserver,
+    RunJob,
+    TransientJobError,
+)
+from repro.service.jobs import check_event_ordering
+
+PROGRAM = """
+int total;
+void main() {
+    int i;
+    for (i = 0; i < 30; i++) {
+        int k = 0;
+        int f = 0;
+        while (k < 20) { f = f + (k ^ i); k++; }
+        total = (total + f) % 9973;
+    }
+    print(total);
+}
+"""
+
+
+@dataclass(frozen=True)
+class FakeSpec:
+    """Synthetic job spec driving a test-registered handler."""
+
+    tag: str = "x"
+
+    op = "fake"
+
+
+def make_orchestrator(handler, **kwargs):
+    observer = RecordingObserver()
+    kwargs.setdefault("workers", 1)
+    orch = Orchestrator(observer=observer, **kwargs)
+    orch.handlers[FakeSpec] = handler
+    return orch, observer
+
+
+@pytest.fixture()
+def tiny_bench(monkeypatch):
+    from repro.bench import suite as bench_suite
+
+    spec = bench_suite.BenchmarkSpec(
+        "tinyorch", "synthetic orchestrator test bench",
+        lambda scale: PROGRAM, 1.0, "test",
+    )
+    monkeypatch.setitem(bench_suite.BENCHMARKS, "tinyorch", spec)
+    return "tinyorch"
+
+
+def test_submit_wait_done():
+    orch, observer = make_orchestrator(lambda ctx, spec: {"ok": spec.tag})
+    try:
+        job = orch.submit(FakeSpec("a"))
+        orch.wait(job, timeout=10)
+        assert job.state is JobState.DONE
+        assert job.result == {"ok": "a"}
+        assert job.metrics is not None
+        kinds = observer.kinds(job.id)
+        assert kinds[0] == "job_started"
+        assert kinds[-1] == "job_finished"
+        assert check_event_ordering(observer.for_job(job.id)) == []
+    finally:
+        orch.shutdown()
+
+
+def test_unknown_spec_rejected():
+    orch, _ = make_orchestrator(lambda ctx, spec: {})
+    try:
+        with pytest.raises(TypeError):
+            orch.submit(object())
+    finally:
+        orch.shutdown()
+
+
+def test_handler_exception_fails_job():
+    def boom(ctx, spec):
+        raise ValueError("broken input")
+
+    orch, observer = make_orchestrator(boom)
+    try:
+        job = orch.submit(FakeSpec())
+        orch.wait(job, timeout=10)
+        assert job.state is JobState.FAILED
+        assert "ValueError" in job.error and "broken input" in job.error
+        assert observer.kinds(job.id)[-1] == "job_finished"
+    finally:
+        orch.shutdown()
+
+
+def test_timeout_fails_job():
+    release = threading.Event()
+
+    def slow(ctx, spec):
+        release.wait(20)
+        return {}
+
+    orch, observer = make_orchestrator(slow)
+    try:
+        job = orch.submit(FakeSpec(), timeout=0.2)
+        orch.wait(job, timeout=10)
+        assert job.state is JobState.FAILED
+        assert "budget" in job.error
+        # The overrun attempt was asked to stop cooperatively.
+        assert job.cancel_requested.is_set()
+    finally:
+        release.set()
+        orch.shutdown()
+
+
+def test_transient_failure_retries_then_succeeds():
+    attempts = []
+
+    def flaky(ctx, spec):
+        attempts.append(ctx.job.retries)
+        if len(attempts) == 1:
+            raise TransientJobError("worker died")
+        return {"attempt": len(attempts)}
+
+    orch, observer = make_orchestrator(flaky, max_retries=2)
+    try:
+        job = orch.submit(FakeSpec())
+        orch.wait(job, timeout=10)
+        assert job.state is JobState.DONE
+        assert job.retries == 1
+        assert job.result == {"attempt": 2}
+        events = observer.for_job(job.id)
+        starts = [e for e in events if e.kind == "job_started"]
+        assert [e.args["retries"] for e in starts] == [0, 1]
+        # Exactly one terminal notification, after the retry.
+        assert check_event_ordering(events) == []
+        finish = events[-1]
+        assert finish.args["retries"] == 1
+    finally:
+        orch.shutdown()
+
+
+def test_retry_budget_exhausted():
+    def always_flaky(ctx, spec):
+        raise TransientJobError("still dying")
+
+    orch, observer = make_orchestrator(always_flaky, max_retries=1)
+    try:
+        job = orch.submit(FakeSpec())
+        orch.wait(job, timeout=10)
+        assert job.state is JobState.FAILED
+        assert job.retries == 1
+        assert "still dying" in job.error
+        assert orch.stats()["jobs"]["retries"] == 1
+    finally:
+        orch.shutdown()
+
+
+def test_cancel_queued_job():
+    gate = threading.Event()
+
+    def blocker(ctx, spec):
+        gate.wait(20)
+        return {}
+
+    orch, observer = make_orchestrator(blocker, workers=1)
+    try:
+        first = orch.submit(FakeSpec("hold"))
+        second = orch.submit(FakeSpec("victim"))
+        assert orch.cancel(second.id) is True
+        orch.wait(second, timeout=10)
+        assert second.state is JobState.CANCELLED
+        assert observer.kinds(second.id) == ["job_finished"]
+        gate.set()
+        orch.wait(first, timeout=10)
+        assert first.state is JobState.DONE
+    finally:
+        gate.set()
+        orch.shutdown()
+
+
+def test_cancel_running_job_cooperatively():
+    entered = threading.Event()
+
+    def cooperative(ctx, spec):
+        entered.set()
+        while True:
+            ctx.check()
+            time.sleep(0.01)
+
+    orch, observer = make_orchestrator(cooperative)
+    try:
+        job = orch.submit(FakeSpec())
+        assert entered.wait(10)
+        assert orch.cancel(job.id) is True
+        orch.wait(job, timeout=10)
+        assert job.state is JobState.CANCELLED
+        assert job.result is None
+    finally:
+        orch.shutdown()
+
+
+def test_cancel_terminal_job_is_noop():
+    orch, _ = make_orchestrator(lambda ctx, spec: {})
+    try:
+        job = orch.submit(FakeSpec())
+        orch.wait(job, timeout=10)
+        assert orch.cancel(job.id) is False
+        assert orch.cancel("no-such-job") is False
+    finally:
+        orch.shutdown()
+
+
+def test_drain_stops_intake():
+    orch, _ = make_orchestrator(lambda ctx, spec: {})
+    try:
+        job = orch.submit(FakeSpec())
+        assert orch.drain(timeout=10) is True
+        assert job.state is JobState.DONE
+        with pytest.raises(RuntimeError):
+            orch.submit(FakeSpec())
+    finally:
+        orch.shutdown()
+
+
+def test_shutdown_cancels_queued_and_joins():
+    gate = threading.Event()
+
+    def blocker(ctx, spec):
+        gate.wait(20)
+        ctx.check()
+        return {}
+
+    orch, _ = make_orchestrator(blocker, workers=1)
+    running = orch.submit(FakeSpec("running"))
+    queued = orch.submit(FakeSpec("queued"))
+    orch.cancel(running.id)
+    gate.set()
+    orch.shutdown(wait=True, timeout=10)
+    assert queued.state is JobState.CANCELLED
+    orch.wait(running, timeout=10)
+    assert running.state.terminal
+    assert all(not t.is_alive() for t in orch._threads)
+
+
+def test_run_job_via_real_pipeline(tmp_path, tiny_bench):
+    observer = RecordingObserver()
+    orch = Orchestrator(
+        cache=tmp_path / "cache", workers=2, observer=observer
+    )
+    try:
+        first = orch.submit(RunJob(tiny_bench, cores=4))
+        orch.wait(first, timeout=120)
+        assert first.state is JobState.DONE
+        assert first.result["output_matches"] is True
+        assert first.result["speedup"] > 0
+        assert check_event_ordering(observer.for_job(first.id)) == []
+
+        # Resubmission: byte-identical result, served warm.
+        second = orch.submit(RunJob(tiny_bench, cores=4))
+        orch.wait(second, timeout=120)
+        assert second.result == first.result
+        counters = orch.stats()["artifacts"]["artifacts"]
+        assert sum(row["hits"] for row in counters.values()) > 0
+    finally:
+        orch.shutdown()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    plan=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # transient failures
+            st.integers(min_value=0, max_value=3),  # stage events
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_event_ordering_property_through_orchestrator(plan):
+    """Real orchestrator streams always satisfy the observer contract,
+    whatever mix of retries and stage activity the handlers produce."""
+    failures_left = {}
+
+    def scripted(ctx, spec):
+        index = int(spec.tag)
+        fail, stages = plan[index]
+        for count in range(stages):
+            ctx.observer.stage_completed(
+                None, f"bench{index}", f"stage{count}", "compute", 0.0
+            )
+        if failures_left[index] > 0:
+            failures_left[index] -= 1
+            raise TransientJobError("scripted failure")
+        return {"index": index}
+
+    orch, observer = make_orchestrator(scripted, workers=2, max_retries=2)
+    try:
+        jobs = []
+        for index, (fail, _) in enumerate(plan):
+            failures_left[index] = fail
+            jobs.append(orch.submit(FakeSpec(str(index))))
+        for job in jobs:
+            orch.wait(job, timeout=30)
+            assert job.state is JobState.DONE
+            assert check_event_ordering(observer.for_job(job.id)) == []
+    finally:
+        orch.shutdown()

@@ -1,0 +1,219 @@
+"""Tests for the service domain layer: jobs, states, observers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.jobs import (
+    BoundObserver,
+    CompileJob,
+    CompositeObserver,
+    EvaluationObserver,
+    InvalidTransition,
+    Job,
+    JobState,
+    ObservedEvent,
+    RecordingObserver,
+    RunJob,
+    SuiteJob,
+    TraceJob,
+    check_event_ordering,
+)
+
+
+# -- state machine -----------------------------------------------------------
+
+
+def test_happy_path_transitions():
+    job = Job(spec=RunJob("mcf"))
+    assert job.state is JobState.QUEUED
+    assert not job.finished.is_set()
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.DONE)
+    assert job.state.terminal
+    assert job.finished.is_set()
+
+
+def test_retry_edge_running_to_queued():
+    job = Job(spec=RunJob("mcf"))
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.QUEUED)
+    assert not job.finished.is_set()
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.FAILED)
+    assert job.finished.is_set()
+
+
+@pytest.mark.parametrize(
+    "path",
+    [
+        (JobState.DONE,),  # queued -> done skips running
+        (JobState.FAILED,),  # queued -> failed skips running
+        (JobState.RUNNING, JobState.DONE, JobState.RUNNING),
+        (JobState.CANCELLED, JobState.RUNNING),
+        (JobState.RUNNING, JobState.FAILED, JobState.QUEUED),
+    ],
+)
+def test_illegal_transitions_raise(path):
+    job = Job(spec=RunJob("mcf"))
+    with pytest.raises(InvalidTransition):
+        for state in path:
+            job.transition(state)
+
+
+def test_job_ids_unique():
+    ids = {Job(spec=RunJob("mcf")).id for _ in range(50)}
+    assert len(ids) == 50
+
+
+def test_as_dict_wire_form():
+    job = Job(spec=SuiteJob(benches=("mcf", "vpr"), cores=4, jobs=2))
+    payload = job.as_dict()
+    assert payload["op"] == "suite"
+    assert payload["state"] == "queued"
+    assert payload["spec"] == {
+        "benches": ["mcf", "vpr"],
+        "cores": 4,
+        "jobs": 2,
+    }
+
+
+def test_spec_ops():
+    assert CompileJob("mcf").op == "compile"
+    assert RunJob("mcf").op == "run"
+    assert SuiteJob().op == "suite"
+    assert TraceJob("mcf").op == "trace"
+
+
+# -- observers ---------------------------------------------------------------
+
+
+def test_composite_fans_out_in_order():
+    a, b = RecordingObserver(), RecordingObserver()
+    composite = CompositeObserver(a, b, None)
+    job = Job(spec=RunJob("mcf"))
+    composite.job_started(job)
+    composite.stage_completed(job, "mcf", "module", "compute", 0.1)
+    composite.artifact_stored(job, "module", "k", "store")
+    composite.job_finished(job)
+    assert [e.kind for e in a.events] == [e.kind for e in b.events] == [
+        "job_started",
+        "stage_completed",
+        "artifact_stored",
+        "job_finished",
+    ]
+
+
+def test_bound_observer_pins_job():
+    recorder = RecordingObserver()
+    job = Job(spec=RunJob("mcf"))
+    bound = BoundObserver(recorder, job)
+    # The runner emits job=None; the bound observer fills it in.
+    bound.stage_completed(None, "mcf", "profile", "memory", 0.0)
+    bound.artifact_stored(None, "profile", "k", "hit")
+    assert [e.job_id for e in recorder.events] == [job.id, job.id]
+    assert recorder.kinds(job.id) == ["stage_completed", "artifact_stored"]
+
+
+def test_base_observer_is_noop():
+    obs = EvaluationObserver()
+    obs.job_started(None)
+    obs.stage_completed(None, "b", "s", "o", 0.0)
+    obs.artifact_stored(None, "k", "key", "hit")
+    obs.job_finished(None)
+
+
+# -- event-ordering contract -------------------------------------------------
+
+
+def _ev(event, **args):
+    return ObservedEvent(kind=event, job_id="j", args=args)
+
+
+def test_ordering_accepts_wellformed_stream():
+    events = [
+        _ev("job_started", retries=0),
+        _ev("artifact_stored", artifact="module", key="k", outcome="store"),
+        _ev("stage_completed", bench="mcf", stage="module",
+            outcome="compute", seconds=0.1),
+        _ev("job_finished", state="done", retries=0),
+    ]
+    assert check_event_ordering(events) == []
+
+
+def test_ordering_accepts_retry_stream():
+    events = [
+        _ev("job_started", retries=0),
+        _ev("stage_completed", bench="b", stage="s",
+            outcome="compute", seconds=0.0),
+        _ev("job_started", retries=1),
+        _ev("job_finished", state="done", retries=1),
+    ]
+    assert check_event_ordering(events) == []
+
+
+@pytest.mark.parametrize(
+    "events, fragment",
+    [
+        ([], "empty"),
+        ([_ev("stage_completed", bench="b", stage="s", outcome="c",
+              seconds=0.0)], "not job_started"),
+        ([_ev("job_started", retries=0)], "not job_finished"),
+        (
+            [
+                _ev("job_started", retries=0),
+                _ev("job_finished", state="done", retries=0),
+                _ev("job_finished", state="done", retries=0),
+            ],
+            "job_finished",
+        ),
+        (
+            [
+                _ev("job_started", retries=1),
+                _ev("job_finished", state="done", retries=1),
+            ],
+            "retries",
+        ),
+    ],
+)
+def test_ordering_flags_violations(events, fragment):
+    problems = check_event_ordering(events)
+    assert problems
+    assert any(fragment in p for p in problems)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    stages=st.lists(
+        st.tuples(
+            st.sampled_from(["stage_completed", "artifact_stored"]),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=8,
+    ),
+    attempts=st.integers(min_value=1, max_value=4),
+)
+def test_ordering_property(stages, attempts):
+    """Any stream built by the contract passes the contract checker."""
+    events = []
+    per_attempt = len(stages) // attempts + 1
+    index = 0
+    for attempt in range(attempts):
+        events.append(_ev("job_started", retries=attempt))
+        for kind, _ in stages[index:index + per_attempt]:
+            if kind == "stage_completed":
+                events.append(
+                    _ev(kind, bench="b", stage="s", outcome="compute",
+                        seconds=0.0)
+                )
+            else:
+                events.append(_ev(kind, kind_="k", key="k", outcome="hit"))
+        index += per_attempt
+    events.append(
+        _ev("job_finished", state="done", retries=attempts - 1)
+    )
+    assert check_event_ordering(events) == []
+    # ... and the same stream with the terminal event displaced fails.
+    if len(events) > 2:
+        broken = [events[-1]] + events[:-1]
+        assert check_event_ordering(broken)
