@@ -10,11 +10,13 @@ Commands:
 * ``ir FILE.mc``             -- dump the compiled IR.
 * ``bench NAME``             -- run one of the 13 suite benchmarks.
 * ``bench-interp``           -- time the tree-walking, pre-decoded and
-  superblock code-generated interpreter backends (cold and warm lanes)
-  and write ``BENCH_interp.json``; ``--quick`` restricts to a small
-  CI-friendly subset, ``--min-speedup X`` fails the run if any
-  program's speedup drops below ``X`` and ``--min-geomean-speedup X``
-  gates the aggregate.
+  superblock code-generated interpreter backends (cold and warm lanes,
+  plus an instrumented *hooked* lane) and write ``BENCH_interp.json``;
+  ``--quick`` restricts to a small CI-friendly subset, ``--min-speedup
+  X`` fails the run if any program's speedup drops below ``X``,
+  ``--min-geomean-speedup X`` gates the aggregate and
+  ``--min-hooked-speedup X`` gates the hooked lane's geomean over the
+  hooked decoded variant.
 * ``bench-passes``           -- time cold benchmark pipelines with the
   versioned analysis cache against recompute-every-request and write
   ``BENCH_passes.json``.
@@ -209,6 +211,12 @@ def cmd_bench_interp(args) -> int:
         return 1
     if not _gate(
         report.geomean_speedup, args.min_geomean_speedup, "geomean speedup"
+    ):
+        return 1
+    if not _gate(
+        report.hooked_geomean_speedup,
+        args.min_hooked_speedup,
+        "hooked geomean speedup",
     ):
         return 1
     return 0
@@ -519,6 +527,14 @@ def main(argv=None) -> int:
         default=None,
         metavar="X",
         help="exit nonzero if the geomean superblock speedup is below X",
+    )
+    p.add_argument(
+        "--min-hooked-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero if the geomean hooked-superblock speedup over "
+        "the hooked decoded variant is below X",
     )
     p.set_defaults(func=cmd_bench_interp)
 

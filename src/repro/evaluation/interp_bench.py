@@ -1,10 +1,10 @@
 """Interpreter backend microbenchmarks (``repro bench-interp``).
 
-Times the three interpreter tiers — the tree walker, the pre-decoded
-closure backend and the superblock code-generated backend — on the same
+Times the interpreter tiers — the tree walker, the pre-decoded closure
+backend and the superblock code-generated backend — on the same
 compiled modules and reports per-program and aggregate speedups.  Every
-timed triple is also a differential check: the three backends must
-produce field-identical :class:`ExecutionResult`\\ s (output, cycles,
+timed group is also a differential check: the backends must produce
+field-identical :class:`ExecutionResult`\\ s (output, cycles,
 instructions, return value) or the run aborts.
 
 Each compiled backend is timed in two lanes, like ``bench-sched``:
@@ -13,6 +13,16 @@ Each compiled backend is timed in two lanes, like ``bench-sched``:
   includes decode and superblock code generation;
 * **warm** -- repeated runs on one interpreter whose per-function
   caches are hot, measuring steady-state execution only.
+
+A fourth group, the **hooked lane**, measures *instrumented* (profiled-
+run) throughput: an interpreter with ``count_loads`` on and an
+``on_block_entry`` override — the observation points the profiler and
+:class:`~repro.runtime.parallel.ParallelExecutor` rely on — timed on
+the decoded hooked variant versus the hooked superblock tier
+(cold + warm).  ``hooked_speedup`` is warm hooked-superblock over
+hooked-decoded; CI gates its geomean with ``--min-hooked-speedup``.
+The two hooked runs must agree on result fields, ``load_count`` *and*
+the number of hook invocations, or the run aborts.
 
 Wall-clock is the minimum over ``repeat`` runs (minimum, not mean:
 interpreter timing noise is one-sided).  Headline ``speedup`` is warm
@@ -36,6 +46,7 @@ from repro.bench import benchmark_names, compile_benchmark
 from repro.ir import Module
 from repro.runtime.interpreter import ExecutionResult, Interpreter
 from repro.runtime.machine import MachineConfig
+from repro.runtime.profiler import profile_module
 
 #: Benchmarks used by ``--quick`` (CI smoke): a small mix of control-
 #: and memory-heavy programs that decodes + runs in a few seconds.
@@ -70,6 +81,11 @@ class ProgramTiming:
     decoded_seconds: float
     superblock_cold_seconds: float
     superblock_seconds: float
+    #: Hooked (instrumented) lane: decoded hooked variant warm, hooked
+    #: superblock cold and warm.
+    hooked_decoded_seconds: float = 0.0
+    hooked_cold_seconds: float = 0.0
+    hooked_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -79,6 +95,15 @@ class ProgramTiming:
     @property
     def decoded_speedup(self) -> float:
         return _ratio(self.tree_seconds, self.decoded_seconds)
+
+    @property
+    def hooked_speedup(self) -> float:
+        """Instrumented ratio: warm hooked superblock over hooked decoded."""
+        return _ratio(self.hooked_decoded_seconds, self.hooked_seconds)
+
+    @property
+    def hooked_cold_speedup(self) -> float:
+        return _ratio(self.hooked_decoded_seconds, self.hooked_cold_seconds)
 
     @property
     def cold_speedup(self) -> float:
@@ -108,11 +133,16 @@ class ProgramTiming:
             "decoded_seconds": self.decoded_seconds,
             "superblock_cold_seconds": self.superblock_cold_seconds,
             "superblock_seconds": self.superblock_seconds,
+            "hooked_decoded_seconds": self.hooked_decoded_seconds,
+            "hooked_cold_seconds": self.hooked_cold_seconds,
+            "hooked_seconds": self.hooked_seconds,
             "tree_instr_per_sec": self.tree_ips,
             "superblock_instr_per_sec": self.superblock_ips,
             "speedup": self.speedup,
             "decoded_speedup": self.decoded_speedup,
             "cold_speedup": self.cold_speedup,
+            "hooked_speedup": self.hooked_speedup,
+            "hooked_cold_speedup": self.hooked_cold_speedup,
             "codegen_overhead_seconds": self.codegen_overhead_seconds,
         }
 
@@ -136,6 +166,20 @@ class InterpBenchReport:
     @property
     def cold_geomean_speedup(self) -> float:
         return _geomean([t.cold_speedup for t in self.programs])
+
+    @property
+    def hooked_geomean_speedup(self) -> float:
+        return _geomean([t.hooked_speedup for t in self.programs])
+
+    @property
+    def hooked_cold_geomean_speedup(self) -> float:
+        return _geomean([t.hooked_cold_speedup for t in self.programs])
+
+    @property
+    def min_hooked_speedup(self) -> float:
+        if not self.programs:
+            return 1.0
+        return min(t.hooked_speedup for t in self.programs)
 
     @property
     def min_speedup(self) -> float:
@@ -168,8 +212,11 @@ class InterpBenchReport:
                 "geomean_speedup": self.geomean_speedup,
                 "decoded_geomean_speedup": self.decoded_geomean_speedup,
                 "cold_geomean_speedup": self.cold_geomean_speedup,
+                "hooked_geomean_speedup": self.hooked_geomean_speedup,
+                "hooked_cold_geomean_speedup": self.hooked_cold_geomean_speedup,
                 "aggregate_speedup": self.aggregate_speedup,
                 "min_speedup": self.min_speedup,
+                "min_hooked_speedup": self.min_hooked_speedup,
                 "codegen_overhead_seconds": self.codegen_overhead_seconds,
             },
         }
@@ -180,13 +227,15 @@ class InterpBenchReport:
     def render(self) -> str:
         lines = [
             f"{'program':<10} {'instructions':>13} {'tree s':>8} "
-            f"{'decoded s':>9} {'sb cold':>8} {'sb warm':>8} {'speedup':>8}"
+            f"{'decoded s':>9} {'sb cold':>8} {'sb warm':>8} {'speedup':>8} "
+            f"{'hooked':>7}"
         ]
         for t in self.programs:
             lines.append(
                 f"{t.name:<10} {t.instructions:>13,} {t.tree_seconds:>8.3f} "
                 f"{t.decoded_seconds:>9.3f} {t.superblock_cold_seconds:>8.3f} "
-                f"{t.superblock_seconds:>8.3f} {t.speedup:>7.2f}x"
+                f"{t.superblock_seconds:>8.3f} {t.speedup:>7.2f}x "
+                f"{t.hooked_speedup:>6.2f}x"
             )
         lines.append(
             f"{'geomean':<10} {self.total_instructions:>13,} "
@@ -194,12 +243,15 @@ class InterpBenchReport:
             f"{sum(t.decoded_seconds for t in self.programs):>9.3f} "
             f"{sum(t.superblock_cold_seconds for t in self.programs):>8.3f} "
             f"{sum(t.superblock_seconds for t in self.programs):>8.3f} "
-            f"{self.geomean_speedup:>7.2f}x"
+            f"{self.geomean_speedup:>7.2f}x "
+            f"{self.hooked_geomean_speedup:>6.2f}x"
         )
         lines.append(
             f"(vs decoded {self.decoded_geomean_speedup:.2f}x -> superblock "
             f"gain {_ratio(self.geomean_speedup, self.decoded_geomean_speedup):.2f}x; "
-            f"cold {self.cold_geomean_speedup:.2f}x)"
+            f"cold {self.cold_geomean_speedup:.2f}x; hooked lane "
+            f"{self.hooked_geomean_speedup:.2f}x over hooked decoded, "
+            f"cold {self.hooked_cold_geomean_speedup:.2f}x)"
         )
         return "\n".join(lines)
 
@@ -233,10 +285,23 @@ def _time_cold(
 
 
 def _time_warm(
-    module: Module, machine: MachineConfig, backend: str, repeat: int
+    module: Module,
+    machine: MachineConfig,
+    backend: str,
+    repeat: int,
+    block_profile=None,
 ) -> Tuple[float, ExecutionResult]:
-    """One interpreter, caches pre-warmed by an untimed priming run."""
-    interp = Interpreter(module, machine, backend=backend)
+    """One interpreter, caches pre-warmed by an untimed priming run.
+
+    Warm lanes model the steady state of the evaluation pipeline, where
+    the profile stage's block-entry counts are available: passing them
+    as ``block_profile`` lets the superblock tiers form trace-guided
+    chains exactly as :class:`~repro.evaluation.runner.EvaluationRunner`
+    wires them into sequential and parallel execution.
+    """
+    interp = Interpreter(
+        module, machine, backend=backend, block_profile=block_profile
+    )
     result = interp.run()
     best = float("inf")
     for _ in range(max(1, repeat)):
@@ -244,6 +309,94 @@ def _time_warm(
         result = interp.run()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+class _HookBearingInterpreter(Interpreter):
+    """Minimal instrumented interpreter for the hooked lane.
+
+    Counts block entries through ``on_block_entry`` and loads through
+    ``count_loads`` -- the observation points the profiler and the
+    parallel executor depend on -- with negligible Python work per
+    event, so the measured ratio reflects tier overhead rather than
+    harness weight.  ``backend="decoded"`` selects the decoded hooked
+    variant; ``backend="superblock"`` the hooked superblock tier.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.count_loads = True
+        self.blocks_entered = 0
+
+    def on_block_entry(self, frame, prev, block) -> None:
+        self.blocks_entered += 1
+
+
+def _time_hooked_cold(
+    module: Module, machine: MachineConfig, backend: str, repeat: int
+) -> Tuple[float, ExecutionResult, int, int]:
+    """Fresh instrumented interpreter per run (includes decode/codegen);
+    returns ``(seconds, result, load_count, blocks_entered)``."""
+    best = float("inf")
+    result = None
+    interp = None
+    for _ in range(max(1, repeat)):
+        interp = _HookBearingInterpreter(module, machine, backend=backend)
+        start = time.perf_counter()
+        result = interp.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result, interp.load_count, interp.blocks_entered
+
+
+def _time_hooked_pair(
+    module: Module,
+    machine: MachineConfig,
+    repeat: int,
+    block_profile=None,
+) -> Tuple[
+    Tuple[float, ExecutionResult, int, int],
+    Tuple[float, ExecutionResult, int, int],
+]:
+    """Warm instrumented lanes, interleaved; returns ``(decoded, superblock)``
+    tuples of ``(seconds, result, load_count, blocks_entered)``.
+
+    The two lanes alternate timed runs instead of running back to back:
+    the report's gated quantity is their *ratio*, and slow machine drift
+    (frequency scaling, allocator state) between two sequential timing
+    windows otherwise dominates it.  Interleaving puts both lanes in
+    every drift regime, so min-of-N for each sees the same best-case
+    machine state.
+
+    ``block_profile`` mirrors the parallel execute/record path, which
+    re-runs instrumented code with the profile stage's counts in hand
+    (trace-guided chains); the decoded hooked baseline has no chains
+    and ignores it.
+    """
+    hd = _HookBearingInterpreter(module, machine, backend="decoded")
+    hs = _HookBearingInterpreter(
+        module, machine, backend="superblock", block_profile=block_profile
+    )
+    # Prime both (decode + codegen happen here, outside the timers).
+    hd.run()
+    hs.run()
+    hd_best = hs_best = float("inf")
+    hd_r = hs_r = None
+    for _ in range(max(1, repeat)):
+        # Base-interpreter runs accumulate load_count across run() calls;
+        # zero both counters so the differential check sees one run.
+        hd.load_count = 0
+        hd.blocks_entered = 0
+        start = time.perf_counter()
+        hd_r = hd.run()
+        hd_best = min(hd_best, time.perf_counter() - start)
+        hs.load_count = 0
+        hs.blocks_entered = 0
+        start = time.perf_counter()
+        hs_r = hs.run()
+        hs_best = min(hs_best, time.perf_counter() - start)
+    return (
+        (hd_best, hd_r, hd.load_count, hd.blocks_entered),
+        (hs_best, hs_r, hs.load_count, hs.blocks_entered),
+    )
 
 
 def run_interp_bench(
@@ -265,18 +418,43 @@ def run_interp_bench(
         if progress:
             progress(name)
         module = compile_benchmark(name, scale)
+        # One profiled run per program supplies the block-entry counts
+        # the warm superblock lanes use for trace-guided chains (the
+        # steady state every pipeline re-run sees).
+        counts = profile_module(module, machine).block_counts
         tree_s, tree_r = _time_tree(module, machine, repeat)
         decoded_cold_s, _ = _time_cold(module, machine, "decoded", repeat)
         decoded_s, decoded_r = _time_warm(module, machine, "decoded", repeat)
         super_cold_s, _ = _time_cold(module, machine, "superblock", repeat)
-        super_s, super_r = _time_warm(module, machine, "superblock", repeat)
+        super_s, super_r = _time_warm(
+            module, machine, "superblock", repeat, block_profile=counts
+        )
+        hs_cold_s, _, _, _ = _time_hooked_cold(
+            module, machine, "superblock", repeat
+        )
+        (
+            (hd_s, hd_r, hd_loads, hd_blocks),
+            (hs_s, hs_r, hs_loads, hs_blocks),
+        ) = _time_hooked_pair(module, machine, repeat, block_profile=counts)
         oracle = tree_r.to_dict()
-        for label, other in (("decoded", decoded_r), ("superblock", super_r)):
+        for label, other in (
+            ("decoded", decoded_r),
+            ("superblock", super_r),
+            ("hooked-decoded", hd_r),
+            ("hooked-superblock", hs_r),
+        ):
             if oracle != other.to_dict():  # pragma: no cover - identity gate
                 raise AssertionError(
                     f"backend divergence on {name!r}: tree={oracle} "
                     f"{label}={other.to_dict()}"
                 )
+        if (hd_loads, hd_blocks) != (hs_loads, hs_blocks):
+            # pragma: no cover - identity gate
+            raise AssertionError(
+                f"instrumentation divergence on {name!r}: decoded saw "
+                f"{hd_loads} loads/{hd_blocks} blocks, superblock "
+                f"{hs_loads}/{hs_blocks}"
+            )
         report.programs.append(
             ProgramTiming(
                 name=name,
@@ -286,6 +464,9 @@ def run_interp_bench(
                 decoded_seconds=decoded_s,
                 superblock_cold_seconds=super_cold_s,
                 superblock_seconds=super_s,
+                hooked_decoded_seconds=hd_s,
+                hooked_cold_seconds=hs_cold_s,
+                hooked_seconds=hs_s,
             )
         )
     return report

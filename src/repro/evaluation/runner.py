@@ -323,7 +323,10 @@ class EvaluationRunner:
                 outcome = "disk"
             else:
                 data = profile_module(
-                    train, self.machine, backend=self.interp_backend
+                    train,
+                    self.machine,
+                    backend=self.interp_backend,
+                    codegen_cache=self.artifacts,
                 )
                 self._store(bench, "profile", disk_key, data.to_dict())
                 outcome = "compute"
@@ -360,6 +363,7 @@ class EvaluationRunner:
                     self.machine,
                     backend=self.interp_backend,
                     block_profile=profile.block_counts if profile else None,
+                    codegen_cache=self.artifacts,
                 )
                 self._store(bench, "sequential", disk_key, result.to_dict())
                 outcome = "compute"
@@ -447,9 +451,17 @@ class EvaluationRunner:
             )
         self._record(bench, "transform", "compute", time.perf_counter() - start)
 
+        # Same opportunistic hot-path hint the sequential stage uses:
+        # an already-collected profile steers superblock chain formation
+        # in the parallel-execute interpreter too (the transformed
+        # module keeps the original block names outside the HELIX
+        # stubs, so train-build counts still mark the hot arms).
+        profile = self._profiles.get(bench)
         executor = ParallelExecutor(
             transformed, infos, machine, backend=self.interp_backend,
             schedule_memo=self.artifacts.schedule_memo(),
+            block_profile=profile.block_counts if profile else None,
+            codegen_cache=self.artifacts,
         )
         start = time.perf_counter()
         with get_tracer().span(

@@ -12,28 +12,74 @@ effects`` loop per block.  This module removes those too:
   the function's CFG.  When the chain terminator is a CBR with both
   arms fusable, the *hot* arm is chosen from
   ``Interpreter.block_profile`` dynamic block-entry counts when
-  available, statically (first target) otherwise.  Chains are capped at
+  available, statically (first target) otherwise; with a profile the
+  hottest unclaimed blocks also seed chains first, so hot paths grow
+  the longest fused regions.  Chains are capped at
   :data:`MAX_CHAIN_BLOCKS` blocks.
-* **Code generation / quickening** -- each superblock becomes one
-  generated Python function (``compile()``-ed once per
-  ``Interpreter``): registers are promoted to Python locals over the
-  tier-2 slot file, constants are folded into the source, arithmetic
-  and compare handlers are inlined (with the tree-walker's exact 64-bit
-  wrap semantics), compare+CBR pairs and LEA/PTRADD + LOADP/STOREP
-  pairs are fused, and cycle/instruction accounting is charged once per
-  segment instead of once per instruction.
+* **Code generation / quickening** -- all superblocks of a function
+  merge into ONE generated Python function (``compile()``-ed once per
+  ``Interpreter``): an integer-state dispatch loop whose arms are the
+  chains, so a chain transition is an in-function jump (``st = k``)
+  rather than a call back through a Python driver.  Registers are
+  promoted to function-wide Python locals over the tier-2 slot file --
+  materialized once per activation and carried across chain
+  transitions without flush or reload -- constants are folded into the
+  source, arithmetic and compare handlers are inlined (with the
+  tree-walker's exact 64-bit wrap semantics), compare+CBR pairs and
+  LEA/PTRADD + LOADP/STOREP pairs are fused, and cycle/instruction
+  accounting is charged once per segment instead of once per
+  instruction.
+* **Hooked tier** -- ``compile_superblocks(..., hooked=True)`` emits a
+  hook-aware variant for instrumented runs (the profiler and
+  :class:`~repro.runtime.parallel.ParallelExecutor`):
+  ``on_block_entry`` is called at every fused-block boundary with the
+  same arguments, order and exact ``cycles`` as the decoded hooked
+  variant, WAIT/SIGNAL/NEXT_ITER route through ``exec_sync`` and XFER
+  through ``exec_xfer`` at segment boundaries, and ``count_loads``
+  becomes a static per-segment ``load_count`` increment.  Because a
+  hook may *rewrite* ``interp.cycles`` (the parallel executor replaces
+  serial with scheduled-parallel time at loop exits), generated code
+  only ever charges through the interpreter attribute and never caches
+  cycle state in locals across a hook call.  Hooks receive the tier-2
+  :class:`~repro.runtime.precompile.DecodedFrame` and must not inspect
+  register state (true of every in-tree consumer); listener-bearing
+  interpreters still demote to the decoded hooked variant.
 * **Exactness fallback** -- output, cycle and instruction counts,
   ``RuntimeFault`` messages and ``ExecutionLimitExceeded`` behavior are
-  bit-identical to the tree-walker.  The driver only enters a
-  superblock when the instruction budget covers its whole linear body;
-  after every CALL (which consumes budget in the callee) the generated
-  code re-checks, and when the budget could expire inside the fused
-  region it flushes locals back to the slot file and resumes tier-2
-  execution via :func:`repro.runtime.precompile.finish_decoded` at the
-  aligned post-CALL segment boundary, whose per-instruction slow path
-  fires the limit at precisely the same dynamic instruction as the
-  walker.  Loop-shaped superblocks re-check the full body budget on
-  every back edge.
+  bit-identical to the tree-walker.  Each dispatch arm only runs when
+  the instruction budget covers its chain's whole linear body (checked
+  on arm entry; loop-shaped chains re-check on every back edge),
+  otherwise the generated function flushes the register locals back to
+  the slot file and returns the arm index for the driver to resume
+  tier-2 from that chain's head.  After every CALL (which consumes
+  budget in the callee) the generated code re-checks in place, and
+  when the budget could expire inside the fused region it flushes and
+  resumes tier-2 execution via
+  :func:`repro.runtime.precompile.finish_decoded` (or
+  :func:`~repro.runtime.precompile.finish_hooked` in the hooked tier)
+  at the aligned segment boundary -- tier-2 segments split after every
+  CALL, plus every sync/xfer opcode in the hooked variant, so the
+  anchors line up -- whose per-instruction slow path fires the limit at
+  precisely the same dynamic instruction as the walker.  The tier-2
+  fallback blocks are decoded *lazily*, on the first activation that
+  actually falls back, so a cold tier-3 compile never pays for a
+  decode.
+
+**Artifact caching**: when the owning interpreter carries a
+``codegen_cache`` (any object with ``load(kind, key)`` / ``store(kind,
+key, payload)`` -- in practice :class:`repro.artifacts.ArtifactStore`),
+generated source and bytecode are content-addressed under the
+``"codegen"`` kind and keyed by :data:`CODEGEN_VERSION`, the function's
+printed IR, the hook flags, the module's global-region sizes and
+function set, the cost-model parameters and the function's
+block-profile projection -- everything the emitted source can embed as
+a literal.  A warm hit re-binds the stored namespace manifest against
+the live interpreter and skips formation, rendering *and* ``compile()``
+(bytecode is reused when the Python ``cache_tag`` matches, else the
+cached source is recompiled).  ``repro serve`` job resubmissions and
+warm suite re-runs therefore skip decode+codegen entirely, and
+``suite --jobs N`` shards cold compiles across workers through the
+shared store.
 
 Assumptions baked into the generated source (shared with tier 2):
 global regions are reset *in place* (their backing lists -- and hence
@@ -41,18 +87,27 @@ their lengths -- are stable across runs), so bounds checks against
 known globals embed the region size as a literal.  The only tolerated
 divergence from the walker, as in tier 2: after a non-limit
 ``RuntimeFault`` aborts a run mid-segment, the dead interpreter's
-counters may include instructions from the faulting segment that never
-executed (no result object is produced on a fault).
+counters (including ``load_count``) may include instructions from the
+faulting segment that never executed (no result object is produced on
+a fault).
 
 Counters (:mod:`repro.obs.metrics`): ``interp.superblock.formed``,
 ``interp.superblock.blocks_fused``, ``interp.codegen.specialized_ops``,
-``interp.codegen.functions`` at compile time and
-``interp.superblock.fallbacks`` per exactness-fallback activation.
+``interp.codegen.functions`` at compile time,
+``interp.superblock.hooked`` per hooked-tier function made available,
+``interp.codegen.cache.hit`` / ``interp.codegen.cache.miss`` per
+artifact-cache probe, and ``interp.superblock.fallbacks`` per
+exactness-fallback activation.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
+import marshal
 import re
+import sys
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.ir import Function, Instruction, Opcode
@@ -69,18 +124,29 @@ from repro.runtime.interpreter import (
 )
 from repro.runtime.precompile import (
     _UNDEF,
-    DecodedFunction,
     _ftoi,
     _neg,
     _not,
     _undef,
+    allocate_slots,
     finish_decoded,
+    finish_hooked,
 )
 
 _INF = float("inf")
 
 #: Upper bound on blocks fused into one superblock (bounds source size).
 MAX_CHAIN_BLOCKS = 64
+
+#: Version of the generated-code layout and namespace manifest.  Bump on
+#: ANY change to emitted source shape, bind kinds or driver protocol:
+#: it is the only guard between old cached artifacts and new code.
+CODEGEN_VERSION = 3
+
+#: Artifact-store kind for cached generated code.
+CODEGEN_KIND = "codegen"
+
+_CACHE_TAG = sys.implementation.cache_tag
 
 # 64-bit two's complement wrap, inlined: 2**63 and 2**64 - 1.
 _O = "9223372036854775808"
@@ -106,6 +172,8 @@ _UNARY_FOLDS = {
     Opcode.ITOF: float,
     Opcode.FTOI: _ftoi,
 }
+_SYNC_OPS = (Opcode.WAIT, Opcode.SIGNAL, Opcode.NEXT_ITER, Opcode.XFER)
+_LOAD_OPS = (Opcode.LOADG, Opcode.LOADP)
 
 
 def _wrap(expr: str) -> str:
@@ -175,6 +243,12 @@ def form_superblocks(
     CFG predecessor (the fused edge), which guarantees that every side
     exit of every chain targets a chain *head* -- the invariant the
     generated code relies on to dispatch between superblocks.
+
+    With a ``block_profile``, the non-entry seed order is *trace
+    guided*: hotter unclaimed blocks start chains first (a stable sort,
+    so ties keep declaration order) and therefore get first claim on
+    fusable successors, growing the longest chains along the measured
+    hot paths.  Purely a layout heuristic -- never affects semantics.
     """
     blocks = func.blocks
     terms = {name: _first_terminator(b) for name, b in blocks.items()}
@@ -185,7 +259,11 @@ def form_superblocks(
                 if target in blocks:
                     preds[target] = preds.get(target, 0) + 1
     entry_name = func.entry.name
-    order = [entry_name] + [n for n in blocks if n != entry_name]
+    rest = [n for n in blocks if n != entry_name]
+    if block_profile:
+        fname = func.name
+        rest.sort(key=lambda n: -block_profile.get((fname, n), 0))
+    order = [entry_name] + rest
     claimed = set()
     chains: List[List[str]] = []
     for head in order:
@@ -211,30 +289,66 @@ def form_superblocks(
 
 
 class Superblock:
-    """One compiled chain: its generated function plus fallback anchors."""
+    """Metadata of one compiled chain (one dispatch arm of the merged
+    generated function)."""
 
-    __slots__ = ("head", "chain", "run", "max_instructions", "dblock")
+    __slots__ = ("head", "chain", "max_instructions")
 
     def __init__(self) -> None:
         self.head = ""
         self.chain: Tuple[str, ...] = ()
-        #: ``run(frame, limit)`` -> next Superblock or None (RET taken).
-        self.run = None
         #: Linear instruction count of the whole chain: an upper bound
         #: on what one pass (one loop iteration) can charge.
         self.max_instructions = 0
-        #: Tier-2 decoded block of the head, for the exactness fallback.
-        self.dblock = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<superblock {'+'.join(self.chain)}>"
 
 
+class _LazyDecode:
+    """Tier-2 fallback blocks for one compiled function, decoded only on
+    the first activation that actually needs the exactness fallback --
+    so a cold tier-3 compile (or a warm artifact hit) never decodes.
+
+    Callable: ``lazy(block_name) -> DecodedBlock`` of the variant whose
+    segment boundaries align with the generated code's anchors (fast
+    for the uninstrumented tier, hooked with the pinned ``count_loads``
+    flag for the hooked tier).
+    """
+
+    __slots__ = ("interp", "func", "hooked", "count_loads", "dfunc")
+
+    def __init__(self, interp, func: Function, hooked: bool,
+                 count_loads: bool) -> None:
+        self.interp = interp
+        self.func = func
+        self.hooked = hooked
+        self.count_loads = count_loads
+        self.dfunc = None
+
+    def __call__(self, name: str):
+        dfunc = self.dfunc
+        if dfunc is None:
+            dfunc = self.dfunc = self.interp._decoded_for(
+                self.func, self.hooked, self.count_loads
+            )
+        return dfunc.blocks[name]
+
+
 class SuperblockFunction:
-    """All superblocks of one function, compiled against one interpreter."""
+    """All superblocks of one function, compiled against one interpreter.
+
+    The chains share ONE generated function (``run``): an integer-state
+    dispatch loop whose arm ``k`` is chain ``k``'s body, with registers
+    held in function-wide locals across chain transitions.  ``run(frame,
+    limit, 0)`` executes a whole activation and returns ``None`` on RET,
+    or the arm index whose entry budget check failed -- the driver then
+    resumes tier-2 at ``heads[index]`` for the exactness fallback.
+    """
 
     __slots__ = (
-        "func", "nslots", "param_slots", "entry", "blocks", "dfunc", "source"
+        "func", "nslots", "param_slots", "entry", "blocks", "run",
+        "heads", "lazy", "source", "hooked", "count_loads",
     )
 
     def __init__(
@@ -244,50 +358,104 @@ class SuperblockFunction:
         param_slots: Tuple[int, ...],
         entry: Superblock,
         blocks: Dict[str, Superblock],
-        dfunc: DecodedFunction,
+        run,
+        heads: Tuple[str, ...],
+        lazy: _LazyDecode,
         source: str,
+        hooked: bool = False,
+        count_loads: bool = False,
     ) -> None:
         self.func = func
         self.nslots = nslots
         self.param_slots = param_slots
         self.entry = entry
         self.blocks = blocks
-        self.dfunc = dfunc
+        #: ``run(frame, limit, state)`` -> None (RET) | over-budget arm index.
+        self.run = run
+        #: Chain head block name per dispatch arm index.
+        self.heads = heads
+        #: Lazily-decoded tier-2 fallback blocks (see :class:`_LazyDecode`).
+        self.lazy = lazy
         #: Generated Python source, kept for tests and debugging.
         self.source = source
+        self.hooked = hooked
+        self.count_loads = count_loads
+
+
+def _base_namespace(interp, func: Function, lazy: _LazyDecode) -> Dict[str, object]:
+    """Globals of the generated module: runtime objects pre-bound under
+    stable dunder names (identical for fresh builds and warm artifact
+    instantiations)."""
+    return {
+        "__I": interp,
+        "__U": _UNDEF,
+        "__undef": _undef,
+        "__RF": RuntimeFault,
+        "__Ptr": Pointer,
+        "__fmt": format_value,
+        "__div": _arith_div,
+        "__mod": _arith_mod,
+        "__call": interp.call_function,
+        "__fin": finish_decoded,
+        "__fh": finish_hooked,
+        "__inc": REGISTRY.inc,
+        "__db": lazy,
+        "__fb": func.blocks,
+        "__FN": func.name,
+    }
 
 
 # -- code generation ----------------------------------------------------------
 
 
+def _dispatch_split(weights: List[int], lo: int, hi: int) -> int:
+    """Split point for the weighted binary dispatch tree over arms
+    ``[lo, hi)``: the boundary that best balances entry mass, so hot
+    arms sit behind few ``st <`` tests (expected test count tracks the
+    entropy of the transition profile, not the arm count)."""
+    total = sum(weights[lo:hi])
+    acc = 0
+    best = lo + 1
+    best_d: Optional[int] = None
+    for mid in range(lo + 1, hi):
+        acc += weights[mid - 1]
+        d = abs(2 * acc - total)
+        if best_d is None or d < best_d:
+            best_d = d
+            best = mid
+    return best
+
+
 class _FunctionCodegen:
     """Generates and compiles the superblock source for one function."""
 
-    def __init__(self, interp, func: Function, dfunc: DecodedFunction) -> None:
+    def __init__(
+        self,
+        interp,
+        func: Function,
+        hooked: bool = False,
+        count_loads: bool = False,
+    ) -> None:
         self.interp = interp
         self.func = func
-        self.dfunc = dfunc
-        self.slot_map = dfunc.slot_map
+        self.hooked = hooked
+        self.count_loads = hooked and count_loads
+        self.slot_map = allocate_slots(func)
         self.cost_model = interp.cost_model
         self.specialized = 0
-        #: Globals of the generated module: runtime objects pre-bound
-        #: under stable dunder names.
-        self.ns: Dict[str, object] = {
-            "__I": interp,
-            "__U": _UNDEF,
-            "__undef": _undef,
-            "__RF": RuntimeFault,
-            "__Ptr": Pointer,
-            "__fmt": format_value,
-            "__div": _arith_div,
-            "__mod": _arith_mod,
-            "__call": interp.call_function,
-            "__fin": finish_decoded,
-            "__inc": REGISTRY.inc,
-            "__fb": func.blocks,
-            "__FN": func.name,
-        }
+        self.chains: List[List[str]] = []
+        #: Function-wide slot sets (filled by :meth:`build` before any
+        #: chain is emitted): every slot the body reads or writes, and
+        #: the write subset every budget handoff flushes.
+        self.touched_slots: Tuple[int, ...] = ()
+        self.write_slots: Tuple[int, ...] = ()
+        self.lazy = _LazyDecode(interp, func, hooked, self.count_loads)
+        self.ns: Dict[str, object] = _base_namespace(interp, func, self.lazy)
         self._binds: Dict[Tuple[str, int], str] = {}
+        #: Ordered reconstruction manifest: (name, kind, payload) per
+        #: bound object, enough to re-bind against a fresh interpreter
+        #: when this compile is replayed from the artifact cache.
+        self.bind_specs: List[Tuple[str, str, object]] = []
         self._ptr_cache: Dict[Tuple[int, object, str], str] = {}
         #: VReg uid -> number of argument occurrences function-wide.
         self.uses: Dict[int, int] = {}
@@ -297,14 +465,20 @@ class _FunctionCodegen:
                     if isinstance(arg, VReg):
                         self.uses[arg.uid] = self.uses.get(arg.uid, 0) + 1
 
-    def bind(self, prefix: str, obj) -> str:
-        """Expose ``obj`` to the generated code under a memoized name."""
+    def bind(self, prefix: str, obj, spec: Tuple[str, object]) -> str:
+        """Expose ``obj`` to the generated code under a memoized name.
+
+        ``spec`` is the JSON-able ``(kind, payload)`` recipe that
+        :func:`_resolve_bind` uses to rebuild the same object against a
+        fresh interpreter on a warm artifact hit.
+        """
         key = (prefix, id(obj))
         name = self._binds.get(key)
         if name is None:
             name = f"__{prefix}{len(self._binds)}"
             self._binds[key] = name
             self.ns[name] = obj
+            self.bind_specs.append((name, spec[0], spec[1]))
         return name
 
     def pointer_for(self, store: List, base, name: str) -> str:
@@ -312,7 +486,9 @@ class _FunctionCodegen:
         key = (id(store), base, name)
         bound = self._ptr_cache.get(key)
         if bound is None:
-            bound = self.bind("ptr", Pointer(store, base, name))
+            bound = self.bind(
+                "ptr", Pointer(store, base, name), ("ptr", [name, base])
+            )
             self._ptr_cache[key] = bound
         return bound
 
@@ -322,35 +498,94 @@ class _FunctionCodegen:
 
     def const_expr(self, operand: Const) -> str:
         lit = _literal(operand.value)
-        return lit if lit is not None else self.bind("c", operand.value)
+        if lit is not None:
+            return lit
+        return self.bind("c", operand.value, ("c", operand.value))
 
     def fstr_name(self, name: str) -> str:
         """Fragment rendering ``name`` inside a generated f-string."""
         if _SAFE_NAME_RE.match(name):
             return name
-        return "{" + self.bind("nm", name) + "}"
+        return "{" + self.bind("nm", name, ("nm", name)) + "}"
 
     def build(self) -> SuperblockFunction:
         func = self.func
         chains = form_superblocks(func, self.interp.block_profile)
+        # Dispatch arms are scanned linearly (`if st == 0: ... elif`),
+        # so order them by measured head entry count, hottest first --
+        # the expected scan depth of a transition becomes the expected
+        # rank of its target, ~1-3 for loopy profiles.  The entry chain
+        # stays at arm 0 (the driver starts every activation there).
+        profile = self.interp.block_profile
+        if profile and len(chains) > 2:
+            fname = func.name
+            chains[1:] = sorted(
+                chains[1:],
+                key=lambda chain: -profile.get((fname, chain[0]), 0),
+            )
+        self.chains = chains
         sblocks: Dict[str, Superblock] = {}
-        sb_names: Dict[str, str] = {}
+        sb_index: Dict[str, int] = {}
         for i, chain in enumerate(chains):
             sb = Superblock()
             sb.head = chain[0]
             sb.chain = tuple(chain)
-            sb.dblock = self.dfunc.blocks[chain[0]]
             sblocks[chain[0]] = sb
-            sb_names[chain[0]] = self.bind("SB", sb)
-        parts = [
-            _ChainEmitter(self, chain, i, sblocks[chain[0]], sb_names).render()
-            for i, chain in enumerate(chains)
+            sb_index[chain[0]] = i
+        # Function-wide register file: every slot the generated body can
+        # touch is materialized once per activation, so locals stay
+        # authoritative across chain transitions (no per-transition
+        # flush/reload) and any budget handoff can flush the full write
+        # set -- prelude initialization makes every member assignable
+        # regardless of which path executed.
+        slot_map = self.slot_map
+        touched: Dict[int, None] = {}
+        writes: Dict[int, None] = {}
+        for block in func.blocks.values():
+            for instr in block.instructions:
+                for reg in instr.uses():
+                    touched.setdefault(slot_map[reg.uid], None)
+                if instr.dest is not None:
+                    slot = slot_map[instr.dest.uid]
+                    touched.setdefault(slot, None)
+                    writes.setdefault(slot, None)
+                if instr.is_terminator:
+                    break
+        self.touched_slots = tuple(touched)
+        self.write_slots = tuple(writes)
+        head = [
+            "def __sb(frame, __limit, st):",
+            "    __i = __I",
         ]
-        source = "\n".join(parts)
+        if self.hooked:
+            head.append("    __obe = __i.on_block_entry")
+        head.append("    s = frame.slots")
+        for slot in self.touched_slots:
+            head.append(f"    r{slot} = s[{slot}]")
+        head.append("    while True:")
+        weights = [
+            (profile.get((func.name, chain[0]), 0) + 1) if profile else 1
+            for chain in chains
+        ]
+
+        def emit_range(lo: int, hi: int, base: str) -> List[str]:
+            # Weighted binary dispatch: interior nodes test `st < mid`,
+            # leaves hold exactly one arm and need no equality test.
+            if hi - lo == 1:
+                return _ChainEmitter(
+                    self, chains[lo], lo, sblocks[chains[lo][0]],
+                    sb_index, base,
+                ).render()
+            mid = _dispatch_split(weights, lo, hi)
+            lines = [f"{base}if st < {mid}:"]
+            lines.extend(emit_range(lo, mid, base + "    "))
+            lines.append(f"{base}else:")
+            lines.extend(emit_range(mid, hi, base + "    "))
+            return lines
+
+        source = "\n".join(head + emit_range(0, len(chains), " " * 8)) + "\n"
         code = compile(source, f"<superblocks:{func.name}>", "exec")
         exec(code, self.ns)
-        for i, chain in enumerate(chains):
-            sblocks[chain[0]].run = self.ns[f"__sb{i}"]
         REGISTRY.inc("interp.superblock.formed", len(chains))
         REGISTRY.inc(
             "interp.superblock.blocks_fused",
@@ -359,44 +594,124 @@ class _FunctionCodegen:
         if self.specialized:
             REGISTRY.inc("interp.codegen.specialized_ops", self.specialized)
         REGISTRY.inc("interp.codegen.functions")
+        param_slots = tuple(
+            self.slot_map[param.uid] for param in func.params
+        )
         return SuperblockFunction(
             func,
-            self.dfunc.nslots,
-            self.dfunc.param_slots,
+            len(self.slot_map),
+            param_slots,
             sblocks[func.entry.name],
             sblocks,
-            self.dfunc,
+            self.ns["__sb"],
+            tuple(chain[0] for chain in chains),
+            self.lazy,
             source,
+            self.hooked,
+            self.count_loads,
         )
+
+    def artifact(self, sfunc: SuperblockFunction) -> dict:
+        """Serializable payload replaying this compile on a fresh
+        interpreter (see :func:`_instantiate`)."""
+        code = compile(
+            sfunc.source, f"<superblocks:{self.func.name}>", "exec"
+        )
+        try:
+            bytecode = base64.b64encode(marshal.dumps(code)).decode("ascii")
+        except Exception:  # pragma: no cover - marshal refuses nothing here
+            bytecode = None
+        return {
+            "codegen": CODEGEN_VERSION,
+            "function": self.func.name,
+            "hooked": self.hooked,
+            "count_loads": self.count_loads,
+            "chains": [list(chain) for chain in self.chains],
+            "max_instructions": [
+                sfunc.blocks[chain[0]].max_instructions
+                for chain in self.chains
+            ],
+            "nslots": sfunc.nslots,
+            "param_slots": list(sfunc.param_slots),
+            "binds": [list(spec) for spec in self.bind_specs],
+            "source": sfunc.source,
+            "cache_tag": _CACHE_TAG,
+            "bytecode": bytecode,
+        }
 
 
 class _ChainEmitter:
-    """Renders one superblock chain as one generated Python function.
+    """Renders one superblock chain as one dispatch arm of the merged
+    generated function.
 
-    Layout of the generated function (loop form adds ``while True:``)::
+    :meth:`_FunctionCodegen.build` emits the shared head -- the
+    interpreter/hook bindings and a prelude materializing every touched
+    slot into locals ``r<slot>`` -- then arranges the arms as a
+    profile-weighted binary dispatch tree inside the ``while True:``
+    loop (interior nodes test ``st < mid``; a leaf holds exactly one
+    arm, so no equality test runs)::
 
-        def __sb3(frame, __limit):
+        def __sb(frame, __limit, st):
             __i = __I
             s = frame.slots
-            <charge segment>; <ops>; ...; <exit: return <Superblock>|None>
+            r3 = s[3]; ...                      # function-wide prelude
+            while True:
+                if st < 1:                       # dispatch tree
+                    __n = __i.instructions       # arm 0 (entry chain)
+                    if __n + N0 > __limit:
+                        s[..] = r..              # flush write set
+                        return 0                 # -> driver falls back
+                    <charge segment>; <ops>; ...
+                    st = 2                       # side exit to chain 2
+                    continue                     # back to dispatch
+                else:
+                    if st < 2: ...
 
-    Registers live in locals ``r<slot>`` (lazily loaded from the slot
-    file with the walker's undefined-register check) and are flushed
-    back to ``frame.slots`` at every exit, back edge and fallback so
-    tier-2 can resume from consistent state.  Charges are emitted
-    *before* each segment's operations, exactly like tier 2's fast
-    path; a segment that follows a CALL first re-checks the remaining
-    linear budget and diverts to :func:`finish_decoded` when the limit
+    Locals are authoritative across chain transitions: a transition is
+    just ``st = k`` plus a jump back to the dispatch loop, with no
+    flush and no reload.  The slot file is only written when control
+    leaves the generated function with the frame still live -- an arm's
+    over-budget entry check, a loop back edge's budget re-check, or a
+    post-CALL fallback -- and then the *full* function write set is
+    flushed (prelude initialization makes every member assignable no
+    matter which path executed).  The walker's undefined-register check
+    stays at each arm's first read site, against the prelude-loaded
+    local.  Loop-form arms (terminator targets the chain head) wrap
+    their body in an inner ``while True:``; the back edge is
+    ``continue`` on that inner loop, side exits ``break`` out of it and
+    fall back to the dispatch loop.
+
+    Charges are emitted *before* each segment's operations, exactly
+    like tier 2's fast path; a segment that follows a CALL first
+    re-checks the remaining linear budget and diverts to
+    :func:`finish_decoded` (or :func:`finish_hooked`) when the limit
     could expire before the chain ends.
+
+    In hooked mode, segments additionally close at every fused-block
+    boundary (so ``on_block_entry`` observes exact counters, in the
+    decoded hooked variant's exact call order) and at every sync/xfer
+    opcode (charged through the op before ``exec_sync``/``exec_xfer``
+    runs, matching tier 2's segment-final placement), and each closed
+    segment statically bumps ``load_count`` by its LOADG/LOADP count
+    when the interpreter counts loads.
     """
 
-    def __init__(self, g: _FunctionCodegen, chain, index, sb, sb_names) -> None:
+    def __init__(
+        self, g: _FunctionCodegen, chain, index, sb, sb_index,
+        base: str = " " * 8,
+    ) -> None:
         self.g = g
         self.chain = chain
         self.index = index
         self.sb = sb
-        self.sb_names = sb_names
+        #: Chain head -> dispatch arm index, for side-exit transitions.
+        self.sb_index = sb_index
+        #: Indentation of this arm's leaf inside the dispatch tree.
+        self.base = base
         self.blocks = g.func.blocks
+        self.hooked = g.hooked
+        self.count_loads = g.count_loads
+        self.fin = "__fh" if g.hooked else "__fin"
         # Prescan: linear instruction total and loop shape.
         total = 0
         loop_form = False
@@ -412,17 +727,24 @@ class _ChainEmitter:
         self.total = total
         self.loop_form = loop_form
         sb.max_instructions = total
-        self.indent = "        " if loop_form else "    "
+        # Leaf arms carry no equality test, so the body sits at the
+        # leaf's own depth; loop form nests it inside the inner while.
+        self.indent = base + "    " if loop_form else base
         self.lines: List[str] = []
         self.buf: List[str] = []
         self.seg_count = 0
         self.seg_cycles = 0
+        self.seg_loads = 0
         self.charged = 0
         self.pending_check: Optional[Tuple[str, int]] = None
         self.pending_cond: Optional[str] = None
+        #: True while the arm-entry ``__n = __i.instructions`` read is
+        #: still current, so the chain's first segment can charge with
+        #: ``= __n + k`` instead of a second attribute read (every path
+        #: to that charge -- arm entry and each back edge -- refreshes
+        #: ``__n`` right after any hook that could mutate the counter).
+        self.entry_n_live = False
         self.defined: set = set()
-        self.written_prev: Dict[int, bool] = {}
-        self.written_cur: Dict[int, bool] = {}
         self.local_regions: Dict[str, str] = {}
         self._tmp = 0
 
@@ -451,6 +773,29 @@ class _ChainEmitter:
     def charge_op(self, instr: Instruction) -> None:
         self.seg_count += 1
         self.seg_cycles += self.g.cost(instr)
+        if self.count_loads and instr.opcode in _LOAD_OPS:
+            self.seg_loads += 1
+
+    def bb(self, name: str) -> str:
+        """Bound BasicBlock object (hook-call argument)."""
+        return self.g.bind("bb", self.blocks[name], ("bb", name))
+
+    def emit_hook(self, prev_name: str, next_name: str, extra: str = "") -> None:
+        """``on_block_entry`` at a fused boundary.
+
+        ``__obe`` is bound from the interpreter attribute once per
+        activation (so instance-level overrides installed before the
+        run stay honored), and hooks may mutate any interpreter
+        *counter* freely -- the next charge re-reads them -- but
+        rebinding the hook attribute itself mid-activation is only
+        observed at the next activation, exactly like a mid-activation
+        backend switch.
+        """
+        self.emit(
+            f"__obe(frame, {self.bb(prev_name)}, "
+            f"{self.bb(next_name)})",
+            extra,
+        )
 
     # -- operand access ------------------------------------------------------
 
@@ -462,9 +807,11 @@ class _ChainEmitter:
             slot = g.slot_map[operand.uid]
             name = f"r{slot}"
             if slot not in self.defined:
+                # The prelude materialized every slot; only the
+                # walker's undefined-register check stays at the arm's
+                # first read site.
                 self.defined.add(slot)
-                reg = g.bind("vr", operand)
-                self.buf.append(f"{name} = s[{slot}]")
+                reg = g.bind("vr", operand, ("vr", operand.uid))
                 self.buf.append(f"if {name} is __U:")
                 self.buf.append(f"    __undef({reg}, __FN)")
             return name
@@ -478,7 +825,7 @@ class _ChainEmitter:
             if store is not None:
                 g.specialized += 1
                 return g.pointer_for(store, 0, sym.name)
-            sname = g.bind("sym", sym)
+            sname = g.bind("sym", sym, ("sym", sym.name))
             name = self.tmp()
             self.buf.append(
                 f"{name} = __Ptr(__i.region_of({sname}, frame), 0, "
@@ -493,7 +840,7 @@ class _ChainEmitter:
     def local_store(self, sym: Symbol) -> str:
         name = self.local_regions.get(sym.name)
         if name is None:
-            sname = self.g.bind("sym", sym)
+            sname = self.g.bind("sym", sym, ("sym", sym.name))
             name = f"__lm{len(self.local_regions)}"
             self.local_regions[sym.name] = name
             self.buf.append(f"{name} = frame.local_region({sname})")
@@ -510,8 +857,8 @@ class _ChainEmitter:
         if sym.is_global:
             store = g.interp.memory.get(sym.name)
             if store is not None:
-                return g.bind("st", store), len(store)
-            sname = g.bind("sym", sym)
+                return g.bind("st", store, ("st", sym.name)), len(store)
+            sname = g.bind("sym", sym, ("sym", sym.name))
             name = self.tmp()
             self.buf.append(f"{name} = __i.region_of({sname}, frame)")
             return name, None
@@ -520,7 +867,6 @@ class _ChainEmitter:
     def wreg(self, reg: VReg) -> str:
         slot = self.g.slot_map[reg.uid]
         self.defined.add(slot)
-        self.written_cur[slot] = True
         return f"r{slot}"
 
     def bounds(self, kind: str, name_frag: str, index: str,
@@ -547,22 +893,28 @@ class _ChainEmitter:
         When a CALL preceded this segment (``pending_check``), the
         charge is guarded by a conservative remaining-budget test: if
         the rest of the chain's linear body might not fit, flush the
-        locals *written by already-executed segments* and resume tier-2
-        at the aligned post-CALL segment of the call's block.
+        function's write set and resume tier-2 at the aligned segment
+        index of the call's block (resolved lazily through ``__db`` --
+        the fallback blocks are only decoded if an activation actually
+        diverts).
         """
         out = self.lines
         ind = self.indent
         count, cycles = self.seg_count, self.seg_cycles
+        loads = self.seg_loads
         check = self.pending_check
         if check is not None and count:
-            dbname, seg_index = check
+            bname, seg_index = check
             remaining = self.total - self.charged
             out.append(f"{ind}__n = __i.instructions")
             out.append(f"{ind}if __n + {remaining} > __limit:")
-            for slot in self.written_prev:
+            for slot in self.g.write_slots:
                 out.append(f"{ind}    s[{slot}] = r{slot}")
             out.append(f"{ind}    __inc('interp.superblock.fallbacks')")
-            out.append(f"{ind}    __fin(__i, frame, {dbname}, {seg_index}, __limit)")
+            out.append(
+                f"{ind}    {self.fin}(__i, frame, __db({bname!r}), "
+                f"{seg_index}, __limit)"
+            )
             out.append(f"{ind}    return None")
             out.append(f"{ind}__i.instructions = __n + {count}")
             if cycles:
@@ -570,44 +922,66 @@ class _ChainEmitter:
             self.pending_check = None
         else:
             if count:
-                out.append(f"{ind}__i.instructions += {count}")
+                if self.entry_n_live:
+                    out.append(f"{ind}__i.instructions = __n + {count}")
+                else:
+                    out.append(f"{ind}__i.instructions += {count}")
             if cycles:
                 out.append(f"{ind}__i.cycles += {cycles}")
+        self.entry_n_live = False
+        if loads:
+            out.append(f"{ind}__i.load_count += {loads}")
         out.extend(ind + line for line in self.buf)
         self.buf = []
         self.charged += count
         self.seg_count = 0
         self.seg_cycles = 0
-        self.written_prev.update(self.written_cur)
-        self.written_cur.clear()
+        self.seg_loads = 0
         if new_check is not None:
             self.pending_check = new_check
 
     # -- exits ---------------------------------------------------------------
 
-    def exit_lines(self, target: str, extra: str) -> None:
-        """Leave the superblock towards ``target`` (always a chain head)."""
+    def exit_lines(self, target: str, extra: str, cur_name: str) -> None:
+        """Leave the chain towards ``target`` (always a chain head)."""
         out = self.lines
         ind = self.indent + extra
         if self.loop_form and target == self.chain[0]:
-            # Back edge: next iteration re-charges the full linear body,
-            # so re-check it; over budget -> let the driver fall back.
-            out.append(f"{ind}if __i.instructions + {self.total} > __limit:")
-            for slot in self.written_prev:
+            # Back edge: announce the head re-entry (hooked), then the
+            # next iteration re-charges the full linear body, so
+            # re-check it; over budget -> return this arm's index so
+            # the driver falls back (finish_hooked does not re-announce
+            # the current block, so the hook order stays exact).
+            # Registers stay in their locals across the iteration: only
+            # the over-budget return leaves the function and flushes.
+            if self.hooked:
+                out.append(
+                    f"{ind}__obe(frame, {self.bb(cur_name)}, "
+                    f"{self.bb(target)})"
+                )
+            out.append(f"{ind}__n = __i.instructions")
+            out.append(f"{ind}if __n + {self.total} > __limit:")
+            for slot in self.g.write_slots:
                 out.append(f"{ind}    s[{slot}] = r{slot}")
-            out.append(f"{ind}    return {self.sb_names[target]}")
-            for slot in self.written_prev:
-                out.append(f"{ind}s[{slot}] = r{slot}")
+            out.append(f"{ind}    return {self.index}")
             out.append(f"{ind}continue")
             return
         if target not in self.blocks:
             # Dangling branch target: KeyError, like the walker's
-            # func.blocks[name] lookup.
+            # func.blocks[name] lookup (which fires before any hook).
             out.append(f"{ind}__fb[{target!r}]")
             return
-        for slot in self.written_prev:
-            out.append(f"{ind}s[{slot}] = r{slot}")
-        out.append(f"{ind}return {self.sb_names[target]}")
+        if self.hooked:
+            out.append(
+                f"{ind}__obe(frame, {self.bb(cur_name)}, "
+                f"{self.bb(target)})"
+            )
+        # Chain transition: locals carry over, no flush -- just move
+        # the dispatch loop to the target arm.  `continue` targets the
+        # dispatch loop directly; loop-form arms `break` out of their
+        # inner iteration loop and fall through to it.
+        out.append(f"{ind}st = {self.sb_index[target]}")
+        out.append(f"{ind}{'break' if self.loop_form else 'continue'}")
 
     # -- instruction emission ------------------------------------------------
 
@@ -674,24 +1048,73 @@ class _ChainEmitter:
             if op in _CMP_OPS:
                 buf.append(f"{dest} = 1 if {a} {_CMP_OPS[op]} {b} else 0")
             elif op in _ARITH_OPS:
+                # The walker computes first (so TypeError provenance is
+                # identical), then wraps int results.  Wrapping is the
+                # identity on in-range ints -- and in-range floats pass
+                # through the walker unwrapped too -- so a two-compare
+                # range test covers almost every result and the
+                # isinstance + three-op wrap only runs on 64-bit
+                # overflow (or non-finite floats, which fail both
+                # comparisons and fall through unchanged).
                 t = self.tmp()
                 buf.append(f"{t} = {a} {_ARITH_OPS[op]} {b}")
                 buf.append(
-                    f"{dest} = ({_wrap(t)}) if isinstance({t}, int) else {t}"
+                    f"{dest} = {t} if (-{_O}) <= {t} < {_O} else "
+                    f"({_wrap(t)}) if isinstance({t}, int) else {t}"
                 )
             elif op in _BIT_OPS:
-                buf.append(f"{dest} = {_wrap(f'{a} {_BIT_OPS[op]} {b}')}")
-            elif op is Opcode.DIV:
-                buf.append(f"{dest} = __div({a}, {b})")
-            elif op is Opcode.MOD:
-                buf.append(f"{dest} = __mod({a}, {b})")
+                # Bit ops are int-only in the walker (wrap always):
+                # in-range results skip the wrap entirely.
+                t = self.tmp()
+                buf.append(f"{t} = {a} {_BIT_OPS[op]} {b}")
+                buf.append(
+                    f"{dest} = {t} if (-{_O}) <= {t} < {_O} else {_wrap(t)}"
+                )
+            elif op in (Opcode.DIV, Opcode.MOD):
+                # C-style truncated div/mod inlines for an integer
+                # dividend when the divisor is a positive int constant:
+                # the quotient's magnitude is |a|//b with the dividend's
+                # sign (c_div/c_mod), it can never overflow or divide by
+                # zero, and every other operand shape (floats, bools,
+                # pointers, zero/negative divisors) falls back to the
+                # walker's generic helper with identical faults.
+                py = "//" if op is Opcode.DIV else "%"
+                fn = "__div" if op is Opcode.DIV else "__mod"
+                if (
+                    isinstance(b_op, Const)
+                    and type(b_op.value) is int
+                    and b_op.value > 0
+                ):
+                    buf.append(
+                        f"{dest} = ({a} {py} {b} if {a} >= 0 "
+                        f"else -(-{a} {py} {b})) "
+                        f"if type({a}) is int else {fn}({a}, {b})"
+                    )
+                    g.specialized += 1
+                else:
+                    # Runtime divisor: guard the same positive-int
+                    # fast path dynamically; zero, negative, float and
+                    # bool operands all take the walker's helper with
+                    # identical faults.
+                    bn = self.as_name(b)
+                    buf.append(
+                        f"{dest} = ({a} {py} {bn} if {a} >= 0 "
+                        f"else -(-{a} {py} {bn})) "
+                        f"if type({a}) is int and type({bn}) is int "
+                        f"and {bn} > 0 else {fn}({a}, {bn})"
+                    )
             else:  # SHL / SHR
                 buf.append(f"if {b} < 0 or {b} > 63:")
                 buf.append(
                     f'    raise __RF(f"shift amount {{{b}}} out of range")'
                 )
                 if op is Opcode.SHL:
-                    buf.append(f"{dest} = {_wrap(f'{a} << {b}')}")
+                    t = self.tmp()
+                    buf.append(f"{t} = {a} << {b}")
+                    buf.append(
+                        f"{dest} = {t} if (-{_O}) <= {t} < {_O} "
+                        f"else {_wrap(t)}"
+                    )
                 else:
                     buf.append(f"{dest} = {a} >> {b}")
             return 1
@@ -712,9 +1135,14 @@ class _ChainEmitter:
             a = self.read(a_op)
             dest = self.wreg(instr.dest)
             if op is Opcode.NEG:
+                # Same range-test fast path as the binary arith ops
+                # (negating an int yields an int, a float a float, so
+                # testing the result matches the walker's operand test).
+                t = self.tmp()
+                buf.append(f"{t} = -{a}")
                 buf.append(
-                    f"{dest} = ({_wrap(f'-{a}')}) "
-                    f"if isinstance({a}, int) else -{a}"
+                    f"{dest} = {t} if (-{_O}) <= {t} < {_O} else "
+                    f"({_wrap(t)}) if isinstance({t}, int) else {t}"
                 )
             elif op is Opcode.NOT:
                 buf.append(f"{dest} = 1 if {a} == 0 else 0")
@@ -814,7 +1242,8 @@ class _ChainEmitter:
             callee = g.interp.module.functions.get(instr.callee)
             arglist = ", ".join(args)
             if callee is not None:
-                call = f"__call({g.bind('fn', callee)}, [{arglist}])"
+                fn = g.bind("fn", callee, ("fn", instr.callee))
+                call = f"__call({fn}, [{arglist}])"
             else:
                 # Unknown callee: KeyError at execution, like the walker.
                 call = (
@@ -833,8 +1262,10 @@ class _ChainEmitter:
             buf.append(f"__i.output.append(__fmt({expr}))")
             return 1
 
-        if op in (Opcode.WAIT, Opcode.SIGNAL, Opcode.NEXT_ITER, Opcode.XFER):
-            # Timing-only in the fast variant: charge, no effect.
+        if op in _SYNC_OPS:
+            # Timing-only in the fast variant: charge, no effect.  (The
+            # hooked emitter intercepts these in render() and routes
+            # them through exec_sync/exec_xfer at a segment boundary.)
             self.charge_op(instr)
             return 1
 
@@ -894,7 +1325,7 @@ class _ChainEmitter:
     # -- terminators ---------------------------------------------------------
 
     def emit_terminator(
-        self, instr: Instruction, next_name: Optional[str]
+        self, instr: Instruction, next_name: Optional[str], cur_name: str
     ) -> None:
         op = instr.opcode
         self.seg_count += 1
@@ -911,11 +1342,16 @@ class _ChainEmitter:
         if op is Opcode.BR:
             target = instr.targets[0]
             if target == next_name:
-                # Fused fallthrough: the charge folds into the running
-                # segment; no control flow is emitted at all.
+                if self.hooked:
+                    # Fused boundary: the hook must observe counters
+                    # through this BR, so the segment closes here.
+                    self.close_segment()
+                    self.emit_hook(cur_name, target)
+                # Fast fused fallthrough: the charge folds into the
+                # running segment; no control flow is emitted at all.
                 return
             self.close_segment()
-            self.exit_lines(target, "")
+            self.exit_lines(target, "", cur_name)
             return
         # CBR
         self.close_segment()
@@ -928,7 +1364,9 @@ class _ChainEmitter:
             taken = instr.targets[0] if cond_op.value != 0 else instr.targets[1]
             self.g.specialized += 1
             if taken != next_name:
-                self.exit_lines(taken, "")
+                self.exit_lines(taken, "", cur_name)
+            elif self.hooked:
+                self.emit_hook(cur_name, taken)
             return
         else:
             expr = self.read(cond_op)
@@ -937,85 +1375,326 @@ class _ChainEmitter:
         t0, t1 = instr.targets[0], instr.targets[1]
         if t0 == next_name:
             self.emit(f"if not ({cond}):")
-            self.exit_lines(t1, "    ")
+            self.exit_lines(t1, "    ", cur_name)
+            if self.hooked:
+                self.emit_hook(cur_name, t0)
         elif t1 == next_name:
             self.emit(f"if {cond}:")
-            self.exit_lines(t0, "    ")
+            self.exit_lines(t0, "    ", cur_name)
+            if self.hooked:
+                self.emit_hook(cur_name, t1)
         else:
             self.emit(f"if {cond}:")
-            self.exit_lines(t0, "    ")
-            self.exit_lines(t1, "")
+            self.exit_lines(t0, "    ", cur_name)
+            self.exit_lines(t1, "", cur_name)
 
     # -- chain rendering -----------------------------------------------------
 
-    def render(self) -> str:
+    def render(self) -> List[str]:
         g = self.g
+        base = self.base
+        # Arm entry: the budget check the old per-chain driver used to
+        # run before every chain call -- the whole linear body must fit
+        # or the driver resumes on tier-2 (flush first: when entered
+        # via a transition, locals are the only current copy of the
+        # registers).
         head = [
-            f"def __sb{self.index}(frame, __limit):",
-            "    __i = __I",
-            "    s = frame.slots",
+            f"{base}__n = __i.instructions",
+            f"{base}if __n + {self.total} > __limit:",
         ]
+        for slot in g.write_slots:
+            head.append(f"{base}    s[{slot}] = r{slot}")
+        head.append(f"{base}    return {self.index}")
         if self.loop_form:
-            head.append("    while True:")
+            head.append(f"{base}while True:")
+        self.entry_n_live = True
         for pos, name in enumerate(self.chain):
             block = self.blocks[name]
-            dbname = g.bind("db", g.dfunc.blocks[name])
             next_name = self.chain[pos + 1] if pos + 1 < len(self.chain) else None
-            calls_seen = 0
+            # Segment index within this block's aligned tier-2 decode:
+            # tier-2 splits after every CALL, plus every sync/xfer op in
+            # the hooked variant; counting both keeps fallback anchors
+            # aligned with the variant finish_* resumes on.
+            splits = 0
             instructions = block.instructions
             terminated = False
             i = 0
             while i < len(instructions):
                 instr = instructions[i]
                 if instr.is_terminator:
-                    self.emit_terminator(instr, next_name)
+                    self.emit_terminator(instr, next_name, name)
                     terminated = True
                     break
                 nxt = instructions[i + 1] if i + 1 < len(instructions) else None
+                if self.hooked and instr.opcode in _SYNC_OPS:
+                    # Segment-final in tier 2: charge through the op,
+                    # then run the hook with exact counters.
+                    self.charge_op(instr)
+                    splits += 1
+                    self.close_segment()
+                    meth = (
+                        "exec_xfer"
+                        if instr.opcode is Opcode.XFER
+                        else "exec_sync"
+                    )
+                    ins = g.bind("ins", instr, ("ins", [name, i]))
+                    self.emit(f"__i.{meth}(frame, {ins})")
+                    i += 1
+                    continue
                 consumed = self.emit_op(instr, nxt)
                 if instr.opcode is Opcode.CALL:
                     # Tier-2 segments split after every CALL; anchoring
                     # the budget re-check here keeps both backends'
                     # resume points aligned.
-                    calls_seen += 1
-                    self.close_segment(new_check=(dbname, calls_seen))
+                    splits += 1
+                    self.close_segment(new_check=(name, splits))
                 i += consumed
             if not terminated:
                 msg = f"block {name} fell through without terminator"
                 self.buf.append(f"raise __RF({msg!r})")
                 self.close_segment()
-        return "\n".join(head + self.lines) + "\n"
+        return head + self.lines
+
+
+# -- artifact instantiation ---------------------------------------------------
+
+
+def _vreg_map(func: Function) -> Dict[int, VReg]:
+    """uid -> VReg over everything the function mentions."""
+    vregs: Dict[int, VReg] = {}
+    for param in func.params:
+        vregs[param.uid] = param
+    for block in func.blocks.values():
+        for instr in block.instructions:
+            if instr.dest is not None:
+                vregs[instr.dest.uid] = instr.dest
+            for arg in instr.args:
+                if isinstance(arg, VReg):
+                    vregs[arg.uid] = arg
+    return vregs
+
+
+def _resolve_bind(interp, func: Function, vregs, kind, spec):
+    """Rebuild one namespace binding from its artifact recipe."""
+    if kind == "c" or kind == "nm":
+        return spec
+    if kind == "vr":
+        return vregs[spec]
+    if kind == "st":
+        return interp.memory[spec]
+    if kind == "ptr":
+        name, base = spec
+        return Pointer(interp.memory[name], base, name)
+    if kind == "fn":
+        return interp.module.functions[spec]
+    if kind == "bb":
+        return func.blocks[spec]
+    if kind == "ins":
+        bname, index = spec
+        return func.blocks[bname].instructions[index]
+    if kind == "sym":
+        sym = interp.module.globals.get(spec)
+        if sym is None:
+            sym = func.locals[spec]
+        return sym
+    raise KeyError(f"unknown bind kind {kind!r}")
+
+
+def _instantiate(
+    interp, func: Function, hooked: bool, count_loads: bool, payload: dict
+) -> Optional[SuperblockFunction]:
+    """Replay a cached compile against a live interpreter, or None when
+    the payload does not fit this function/interpreter (caller falls
+    back to a fresh build)."""
+    if (
+        payload.get("codegen") != CODEGEN_VERSION
+        or payload.get("function") != func.name
+        or bool(payload.get("hooked")) != bool(hooked)
+        or bool(payload.get("count_loads")) != bool(hooked and count_loads)
+    ):
+        return None
+    chains = [list(chain) for chain in payload["chains"]]
+    flat = [name for chain in chains for name in chain]
+    if sorted(flat) != sorted(func.blocks):
+        return None
+    slot_map = allocate_slots(func)
+    param_slots = tuple(slot_map[param.uid] for param in func.params)
+    if (
+        payload["nslots"] != len(slot_map)
+        or list(payload["param_slots"]) != list(param_slots)
+    ):
+        return None
+    lazy = _LazyDecode(interp, func, hooked, hooked and count_loads)
+    ns = _base_namespace(interp, func, lazy)
+    sblocks: Dict[str, Superblock] = {}
+    for chain, max_instructions in zip(chains, payload["max_instructions"]):
+        sb = Superblock()
+        sb.head = chain[0]
+        sb.chain = tuple(chain)
+        sb.max_instructions = max_instructions
+        sblocks[chain[0]] = sb
+    vregs: Optional[Dict[int, VReg]] = None
+    for name, kind, spec in payload["binds"]:
+        if kind == "vr" and vregs is None:
+            vregs = _vreg_map(func)
+        ns[name] = _resolve_bind(interp, func, vregs, kind, spec)
+    source = payload["source"]
+    code = None
+    if payload.get("cache_tag") == _CACHE_TAG and payload.get("bytecode"):
+        try:
+            code = marshal.loads(base64.b64decode(payload["bytecode"]))
+        except Exception:
+            code = None
+    if code is None:
+        code = compile(source, f"<superblocks:{func.name}>", "exec")
+    exec(code, ns)
+    return SuperblockFunction(
+        func,
+        len(slot_map),
+        param_slots,
+        sblocks[func.entry.name],
+        sblocks,
+        ns["__sb"],
+        tuple(chain[0] for chain in chains),
+        lazy,
+        source,
+        hooked,
+        hooked and count_loads,
+    )
+
+
+def artifact_key(interp, func: Function, hooked: bool,
+                 count_loads: bool) -> str:
+    """Content address of one function's generated code.
+
+    Covers everything the emitted source can embed as a literal: the
+    codegen layout version, the function's printed IR (opcodes,
+    operands, local sizes), the hook flags, the module's global-region
+    sizes and known-function set, the cost model (cycle charges are
+    literals in the source) and the block-profile projection for this
+    function (chain formation is trace guided).  Machine fields the
+    source never sees -- core counts, latencies -- are deliberately
+    excluded, so jobs differing only in those share warm codegen.
+    """
+    from repro.ir.printer import function_to_str
+
+    cost_model = interp.cost_model
+    profile = interp.block_profile
+    projection = None
+    if profile:
+        fname = func.name
+        projection = sorted(
+            (block, count)
+            for (owner, block), count in profile.items()
+            if owner == fname
+        )
+    spec = {
+        "codegen": CODEGEN_VERSION,
+        "ir": function_to_str(func),
+        "hooked": bool(hooked),
+        "count_loads": bool(hooked and count_loads),
+        "globals": sorted(
+            (name, len(init))
+            for name, init in interp.module.global_inits.items()
+        ),
+        "functions": sorted(interp.module.functions),
+        "costs": sorted(
+            (opcode.value, cycles)
+            for opcode, cycles in cost_model.costs.items()
+        ),
+        "float_extra": cost_model.float_extra,
+        "profile": projection,
+    }
+    blob = json.dumps(spec, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 # -- entry points -------------------------------------------------------------
 
 
 def compile_superblocks(
-    interp, func: Function, dfunc: DecodedFunction
+    interp,
+    func: Function,
+    hooked: bool = False,
+    count_loads: bool = False,
 ) -> SuperblockFunction:
-    """Form, generate and compile all superblocks of ``func``."""
-    return _FunctionCodegen(interp, func, dfunc).build()
+    """Form, generate and compile all superblocks of ``func``.
+
+    With ``hooked=True`` the generated chains call ``on_block_entry`` /
+    ``exec_sync`` / ``exec_xfer`` at the decoded hooked variant's exact
+    observation points (and statically count loads when ``count_loads``
+    is set).  When the interpreter carries a ``codegen_cache``, the
+    compile is content-addressed: a warm hit replays the stored source
+    and namespace manifest and skips formation, rendering and (when the
+    Python version matches) ``compile()`` entirely.
+    """
+    cache = getattr(interp, "codegen_cache", None)
+    key = None
+    if cache is not None:
+        key = artifact_key(interp, func, hooked, count_loads)
+        payload = cache.load(CODEGEN_KIND, key)
+        sfunc = None
+        if payload is not None:
+            try:
+                sfunc = _instantiate(interp, func, hooked, count_loads, payload)
+            except Exception:
+                sfunc = None
+        if sfunc is not None:
+            REGISTRY.inc("interp.codegen.cache.hit")
+            if hooked:
+                REGISTRY.inc("interp.superblock.hooked")
+            return sfunc
+        REGISTRY.inc("interp.codegen.cache.miss")
+    gen = _FunctionCodegen(interp, func, hooked, count_loads)
+    sfunc = gen.build()
+    if hooked:
+        REGISTRY.inc("interp.superblock.hooked")
+    if cache is not None:
+        cache.store(CODEGEN_KIND, key, gen.artifact(sfunc))
+    return sfunc
 
 
 def execute_superblocks(interp, sfunc: SuperblockFunction, frame) -> object:
     """Run one activation over compiled superblocks to its RET.
 
-    A superblock is only entered when the remaining instruction budget
-    covers its entire linear body; otherwise the activation finishes on
-    tier-2's exact per-instruction path from the same block, so
-    ``ExecutionLimitExceeded`` fires at precisely the same dynamic
-    instruction as the tree-walker.
+    The whole activation -- chain dispatch included -- runs inside the
+    single generated function; a chain is only entered when the
+    remaining instruction budget covers its entire linear body (each
+    dispatch arm checks on entry), otherwise ``run`` flushes the
+    register locals and returns the arm index, and the activation
+    finishes on tier-2's exact per-instruction path from that chain's
+    head, so ``ExecutionLimitExceeded`` fires at precisely the same
+    dynamic instruction as the tree-walker.
     """
     limit = interp.max_instructions
     if limit is None:
         limit = _INF
-    sb = sfunc.entry
-    while True:
-        if interp.instructions + sb.max_instructions > limit:
-            REGISTRY.inc("interp.superblock.fallbacks")
-            finish_decoded(interp, frame, sb.dblock, 0, limit)
-            return frame.ret
-        nxt = sb.run(frame, limit)
-        if nxt is None:
-            return frame.ret
-        sb = nxt
+    st = sfunc.run(frame, limit, 0)
+    if st is None:
+        return frame.ret
+    REGISTRY.inc("interp.superblock.fallbacks")
+    finish_decoded(interp, frame, sfunc.lazy(sfunc.heads[st]), 0, limit)
+    return frame.ret
+
+
+def execute_hooked_superblocks(
+    interp, sfunc: SuperblockFunction, frame
+) -> object:
+    """Run one hooked activation over compiled superblocks to its RET.
+
+    The activation-entry ``on_block_entry(frame, None, entry)`` is the
+    driver's job (matching the decoded hooked variant); every later
+    boundary hook lives inside the generated code, so a budget
+    fallback resumes through :func:`finish_hooked` without re-announcing
+    the block the chains already entered.
+    """
+    limit = interp.max_instructions
+    if limit is None:
+        limit = _INF
+    interp.on_block_entry(frame, None, sfunc.func.entry)
+    st = sfunc.run(frame, limit, 0)
+    if st is None:
+        return frame.ret
+    REGISTRY.inc("interp.superblock.fallbacks")
+    finish_hooked(interp, frame, sfunc.lazy(sfunc.heads[st]), 0, limit)
+    return frame.ret

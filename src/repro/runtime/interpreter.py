@@ -188,6 +188,7 @@ _HOOK_FORCING = frozenset({"on_block_entry", "exec_sync", "exec_xfer"})
 
 #: Backend modes resolved per activation.
 _BACKEND_TREE, _BACKEND_HOOKED, _BACKEND_FAST, _BACKEND_SUPER = 0, 1, 2, 3
+_BACKEND_HOOKED_SUPER = 4
 
 #: Registry counter names, indexed by backend mode.
 _BACKEND_COUNTERS = (
@@ -195,6 +196,7 @@ _BACKEND_COUNTERS = (
     "interp.backend.hooked",
     "interp.backend.decoded",
     "interp.backend.superblock",
+    "interp.backend.hooked_superblock",
 )
 
 
@@ -207,19 +209,26 @@ class Interpreter:
 
     ``backend`` selects the execution engine: ``"auto"`` (default) uses
     the fastest backend that is bit-identical to the tree-walker (the
-    superblock backend for uninstrumented runs, the decoded backend's
-    hooked variant for listener/hook users) and falls back otherwise,
-    ``"tree"`` always tree-walks, while ``"decoded"`` and
-    ``"superblock"`` pin the fast path to one engine and assert that it
-    is usable (raising ``ValueError`` for subclasses that override core
-    execution methods).
+    superblock backend for uninstrumented runs, its *hooked* tier for
+    hook/``count_loads`` users, the decoded hooked variant for
+    listener-bearing runs) and falls back otherwise, ``"tree"`` always
+    tree-walks, while ``"decoded"`` and ``"superblock"`` pin the fast
+    path to one engine family and assert that it is usable (raising
+    ``ValueError`` for subclasses that override core execution
+    methods).
 
     ``block_profile`` optionally supplies dynamic block-entry counts
     keyed ``(function name, block name)`` (the shape of
     :attr:`repro.runtime.profiler.ProfileData.block_counts`); the
-    superblock backend uses them to pick hot branch directions when
-    fusing across conditional branches.  Purely a performance hint --
-    never affects semantics.
+    superblock backend uses them for trace-guided chain formation --
+    hot blocks seed chains first and hot CBR arms are fused.  Purely a
+    performance hint -- never affects semantics.
+
+    ``codegen_cache`` optionally supplies an artifact store (any object
+    with ``load(kind, key)`` / ``store(kind, key, payload)``, in
+    practice :class:`repro.artifacts.ArtifactStore`); the superblock
+    tiers content-address their generated code through it so warm runs
+    skip decode+codegen (see :mod:`repro.runtime.codegen`).
     """
 
     def __init__(
@@ -229,6 +238,7 @@ class Interpreter:
         max_instructions: Optional[int] = 500_000_000,
         backend: str = "auto",
         block_profile: Optional[Mapping[Tuple[str, str], int]] = None,
+        codegen_cache=None,
     ) -> None:
         if backend not in ("auto", "superblock", "decoded", "tree"):
             raise ValueError(f"unknown interpreter backend {backend!r}")
@@ -256,6 +266,10 @@ class Interpreter:
         self.load_count = 0
         self.backend = backend
         self.block_profile = dict(block_profile) if block_profile else None
+        #: Optional content-addressed store for generated superblock
+        #: code; duck-typed so the runtime layer never imports the
+        #: evaluation layer (see repro.artifacts.ArtifactStore).
+        self.codegen_cache = codegen_cache
         cls = type(self)
         core_overrides = sorted(
             name
@@ -274,10 +288,16 @@ class Interpreter:
             getattr(cls, name) is not getattr(Interpreter, name)
             for name in _HOOK_FORCING
         )
-        #: (function name, hooked, counting loads) -> DecodedFunction.
-        self._decoded: Dict[Tuple[str, bool, bool], object] = {}
-        #: function name -> SuperblockFunction (codegen backend cache).
-        self._superblocks: Dict[str, object] = {}
+        # All per-function compiled caches key on ``Function.version``
+        # alongside the name: IR mutation bumps the version, so a
+        # post-mutation activation can never execute stale decoded or
+        # generated code.
+        #: (name, version, hooked, counting loads) -> DecodedFunction.
+        self._decoded: Dict[Tuple[str, int, bool, bool], object] = {}
+        #: (name, version) -> SuperblockFunction (uninstrumented tier).
+        self._superblocks: Dict[Tuple[str, int], object] = {}
+        #: (name, version, counting loads) -> hooked SuperblockFunction.
+        self._hooked_superblocks: Dict[Tuple[str, int, bool], object] = {}
         # Imported here (not at module top) to break the import cycle;
         # by construction time repro.runtime is fully initialized.
         from repro.runtime import codegen, precompile
@@ -335,17 +355,31 @@ class Interpreter:
         )
 
     def _backend_mode(self) -> int:
-        """Resolve which engine executes the next activation."""
-        if self._force_tree or (self.__dict__.keys() & _TREE_FORCING):
+        """Resolve which engine executes the next activation.
+
+        Runs once per activation, so the instance-override probes use
+        ``frozenset.isdisjoint`` against ``__dict__`` (a handful of
+        hash lookups) rather than a ``keys() &`` intersection, which
+        allocates a fresh set per call.
+        """
+        if self._force_tree or not _TREE_FORCING.isdisjoint(self.__dict__):
             return _BACKEND_TREE
+        if self.block_listener is not None or self.call_listener is not None:
+            # Listeners observe *every* block entry and call edge;
+            # fused chains cannot honor that, so demote to the decoded
+            # hooked variant.
+            return _BACKEND_HOOKED
         if (
             self._class_hooked
-            or self.block_listener is not None
-            or self.call_listener is not None
             or self.count_loads
-            or (self.__dict__.keys() & _HOOK_FORCING)
+            or not _HOOK_FORCING.isdisjoint(self.__dict__)
         ):
-            return _BACKEND_HOOKED
+            # Hook overrides and load counting run on the hooked
+            # superblock tier (same observation points, fused chains),
+            # unless pinned to the decoded engine.
+            if self.backend == "decoded":
+                return _BACKEND_HOOKED
+            return _BACKEND_HOOKED_SUPER
         if self.backend == "decoded":
             return _BACKEND_FAST
         return _BACKEND_SUPER
@@ -365,6 +399,8 @@ class Interpreter:
         mode = self._backend_mode()
         if mode == _BACKEND_SUPER:
             value = self._call_super(func, args)
+        elif mode == _BACKEND_HOOKED_SUPER:
+            value = self._call_hooked_super(func, args)
         elif mode == _BACKEND_TREE:
             value = self._call_tree(func, args)
         else:
@@ -392,16 +428,29 @@ class Interpreter:
             block = next_block
         return value
 
+    def _decoded_for(self, func: Function, hooked: bool,
+                     count_loads: bool = False):
+        """The (cached) decoded form of ``func`` for one hook variant.
+
+        Also the resolver behind the superblock tiers' lazy fallback
+        decode: a generated function that never diverts to tier-2 never
+        triggers a decode at all.
+        """
+        key = (func.name, func.version, hooked, hooked and count_loads)
+        dfunc = self._decoded.get(key)
+        if dfunc is None:
+            dfunc = self._precompile.decode_function(
+                self, func, hooked, hooked and count_loads
+            )
+            self._decoded[key] = dfunc
+        return dfunc
+
     def _call_decoded(
         self, func: Function, args: Sequence, hooked: bool
     ) -> object:
         """Pre-decoded activation; decodes ``func`` on first use."""
         precompile = self._precompile
-        key = (func.name, hooked, hooked and self.count_loads)
-        dfunc = self._decoded.get(key)
-        if dfunc is None:
-            dfunc = precompile.decode_function(self, func, hooked)
-            self._decoded[key] = dfunc
+        dfunc = self._decoded_for(func, hooked, self.count_loads)
         frame = precompile.DecodedFrame(func, dfunc.nslots)
         slots = frame.slots
         for slot, value in zip(dfunc.param_slots, args):
@@ -409,24 +458,43 @@ class Interpreter:
         return precompile.execute_decoded(self, dfunc, frame, hooked)
 
     def _call_super(self, func: Function, args: Sequence) -> object:
-        """Superblock code-generated activation; compiles on first use."""
+        """Superblock code-generated activation; compiles on first use.
+
+        The tier-2 fallback blocks decode lazily inside the compiled
+        function, so a cold compile (or warm artifact hit) is
+        decode-free.
+        """
         codegen = self._codegen
-        sfunc = self._superblocks.get(func.name)
+        key = (func.name, func.version)
+        sfunc = self._superblocks.get(key)
         if sfunc is None:
-            # Tier 3 shares the fast tier-2 decode (slot file and exact
-            # fallback blocks), so decode it first if needed.
-            key = (func.name, False, False)
-            dfunc = self._decoded.get(key)
-            if dfunc is None:
-                dfunc = self._precompile.decode_function(self, func, False)
-                self._decoded[key] = dfunc
-            sfunc = codegen.compile_superblocks(self, func, dfunc)
-            self._superblocks[func.name] = sfunc
+            sfunc = codegen.compile_superblocks(self, func)
+            self._superblocks[key] = sfunc
         frame = self._precompile.DecodedFrame(func, sfunc.nslots)
         slots = frame.slots
         for slot, value in zip(sfunc.param_slots, args):
             slots[slot] = value
         return codegen.execute_superblocks(self, sfunc, frame)
+
+    def _call_hooked_super(self, func: Function, args: Sequence) -> object:
+        """Hooked superblock activation: fused chains that call
+        ``on_block_entry`` / ``exec_sync`` / ``exec_xfer`` at the
+        decoded hooked variant's exact observation points, with
+        ``count_loads`` compiled to static per-segment increments."""
+        codegen = self._codegen
+        count_loads = self.count_loads
+        key = (func.name, func.version, count_loads)
+        sfunc = self._hooked_superblocks.get(key)
+        if sfunc is None:
+            sfunc = codegen.compile_superblocks(
+                self, func, hooked=True, count_loads=count_loads
+            )
+            self._hooked_superblocks[key] = sfunc
+        frame = self._precompile.DecodedFrame(func, sfunc.nslots)
+        slots = frame.slots
+        for slot, value in zip(sfunc.param_slots, args):
+            slots[slot] = value
+        return codegen.execute_hooked_superblocks(self, sfunc, frame)
 
     def on_block_entry(
         self, frame: Frame, prev: Optional[BasicBlock], block: BasicBlock
@@ -726,6 +794,7 @@ def run_module(
     max_instructions: Optional[int] = 500_000_000,
     backend: str = "auto",
     block_profile: Optional[Mapping[Tuple[str, str], int]] = None,
+    codegen_cache=None,
 ) -> ExecutionResult:
     """Convenience: interpret ``module`` sequentially and return the result."""
     interp = Interpreter(
@@ -734,5 +803,6 @@ def run_module(
         max_instructions=max_instructions,
         backend=backend,
         block_profile=block_profile,
+        codegen_cache=codegen_cache,
     )
     return interp.run(entry)

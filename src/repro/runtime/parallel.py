@@ -244,15 +244,20 @@ class ParallelExecutor(Interpreter):
         max_instructions: Optional[int] = 500_000_000,
         backend: str = "auto",
         schedule_memo: Optional[Dict[str, List[ScheduleResult]]] = None,
+        block_profile: Optional[Dict[Tuple[str, str], int]] = None,
+        codegen_cache=None,
     ) -> None:
         super().__init__(
             module, machine, max_instructions=max_instructions,
-            backend=backend,
+            backend=backend, block_profile=block_profile,
+            codegen_cache=codegen_cache,
         )
         # Memory reads are priced by the data-forwarding model; every
-        # backend counts them when this is set (under "auto" the hooked
-        # decoded variant is selected, never the superblock tier, whose
-        # fused regions elide the per-load callback).
+        # backend counts them when this is set.  Under "auto" the
+        # *hooked superblock* tier is selected: fused chains observe
+        # block boundaries and sync/xfer ops at the decoded hooked
+        # variant's exact points, and compile load counting to static
+        # per-segment increments.
         self.count_loads = True
         self.infos = list(infos)
         self.record_traces = record_traces
@@ -644,9 +649,12 @@ def run_parallel(
     machine: Optional[MachineConfig] = None,
     record_traces: bool = True,
     backend: str = "auto",
+    block_profile: Optional[Dict[Tuple[str, str], int]] = None,
+    codegen_cache=None,
 ) -> ParallelRunResult:
     """Convenience wrapper: execute a transformed module."""
     executor = ParallelExecutor(
-        module, infos, machine, record_traces=record_traces, backend=backend
+        module, infos, machine, record_traces=record_traces, backend=backend,
+        block_profile=block_profile, codegen_cache=codegen_cache,
     )
     return executor.execute()

@@ -203,36 +203,58 @@ def _store_getter(symbol: Symbol, interp) -> Callable:
     return lambda frame, _sym=symbol: frame.local_region(_sym)
 
 
+def allocate_slots(func: Function) -> Dict[int, int]:
+    """Deterministic VReg uid -> dense frame-slot index map for ``func``.
+
+    Parameters first, then destinations and arguments in block order --
+    the same allocation for every decode variant and for the codegen
+    tier, so tier-3 generated code and tier-2 fallback blocks always
+    agree on the slot file layout (and so the map can be recomputed from
+    the IR alone when a cached codegen artifact is instantiated).
+    """
+    slot_map: Dict[int, int] = {}
+
+    def slot(reg: VReg) -> None:
+        if reg.uid not in slot_map:
+            slot_map[reg.uid] = len(slot_map)
+
+    for param in func.params:
+        slot(param)
+    for block in func.blocks.values():
+        for instr in block.instructions:
+            if instr.dest is not None:
+                slot(instr.dest)
+            for arg in instr.args:
+                if isinstance(arg, VReg):
+                    slot(arg)
+    return slot_map
+
+
 class _FunctionDecoder:
     """Decodes one Function against one interpreter instance."""
 
-    def __init__(self, interp, func: Function, hooked: bool) -> None:
+    def __init__(
+        self,
+        interp,
+        func: Function,
+        hooked: bool,
+        count_loads: Optional[bool] = None,
+    ) -> None:
         self.interp = interp
         self.func = func
         self.hooked = hooked
+        # Pinned at decode time (callers cache per flag value) so a later
+        # toggle of ``interp.count_loads`` can never skew a cached decode.
+        self.count_loads = (
+            interp.count_loads if count_loads is None else count_loads
+        )
         self.fname = func.name
-        self.slot_map: Dict[int, int] = {}
-        self._allocate_slots()
+        self.slot_map: Dict[int, int] = allocate_slots(func)
 
     # -- slot allocation ----------------------------------------------------
 
     def _slot(self, reg: VReg) -> int:
-        slot = self.slot_map.get(reg.uid)
-        if slot is None:
-            slot = len(self.slot_map)
-            self.slot_map[reg.uid] = slot
-        return slot
-
-    def _allocate_slots(self) -> None:
-        for param in self.func.params:
-            self._slot(param)
-        for block in self.func.blocks.values():
-            for instr in block.instructions:
-                if instr.dest is not None:
-                    self._slot(instr.dest)
-                for arg in instr.args:
-                    if isinstance(arg, VReg):
-                        self._slot(arg)
+        return self.slot_map[reg.uid]
 
     # -- operand helpers ----------------------------------------------------
 
@@ -608,7 +630,7 @@ class _FunctionDecoder:
 
     def _wrap_load(self, eff: Callable) -> Callable:
         """Count memory reads for the parallel executor (hooked only)."""
-        if not (self.hooked and self.interp.count_loads):
+        if not (self.hooked and self.count_loads):
             return eff
 
         def counting(frame, _i=self.interp, _e=eff):
@@ -745,9 +767,14 @@ def _ftoi(a):
     return wrap_int(int(a))
 
 
-def decode_function(interp, func: Function, hooked: bool) -> DecodedFunction:
+def decode_function(
+    interp,
+    func: Function,
+    hooked: bool,
+    count_loads: Optional[bool] = None,
+) -> DecodedFunction:
     """Decode ``func`` once against ``interp`` (one variant)."""
-    return _FunctionDecoder(interp, func, hooked).decode()
+    return _FunctionDecoder(interp, func, hooked, count_loads).decode()
 
 
 # -- execution ---------------------------------------------------------------
@@ -762,10 +789,32 @@ def execute_decoded(interp, dfunc: DecodedFunction, frame: DecodedFrame,
     if not hooked:
         finish_decoded(interp, frame, dfunc.entry, 0, limit)
         return frame.ret
-    db = dfunc.entry
-    interp.on_block_entry(frame, None, db.block)
+    interp.on_block_entry(frame, None, dfunc.entry.block)
+    finish_hooked(interp, frame, dfunc.entry, 0, limit)
+    return frame.ret
+
+
+def finish_hooked(interp, frame: DecodedFrame, dblock: DecodedBlock,
+                  seg_index: int = 0, limit: Optional[float] = None) -> None:
+    """Run the rest of a *hooked-variant* activation exactly, to its RET.
+
+    The hooked sibling of :func:`finish_decoded`: starts at ``dblock``'s
+    ``seg_index``-th segment *without* re-calling ``on_block_entry`` for
+    the current block (the caller -- :func:`execute_decoded` at an
+    activation entry, or the hooked superblock tier mid-chain -- has
+    already announced it), then calls ``on_block_entry`` at every
+    subsequent block transition exactly as the tree-walker does.  The
+    hooked superblock backend (:mod:`repro.runtime.codegen`) diverts
+    here when the instruction budget could expire inside a fused region;
+    hooked tier-2 segments split after every CALL and sync/xfer opcode,
+    so the generated code's anchors align with ``seg_index``.
+    """
+    if limit is None:
+        limit = _INF
+    db = dblock
+    segments = db.segments[seg_index:] if seg_index else db.segments
     while True:
-        for total, count, op_cycles, effects in db.segments:
+        for total, count, op_cycles, effects in segments:
             n = interp.instructions + count
             if n <= limit:
                 interp.instructions = n
@@ -788,9 +837,10 @@ def execute_decoded(interp, dfunc: DecodedFunction, frame: DecodedFrame,
             )
         nxt = term(frame)
         if nxt is None:
-            return frame.ret
+            return
         interp.on_block_entry(frame, db.block, nxt.block)
         db = nxt
+        segments = db.segments
 
 
 def finish_decoded(interp, frame: DecodedFrame, dblock: DecodedBlock,

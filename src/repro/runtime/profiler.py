@@ -245,29 +245,64 @@ class _ProfilingHarness:
             self.recursion[func_name] = (count - 1, first)
 
 
+class _ProfilingInterpreter(Interpreter):
+    """Interpreter whose hook overrides feed the profiling harness.
+
+    Overriding :meth:`on_block_entry` (rather than installing a
+    ``block_listener``) routes profiling runs onto the *hooked
+    superblock* tier under ``backend="auto"``: fused chains invoke the
+    hook at every block boundary with exact cycle counts, so the
+    collected profile is bit-identical to a listener-based tree or
+    decoded run (the differential tests assert this) at codegen speed.
+    """
+
+    harness: "_ProfilingHarness"
+
+    def on_block_entry(self, frame, prev, block) -> None:
+        self.harness.on_block(
+            frame.func.name,
+            prev.name if prev is not None else None,
+            block.name,
+            self.cycles,
+        )
+
+    def call_function(self, func, args):
+        harness = self.harness
+        harness.on_call(func.name, True, self.cycles)
+        value = super().call_function(func, args)
+        harness.on_call(func.name, False, self.cycles)
+        return value
+
+
 def profile_module(
     module: Module,
     machine: Optional[MachineConfig] = None,
     nest: Optional[StaticLoopNestGraph] = None,
     max_instructions: Optional[int] = 500_000_000,
     backend: str = "auto",
+    codegen_cache=None,
 ) -> ProfileData:
     """Run ``module`` once under instrumentation and return the profile.
 
-    The listeners select the decoded backend's hooked variant under
-    ``backend="auto"`` (never the superblock tier, whose fused regions
-    skip per-block events); the collected profile is identical under
-    ``backend="tree"`` (the differential tests assert this).
+    The hook overrides select the hooked superblock tier under
+    ``backend="auto"`` (fused chains announce every block boundary with
+    exact counters); the collected profile is identical under
+    ``backend="tree"`` and ``backend="decoded"`` (the differential
+    tests assert this).  ``codegen_cache`` optionally reuses generated
+    code across jobs (see :mod:`repro.runtime.codegen`).
     """
     machine = machine or MachineConfig()
     nest = nest or build_static_loop_nest_graph(module)
-    interp = Interpreter(
-        module, machine, max_instructions=max_instructions, backend=backend
+    interp = _ProfilingInterpreter(
+        module,
+        machine,
+        max_instructions=max_instructions,
+        backend=backend,
+        codegen_cache=codegen_cache,
     )
     data = ProfileData(module=module, result=None)  # type: ignore[arg-type]
     harness = _ProfilingHarness(nest, data)
-    interp.block_listener = harness.on_block
-    interp.call_listener = harness.on_call
+    interp.harness = harness
     result = interp.run()
     harness._sync(interp.cycles)
     data.result = result

@@ -5,10 +5,15 @@ threads, each of which executes jobs through per-job
 :class:`~repro.evaluation.runner.EvaluationRunner` instances -- all
 runners share one :class:`~repro.artifacts.ArtifactStore`, so artifacts
 computed for one client warm every later request exactly like the
-process-parallel suite runner's shared disk cache.  Because every stage artifact is an
-exact recorded object (never a timing), results are byte-identical to
-the one-shot CLI regardless of which worker computed them or in what
-order.
+process-parallel suite runner's shared disk cache.  That includes the
+interpreters' generated superblock code (kind ``"codegen"``,
+content-addressed on function IR + hook flags, machine shape
+deliberately excluded): a job resubmitted at a different core count
+recomputes its stage artifacts but instantiates every function's
+stored source/bytecode instead of re-deriving it.  Because every stage
+artifact is an exact recorded object (never a timing), results are
+byte-identical to the one-shot CLI regardless of which worker computed
+them or in what order.
 
 Execution discipline:
 

@@ -17,7 +17,7 @@ from repro.bench import benchmark_names, compile_benchmark
 from repro.core.parallelizer import parallelize_module
 from repro.core.selection import SelectionConfig, choose_loops
 from repro.frontend import compile_source
-from repro.runtime import run_module
+from repro.runtime import Interpreter, run_module
 from repro.runtime.machine import MachineConfig
 from repro.runtime.parallel import ParallelExecutor
 from repro.runtime.profiler import profile_module
@@ -90,6 +90,54 @@ def test_example_profile_identity(filename, backend):
     _assert_profile_identity(_example_module(filename), backend)
 
 
+class _HookRecorder(Interpreter):
+    """The hooked matrix's instrumented interpreter.
+
+    Counts loads and folds every ``on_block_entry`` call -- order and
+    arguments -- into a running digest, so two variants agree on the
+    digest iff they made byte-for-byte the same hook call sequence
+    without the test holding millions of tuples.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.count_loads = True
+        self.blocks_entered = 0
+        self.entry_digest = 0
+
+    def on_block_entry(self, frame, prev, block):
+        self.blocks_entered += 1
+        self.entry_digest = hash(
+            (self.entry_digest, prev.name if prev is not None else None,
+             block.name)
+        )
+
+
+def _hooked_run(module, backend):
+    interp = _HookRecorder(module, backend=backend)
+    result = interp.run()
+    return (
+        result.to_dict(),
+        interp.load_count,
+        interp.blocks_entered,
+        interp.entry_digest,
+    )
+
+
+@pytest.mark.parametrize("bench", benchmark_names())
+def test_benchmark_hooked_instrumentation_identity(bench):
+    """Hooked superblock tier vs hooked decoded variant vs tree walker.
+
+    All three must agree on the run result *and* on the instrumentation
+    they produced: total loads counted and the exact ``on_block_entry``
+    call sequence (prev/block arguments in order).
+    """
+    module = _bench_module(bench)
+    tree = _hooked_run(module, "tree")
+    assert _hooked_run(module, "decoded") == tree
+    assert _hooked_run(module, "superblock") == tree
+
+
 @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
 @pytest.mark.parametrize("bench", EXECUTOR_BENCHES)
 def test_parallel_executor_identity(bench, backend):
@@ -114,3 +162,62 @@ def test_parallel_executor_identity(bench, backend):
         k: s.to_dict() for k, s in compiled.loop_stats.items()
     }
     assert len(tree.traces) == len(compiled.traces)
+
+
+def _trace_bytes(trace):
+    """Every serialized field of one compact trace, columns as bytes."""
+    return (
+        trace.loop_id,
+        trace.start_cycles,
+        trace.end_cycles,
+        trace.loads,
+        trace.it_start.tobytes(),
+        trace.it_end.tobytes(),
+        trace.ev_off.tobytes(),
+        trace.ev_kind.tobytes(),
+        trace.ev_dep.tobytes(),
+        trace.ev_at.tobytes(),
+        trace.words,
+    )
+
+
+_parallelized = {}
+
+
+def _parallel_setup(bench, machine):
+    entry = _parallelized.get(bench)
+    if entry is None:
+        module = _bench_module(bench)
+        profile = profile_module(module, machine)
+        selection = choose_loops(
+            module, profile, SelectionConfig(machine=machine, cores=6)
+        )
+        entry = _parallelized[bench] = parallelize_module(
+            module, selection.chosen, machine
+        )
+    return entry
+
+
+@pytest.mark.parametrize("bench", benchmark_names())
+def test_parallel_executor_recorded_traces_identity(bench):
+    """Both compiled tiers record byte-identical invocation traces.
+
+    The executor's record path runs on the hooked engines (it observes
+    block entries and sync/transfer instructions), so this pins the
+    hooked superblock tier to the decoded hooked variant across the
+    whole corpus: results, cycles and every column of every recorded
+    trace must match exactly.
+    """
+    machine = MachineConfig(cores=6)
+    transformed, infos = _parallel_setup(bench, machine)
+    outcomes = {}
+    for backend in COMPILED_BACKENDS:
+        outcomes[backend] = ParallelExecutor(
+            transformed, infos, machine, backend=backend
+        ).execute()
+    decoded, superblock = outcomes["decoded"], outcomes["superblock"]
+    assert decoded.result.to_dict() == superblock.result.to_dict()
+    assert decoded.cycles == superblock.cycles
+    assert len(decoded.traces) == len(superblock.traces)
+    for left, right in zip(decoded.traces, superblock.traces):
+        assert _trace_bytes(left) == _trace_bytes(right)

@@ -25,7 +25,11 @@ from repro.runtime import (
     run_module,
 )
 from repro.runtime.codegen import MAX_CHAIN_BLOCKS, form_superblocks
-from repro.runtime.interpreter import _BACKEND_HOOKED, _BACKEND_SUPER
+from repro.runtime.interpreter import (
+    _BACKEND_HOOKED,
+    _BACKEND_HOOKED_SUPER,
+    _BACKEND_SUPER,
+)
 
 BACKENDS = ("tree", "decoded", "superblock")
 
@@ -179,7 +183,8 @@ class TestGeneratedCode:
         interp = Interpreter(_loop_module, max_instructions=100)
         with pytest.raises(ExecutionLimitExceeded):
             interp.run()
-        sfunc = interp._superblocks["main"]
+        func = _loop_module.functions["main"]
+        sfunc = interp._superblocks[("main", func.version)]
         assert "def __sb" in sfunc.source
         assert sfunc.entry.max_instructions > 0
 
@@ -314,6 +319,82 @@ class TestFaultParity:
                 assert _fault(module, backend) == tree
 
 
+class _HookedRecorder(Interpreter):
+    """Instrumented interpreter for the hooked parity matrix."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.count_loads = True
+        self.entries = []
+
+    def on_block_entry(self, frame, prev, block):
+        self.entries.append((prev.name if prev else None, block.name))
+
+
+def _hooked_fault(module, backend, exc=RuntimeFault, **kwargs):
+    interp = _HookedRecorder(module, backend=backend, **kwargs)
+    with pytest.raises(exc) as excinfo:
+        interp.run()
+    return (
+        str(excinfo.value),
+        list(interp.output),
+        interp.load_count,
+        interp.entries,
+    )
+
+
+class TestHookedFaultParity:
+    """The hooked tiers fault exactly like the walker, instrumentation
+    included: message, partial output, loads counted so far and the
+    ``on_block_entry`` sequence up to the fault must all match."""
+
+    @pytest.mark.parametrize(
+        "body,decls",
+        [
+            ("print(a[7]);", "int a[4];"),
+            ("a[0 - 1] = 1;", "int a[4];"),
+            ("int z = 0; print(1 / z);", ""),
+            ("int s = 64; print(1 << s);", ""),
+        ],
+    )
+    def test_hooked_fault_matrix(self, body, decls):
+        module = compile_source(f"{decls}\nvoid main() {{ {body} }}")
+        tree = _hooked_fault(module, "tree")
+        assert _hooked_fault(module, "decoded") == tree
+        assert _hooked_fault(module, "superblock") == tree
+
+    def test_hooked_fault_mid_superblock_after_partial_output(self):
+        module = compile_source(
+            """
+            int a[4];
+            void main() {
+                int i;
+                for (i = 0; i < 3; i++) { print(a[i]); }
+                print(a[9]);
+            }
+            """
+        )
+        tree = _hooked_fault(module, "tree")
+        assert tree[1] == ["0", "0", "0"]
+        # Three in-bounds loads plus the faulting attempt are counted.
+        assert tree[2] == 4
+        assert _hooked_fault(module, "decoded") == tree
+        assert _hooked_fault(module, "superblock") == tree
+
+    @settings(max_examples=15, deadline=None)
+    @given(limit=st.integers(min_value=1, max_value=400))
+    def test_hooked_limit_fires_at_identical_instruction(self, limit):
+        tree = _hooked_fault(
+            _loop_module, "tree", exc=ExecutionLimitExceeded,
+            max_instructions=limit,
+        )
+        for backend in ("decoded", "superblock"):
+            assert _hooked_fault(
+                _loop_module, backend, exc=ExecutionLimitExceeded,
+                max_instructions=limit,
+            ) == tree
+
+
 # ------------------------------------------------------------- limit parity
 
 
@@ -364,6 +445,57 @@ class TestLimitParity:
         for backend in BACKENDS:
             run = run_module(module, backend=backend, max_instructions=limit)
             assert run.to_dict() == reference.to_dict()
+
+
+# ------------------------------------------------------ version-keyed caches
+
+
+class TestVersionKeyedCaches:
+    """Compiled-code caches key on ``Function.version``: mutating the IR
+    and bumping the version must recompile, never replay stale code."""
+
+    SRC = "void main() { int x = 3; print(x + 4); }"
+
+    @staticmethod
+    def _mutate_const(module, value):
+        func = module.functions["main"]
+        block = next(iter(func.blocks.values()))
+        mov = block.instructions[0]
+        assert mov.opcode is Opcode.MOV
+        mov.args = (Const(value, Type.INT),)
+        func.bump_version()
+        return func
+
+    def test_superblock_tier_recompiles_after_bump(self):
+        module = compile_source(self.SRC)
+        interp = Interpreter(module, backend="superblock")
+        assert interp.run().output == ["7"]
+        old_version = module.functions["main"].version
+        func = self._mutate_const(module, 10)
+        assert interp.run().output == ["14"]
+        assert ("main", old_version) in interp._superblocks
+        assert ("main", func.version) in interp._superblocks
+
+    def test_hooked_superblock_tier_recompiles_after_bump(self):
+        module = compile_source(self.SRC)
+        interp = Interpreter(module)
+        interp.count_loads = True
+        assert interp.run().output == ["7"]
+        old_version = module.functions["main"].version
+        func = self._mutate_const(module, 10)
+        assert interp.run().output == ["14"]
+        generations = {key[:2] for key in interp._hooked_superblocks}
+        assert {("main", old_version), ("main", func.version)} <= generations
+
+    def test_decoded_tier_recompiles_after_bump(self):
+        module = compile_source(self.SRC)
+        interp = Interpreter(module, backend="decoded")
+        assert interp.run().output == ["7"]
+        old_version = module.functions["main"].version
+        func = self._mutate_const(module, 10)
+        assert interp.run().output == ["14"]
+        generations = {key[:2] for key in interp._decoded}
+        assert {("main", old_version), ("main", func.version)} <= generations
 
 
 # -------------------------------------------------------- backend selection
@@ -428,7 +560,7 @@ class TestHookedEquivalence:
                 )
 
         auto = Entries(module)
-        assert auto._backend_mode() == _BACKEND_HOOKED
+        assert auto._backend_mode() == _BACKEND_HOOKED_SUPER
         tree = Entries(module, backend="tree")
         assert auto.run().to_dict() == tree.run().to_dict()
         assert auto.entries == tree.entries

@@ -1,0 +1,156 @@
+"""Content-addressed codegen artifacts across interpreter lifetimes.
+
+The superblock tiers content-address their generated source/bytecode
+into an :class:`~repro.artifacts.ArtifactStore` (kind ``"codegen"``),
+so a warm process -- a suite re-run, a ``repro serve`` resubmission, a
+``--jobs`` sibling worker -- instantiates stored code instead of
+re-deriving it.  These tests pin the cache protocol: cold miss+store,
+warm hit with *zero* decode or codegen work, key sensitivity (hook
+flags and IR content in, machine shape out), and graceful fallback on
+corrupt payloads.
+"""
+
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.frontend import compile_source
+from repro.obs.metrics import REGISTRY, metrics_delta
+from repro.runtime import Interpreter, run_module
+from repro.runtime.codegen import CODEGEN_KIND, artifact_key
+from repro.runtime.machine import MachineConfig
+
+SRC = """
+int f(int n) { return n * 2 + 1; }
+void main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 20; i++) { total = total + f(i); }
+    print(total);
+}
+"""
+
+
+def _delta(run):
+    before = REGISTRY.snapshot()
+    run()
+    return metrics_delta(before, REGISTRY.snapshot())["counters"]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+def _codegen_row(store):
+    return store.counters()["artifacts"].get(CODEGEN_KIND, {})
+
+
+class TestColdAndWarm:
+    def test_cold_run_misses_then_stores(self, store):
+        module = compile_source(SRC)
+        interp = Interpreter(module, backend="superblock", codegen_cache=store)
+        counters = _delta(interp.run)
+        # Two functions, each compiled once: miss + store, no hits yet.
+        assert counters["interp.codegen.cache.miss"] == 2
+        assert "interp.codegen.cache.hit" not in counters
+        row = _codegen_row(store)
+        assert row["misses"] == 2
+        assert row["stores"] == 2
+
+    def test_warm_run_skips_decode_and_codegen(self, store):
+        oracle = run_module(compile_source(SRC), backend="tree")
+        cold = Interpreter(
+            compile_source(SRC), backend="superblock", codegen_cache=store
+        )
+        assert cold.run().to_dict() == oracle.to_dict()
+        warm = Interpreter(
+            compile_source(SRC), backend="superblock", codegen_cache=store
+        )
+        counters = _delta(lambda: warm.run())
+        assert counters["interp.codegen.cache.hit"] == 2
+        assert "interp.codegen.cache.miss" not in counters
+        # The warm path rebuilds nothing: no codegen, no decode.
+        assert "interp.codegen.functions" not in counters
+        assert warm._decoded == {}
+        assert warm.run().to_dict() == oracle.to_dict()
+        # The replayed source is the stored source, byte for byte.
+        for key, sfunc in warm._superblocks.items():
+            assert sfunc.source == cold._superblocks[key].source
+
+    def test_hooked_tier_warm_hit_preserves_instrumentation(self, store):
+        def hooked_run(cache):
+            interp = Interpreter(compile_source(SRC), codegen_cache=cache)
+            interp.count_loads = True
+            entries = []
+            interp.on_block_entry = (
+                lambda frame, prev, block: entries.append(block.name)
+            )
+            result = interp.run()
+            return result.to_dict(), interp.load_count, entries
+
+        cold = hooked_run(store)
+        before = _codegen_row(store).get("hits", 0)
+        warm = hooked_run(store)
+        assert warm == cold
+        assert _codegen_row(store)["hits"] > before
+
+
+class TestKeying:
+    def test_key_excludes_machine_shape(self):
+        module = compile_source(SRC)
+        func = module.functions["main"]
+        small = Interpreter(module, machine=MachineConfig(cores=2))
+        large = Interpreter(module, machine=MachineConfig(cores=16))
+        assert artifact_key(small, func, False, False) == artifact_key(
+            large, func, False, False
+        )
+
+    def test_key_covers_hook_flags(self):
+        module = compile_source(SRC)
+        func = module.functions["main"]
+        interp = Interpreter(module)
+        keys = {
+            artifact_key(interp, func, hooked, counts)
+            for hooked, counts in (
+                (False, False), (True, False), (True, True),
+            )
+        }
+        assert len(keys) == 3
+
+    def test_key_covers_function_content(self):
+        left = Interpreter(compile_source(SRC))
+        right = Interpreter(
+            compile_source(SRC.replace("n * 2 + 1", "n * 3 + 1"))
+        )
+        assert artifact_key(
+            left, left.module.functions["f"], False, False
+        ) != artifact_key(right, right.module.functions["f"], False, False)
+
+    def test_key_covers_block_profile(self):
+        module = compile_source(SRC)
+        func = module.functions["main"]
+        plain = Interpreter(module)
+        guided = Interpreter(
+            module, block_profile={("main", func.entry.name): 100}
+        )
+        assert artifact_key(plain, func, False, False) != artifact_key(
+            guided, func, False, False
+        )
+
+
+class TestCorruptPayload:
+    def test_garbage_payload_falls_back_to_compile(self, store):
+        module = compile_source(SRC)
+        interp = Interpreter(module, backend="superblock", codegen_cache=store)
+        for name in ("main", "f"):
+            key = artifact_key(
+                interp, module.functions[name], False, False
+            )
+            store.store(CODEGEN_KIND, key, {"garbage": True})
+        oracle = run_module(compile_source(SRC), backend="tree")
+        counters = _delta(lambda: interp.run())
+        assert interp.run().to_dict() == oracle.to_dict()
+        # The poisoned payloads are read but never trusted: the build
+        # path recompiles (and re-stores) both functions.
+        assert counters["interp.codegen.cache.miss"] == 2
+        assert counters["interp.codegen.functions"] == 2

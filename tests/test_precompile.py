@@ -22,6 +22,7 @@ from repro.runtime import precompile
 from repro.runtime.interpreter import (
     _BACKEND_FAST,
     _BACKEND_HOOKED,
+    _BACKEND_HOOKED_SUPER,
     _BACKEND_SUPER,
     _BACKEND_TREE,
 )
@@ -91,8 +92,13 @@ class TestBackendSelection:
         interp.call_listener = lambda n, e, c: None
         assert interp._backend_mode() == _BACKEND_HOOKED
 
-    def test_count_loads_selects_hooked_variant(self):
+    def test_count_loads_selects_hooked_superblock_tier(self):
         interp = Interpreter(compile_source(COUNT_SRC))
+        interp.count_loads = True
+        assert interp._backend_mode() == _BACKEND_HOOKED_SUPER
+
+    def test_count_loads_with_decoded_backend_selects_hooked_variant(self):
+        interp = Interpreter(compile_source(COUNT_SRC), backend="decoded")
         interp.count_loads = True
         assert interp._backend_mode() == _BACKEND_HOOKED
 
@@ -109,18 +115,18 @@ class TestBackendSelection:
         interp.exec_instr = lambda frame, instr: None
         assert interp._backend_mode() == _BACKEND_TREE
 
-    def test_instance_hook_monkeypatch_selects_hooked_variant(self):
+    def test_instance_hook_monkeypatch_selects_hooked_superblock(self):
         interp = Interpreter(compile_source(COUNT_SRC))
         interp.exec_sync = lambda frame, instr: None
-        assert interp._backend_mode() == _BACKEND_HOOKED
+        assert interp._backend_mode() == _BACKEND_HOOKED_SUPER
 
-    def test_hook_override_subclass_selects_hooked_variant(self):
+    def test_hook_override_subclass_selects_hooked_superblock(self):
         class Hooked(Interpreter):
             def on_block_entry(self, frame, prev, block):
                 pass
 
         interp = Hooked(compile_source(COUNT_SRC))
-        assert interp._backend_mode() == _BACKEND_HOOKED
+        assert interp._backend_mode() == _BACKEND_HOOKED_SUPER
 
     def test_backend_tree_forces_walker(self):
         interp = Interpreter(compile_source(COUNT_SRC), backend="tree")
@@ -262,11 +268,11 @@ class TestDecodedState:
 
     def test_hooked_and_fast_variants_cached_separately(self):
         module = compile_source(COUNT_SRC)
-        interp = Interpreter(module)
+        interp = Interpreter(module, backend="decoded")
         interp.run()
         interp.block_listener = lambda f, p, b, c: None
         interp.run()
-        hooked_flags = {key[1] for key in interp._decoded}
+        hooked_flags = {key[2] for key in interp._decoded}
         assert hooked_flags == {False, True}
 
     def test_listener_events_match_tree_backend(self):
