@@ -34,12 +34,25 @@ Commands:
   tracer and export Chrome trace-event JSON (loadable in
   ui.perfetto.dev or about:tracing); ``--sim-timeline`` adds one
   simulated-time track per core.
+* ``bench-diff BASE HEAD``   -- regression-diff two recorded runs from
+  the versioned results store (or raw report files); exits nonzero
+  when any ratio metric drops by more than its tolerance.  Every
+  ``bench-*`` / ``suite --report`` invocation records its run into the
+  store (``--results-dir`` / ``$REPRO_RESULTS_DIR`` /
+  ``.repro-results``), so history accumulates by default;
+  ``bench-diff --list`` shows it.
 * ``serve``                  -- long-running compile/run daemon: a
   JSON-lines protocol over a Unix socket (or ``--host``/``--port``
   TCP) through which concurrent clients submit compile/run/suite/trace
   jobs and stream back observer events; all jobs share one
   content-addressed artifact store, so repeated requests are served
-  warm.  SIGTERM drains gracefully.
+  warm.  SIGTERM drains gracefully.  ``--trace-dir`` writes a Perfetto
+  trace per traced job, ``--heartbeat`` records periodic liveness in
+  the job log.
+* ``serve-status``           -- one-shot live introspection of a
+  running daemon (queue depth by state, in-flight job ages, worker
+  liveness, uptime, metrics registry); ``--json`` for the raw payload,
+  ``--prom`` for Prometheus text exposition.
 
 ``run``, ``compile`` and ``suite`` also accept ``--trace PATH`` to
 record the same span stream while doing their normal job.
@@ -72,21 +85,63 @@ def _parse_machine(spec: str) -> MachineConfig:
     return machine
 
 
-def _write_json_report(path, report) -> bool:
+#: Default results-store location (see :func:`_results_dir`).
+DEFAULT_RESULTS_DIR = ".repro-results"
+
+
+def _results_dir(args) -> str:
+    """Where bench/suite runs are recorded (empty string disables).
+
+    Resolution order: ``--results-dir``, then ``REPRO_RESULTS_DIR``,
+    then ``.repro-results`` in the current directory.
+    """
+    import os
+
+    value = getattr(args, "results_dir", None)
+    if value is None:
+        value = os.environ.get("REPRO_RESULTS_DIR", DEFAULT_RESULTS_DIR)
+    return value
+
+
+def _write_json_report(path, report, results_dir=None, kind=None) -> bool:
     """Shared writer for the ``BENCH_*`` / suite JSON reports.
 
     Every report object exposes ``to_json``; an empty/None path
     disables writing.  Returns False (after printing why) when the
     write failed, so callers can turn it into a nonzero exit.
+
+    When ``results_dir`` is non-empty, the run is additionally recorded
+    into the versioned :class:`~repro.obs.results.ResultsStore` there
+    (content-addressed run id + metrics/environment provenance), which
+    is what ``repro bench-diff`` compares.  Recording failures warn but
+    never fail the bench -- the report file is the primary artifact.
     """
-    if not path:
-        return True
-    try:
-        Path(path).write_text(report.to_json() + "\n")
-    except OSError as exc:
-        print(f"error: cannot write report: {exc}", file=sys.stderr)
-        return False
-    print(f"report written to {path}", file=sys.stderr)
+    if path:
+        try:
+            Path(path).write_text(report.to_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return False
+        print(f"report written to {path}", file=sys.stderr)
+    if results_dir:
+        from repro.obs.results import ResultsStore, infer_kind
+
+        try:
+            payload = report.as_dict()
+            record = ResultsStore(results_dir).record(
+                kind or infer_kind(payload), payload
+            )
+        except (OSError, ValueError) as exc:
+            print(
+                f"warning: results store not updated: {exc}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"run {record.run_id} ({record.kind}) recorded "
+                f"in {results_dir}",
+                file=sys.stderr,
+            )
     return True
 
 
@@ -205,7 +260,7 @@ def cmd_bench_interp(args) -> int:
         progress=lambda name: print(f"timing {name}...", file=sys.stderr),
     )
     print(report.render())
-    if not _write_json_report(args.out, report):
+    if not _write_json_report(args.out, report, _results_dir(args), "interp"):
         return 1
     if not _gate(report.min_speedup, args.min_speedup, "min speedup"):
         return 1
@@ -231,7 +286,8 @@ def cmd_bench_passes(args) -> int:
         progress=lambda name: print(f"timing {name}...", file=sys.stderr),
     )
     print(report.render())
-    return 0 if _write_json_report(args.out, report) else 1
+    ok = _write_json_report(args.out, report, _results_dir(args), "passes")
+    return 0 if ok else 1
 
 
 def cmd_bench_sched(args) -> int:
@@ -247,7 +303,7 @@ def cmd_bench_sched(args) -> int:
         jobs=args.jobs,
     )
     print(report.render())
-    if not _write_json_report(args.out, report):
+    if not _write_json_report(args.out, report, _results_dir(args), "sched"):
         return 1
     if not _gate(report.min_speedup, args.min_speedup, "min speedup"):
         return 1
@@ -257,6 +313,146 @@ def cmd_bench_sched(args) -> int:
         "aggregate batched speedup",
     ):
         return 1
+    return 0
+
+
+def _resolve_run(store, ref, kind):
+    """A ``bench-diff`` operand: a run ref in the store, or a JSON file.
+
+    File operands may be raw ``BENCH_*.json`` reports or serialized
+    :class:`RunRecord` payloads; store operands are run-id prefixes,
+    ``latest``, or ``latest~N``.
+    """
+    import json
+
+    path = Path(ref)
+    if path.is_file():
+        return json.loads(path.read_text())
+    return store.load(ref, kind)
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.obs.results import ResultsStore, diff, format_history
+
+    results_dir = _results_dir(args) or DEFAULT_RESULTS_DIR
+    store = ResultsStore(results_dir)
+    if args.list:
+        runs = store.load_runs(args.kind)
+        print(format_history(runs))
+        for problem in store.problems:
+            print(f"warning: skipped {problem}", file=sys.stderr)
+        return 0
+    if args.base is None or args.head is None:
+        print(
+            "error: bench-diff needs BASE and HEAD (or --list)",
+            file=sys.stderr,
+        )
+        return 2
+    tolerances = {}
+    for spec in args.tolerance or ():
+        pattern, sep, value = spec.partition("=")
+        if not sep:
+            print(
+                f"error: bad --tolerance {spec!r} (want PATTERN=FRACTION)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            tolerances[pattern] = float(value)
+        except ValueError:
+            print(
+                f"error: bad --tolerance fraction {value!r}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        base = _resolve_run(store, args.base, args.kind)
+        head = _resolve_run(store, args.head, args.kind)
+        result = diff(
+            base,
+            head,
+            tolerances=tolerances,
+            default_tolerance=args.default_tolerance,
+            kind=args.kind,
+        )
+    except (KeyError, ValueError, OSError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if not result.entries:
+        print(
+            "error: no comparable metrics between base and head",
+            file=sys.stderr,
+        )
+        return 2
+    if not result.ok:
+        print(
+            f"error: {len(result.regressions)} gated regression(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_serve_status(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(
+            socket_path=None if args.host is not None else args.socket,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+        ) as client:
+            status = client.status()
+    except (OSError, ConnectionError) as exc:
+        print(f"error: cannot reach daemon: {exc}", file=sys.stderr)
+        return 1
+    status.pop("event", None)
+    status.pop("id", None)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    if args.prom:
+        from repro.obs import prometheus_text, status_gauges
+
+        print(
+            prometheus_text(
+                status.get("metrics", {}),
+                extra_gauges=status_gauges(status),
+            ),
+            end="",
+        )
+        return 0
+    queue = status.get("queue", {})
+    workers = status.get("workers", {})
+    print(
+        f"daemon run {status.get('run')} "
+        f"(protocol {status.get('protocol')}), "
+        f"up {status.get('uptime_seconds', 0.0):.1f}s, "
+        f"{'accepting' if status.get('accepting') else 'draining'}"
+    )
+    depth = ", ".join(
+        f"{state}={queue[state]}" for state in sorted(queue) if queue[state]
+    )
+    print(f"queue: {depth or 'empty'}; retries: {status.get('retries', 0)}")
+    print(
+        f"workers: {workers.get('alive', '?')}/"
+        f"{workers.get('configured', '?')} alive"
+    )
+    for job in status.get("in_flight", []):
+        bench = f" {job['bench']}" if job.get("bench") else ""
+        print(
+            f"  running {job['job']} ({job['op']}{bench}) "
+            f"for {job['age_seconds']:.1f}s, retries {job['retries']}"
+        )
+    counters = status.get("metrics", {}).get("counters", {})
+    if counters:
+        print(f"metrics: {len(counters)} counters "
+              f"(use --json or --prom for values)")
     return 0
 
 
@@ -316,7 +512,9 @@ def _cmd_suite(args) -> int:
         # the conventional SIGINT exit status.
         print("suite interrupted", file=sys.stderr)
         if args.report:
-            _write_json_report(args.report, exc.report)
+            _write_json_report(
+                args.report, exc.report, _results_dir(args), "suite"
+            )
         return 130
     print(fig9.render())
     if args.stats:
@@ -343,7 +541,9 @@ def _cmd_suite(args) -> int:
             ),
             file=sys.stderr,
         )
-        if not _write_json_report(args.report, report):
+        if not _write_json_report(
+            args.report, report, _results_dir(args), "suite"
+        ):
             return 1
     return 0
 
@@ -383,6 +583,8 @@ def cmd_serve(args) -> int:
             port=args.port,
             drain_timeout=args.drain_timeout,
             log_path=args.log,
+            trace_dir=args.trace_dir,
+            heartbeat=args.heartbeat,
         )
     except KeyboardInterrupt:  # pragma: no cover - loops without signal
         pass                   # handler support fall through to here
@@ -446,6 +648,11 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     trace_help = "write a Chrome/Perfetto trace of this command to PATH"
+    results_help = (
+        "versioned results-store directory recording this run for "
+        "`repro bench-diff` (default $REPRO_RESULTS_DIR or "
+        f"{DEFAULT_RESULTS_DIR}; empty string disables)"
+    )
 
     p = sub.add_parser("run", help="compile and run a MiniC file")
     p.add_argument("file")
@@ -536,6 +743,9 @@ def main(argv=None) -> int:
         help="exit nonzero if the geomean hooked-superblock speedup over "
         "the hooked decoded variant is below X",
     )
+    p.add_argument(
+        "--results-dir", default=None, metavar="DIR", help=results_help
+    )
     p.set_defaults(func=cmd_bench_interp)
 
     p = sub.add_parser(
@@ -560,6 +770,9 @@ def main(argv=None) -> int:
         default="BENCH_passes.json",
         metavar="PATH",
         help="JSON report path (empty string disables)",
+    )
+    p.add_argument(
+        "--results-dir", default=None, metavar="DIR", help=results_help
     )
     p.set_defaults(func=cmd_bench_passes)
 
@@ -613,6 +826,9 @@ def main(argv=None) -> int:
         metavar="N",
         help="shard the batched lane's scheduling pass over N processes",
     )
+    p.add_argument(
+        "--results-dir", default=None, metavar="DIR", help=results_help
+    )
     p.set_defaults(func=cmd_bench_sched)
 
     p = sub.add_parser("suite", help="Figure 9 across the whole suite")
@@ -642,7 +858,56 @@ def main(argv=None) -> int:
         help="write a machine-readable JSON report",
     )
     p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
+    p.add_argument(
+        "--results-dir", default=None, metavar="DIR", help=results_help
+    )
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="regression-diff two recorded bench/suite runs",
+        description=(
+            "Compare two runs recorded in the results store (or raw "
+            "report/record JSON files).  BASE and HEAD are run-id "
+            "prefixes, 'latest', 'latest~N', or file paths.  Exits 1 "
+            "when any metric drops by more than its tolerance, 2 on "
+            "usage/lookup errors."
+        ),
+    )
+    p.add_argument("base", nargs="?", default=None,
+                   help="baseline run ref or report file")
+    p.add_argument("head", nargs="?", default=None,
+                   help="candidate run ref or report file")
+    p.add_argument(
+        "--kind",
+        choices=("interp", "sched", "passes", "suite"),
+        default=None,
+        help="report kind (inferred from the payload when omitted)",
+    )
+    p.add_argument(
+        "--results-dir", default=None, metavar="DIR", help=results_help
+    )
+    p.add_argument(
+        "--tolerance",
+        action="append",
+        default=None,
+        metavar="PATTERN=FRACTION",
+        help="per-metric allowed relative drop, fnmatch pattern "
+        "(e.g. 'summary.*=0.2'); repeatable, most specific wins",
+    )
+    p.add_argument(
+        "--default-tolerance",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="allowed relative drop for unmatched metrics (default 0.05)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list recorded run history instead of diffing",
+    )
+    p.set_defaults(func=cmd_bench_diff)
 
     p = sub.add_parser(
         "serve",
@@ -706,9 +971,60 @@ def main(argv=None) -> int:
         "--log",
         default=None,
         metavar="PATH",
-        help="append every job event to this JSON-lines log",
+        help="append every job event to this JSON-lines log "
+        "(each line stamped with a sequence number and the run id)",
+    )
+    p.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write a Perfetto trace file per traced job "
+        "(jobs submitted with \"trace\": true, and all trace ops)",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="interval between liveness records in the job log "
+        "(default 15; <= 0 disables)",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-status",
+        help="query a running daemon's live status (queue, workers, metrics)",
+    )
+    p.add_argument(
+        "--socket",
+        default="repro.sock",
+        metavar="PATH",
+        help="daemon Unix socket (default ./repro.sock)",
+    )
+    p.add_argument(
+        "--host",
+        default=None,
+        metavar="HOST",
+        help="connect over TCP HOST:PORT instead of the Unix socket",
+    )
+    p.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="TCP port (only with --host)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="connection/read timeout (default 10)",
+    )
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json", action="store_true",
+        help="print the full status payload as JSON",
+    )
+    fmt.add_argument(
+        "--prom", action="store_true",
+        help="print metrics in Prometheus text exposition format",
+    )
+    p.set_defaults(func=cmd_serve_status)
 
     p = sub.add_parser(
         "trace",
@@ -738,7 +1054,19 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print (e.g.
+        # `repro bench-diff ... | head`); exit quietly instead of
+        # dumping a traceback.  Point stdout at devnull so the
+        # interpreter's shutdown flush does not raise again.
+        import os
+        import sys
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

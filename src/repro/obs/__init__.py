@@ -14,6 +14,15 @@ Two complementary primitives, both off by default and free when off:
   evaluation-cache disk traffic) all mirror into it, so one snapshot
   describes a whole run.
 
+On top of these sit two reporting surfaces:
+
+* :class:`ResultsStore` (:mod:`repro.obs.results`) -- a versioned,
+  content-addressed store of bench/suite run records with a
+  :func:`diff` regression engine (``repro bench-diff``).
+* :func:`prometheus_text` (:mod:`repro.obs.prom`) -- Prometheus
+  text-format exposition of registry snapshots and daemon status
+  (``repro serve-status --prom``).
+
 The *simulated-time* timeline exporter lives in
 :mod:`repro.obs.timeline`; it is imported explicitly by its users (never
 from this package root) because it depends on the runtime layer.
@@ -35,6 +44,18 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.prom import prometheus_text, status_gauges
+from repro.obs.results import (
+    RESULTS_SCHEMA_VERSION,
+    DiffEntry,
+    ResultsStore,
+    RunDiff,
+    RunRecord,
+    diff,
+    format_history,
+    infer_kind,
+    run_metrics,
+)
 
 __all__ = [
     "REGISTRY",
@@ -53,4 +74,15 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "prometheus_text",
+    "status_gauges",
+    "RESULTS_SCHEMA_VERSION",
+    "DiffEntry",
+    "ResultsStore",
+    "RunDiff",
+    "RunRecord",
+    "diff",
+    "format_history",
+    "infer_kind",
+    "run_metrics",
 ]

@@ -27,7 +27,9 @@ there is no import cycle and no cost beyond a dict lookup + int add.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Tuple, Union
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -59,21 +61,43 @@ class Gauge:
 
 
 class Registry:
-    """Named counters and gauges, creatable on first touch."""
+    """Named counters and gauges, creatable on first touch.
+
+    A registry can be *scoped per thread*: :meth:`isolated` installs a
+    fresh child registry for the calling thread, and every read/write
+    made through this instance on that thread (``inc``/``set``/
+    ``counter``/``gauge``/``snapshot``/``merge``) is routed to the
+    child until the scope exits, at which point the child's totals are
+    folded back into the parent.  This is how the service orchestrator
+    gives every job attempt its own ``metrics_delta`` even though all
+    instrumentation sites share one process-wide :data:`REGISTRY`:
+    work done by *this thread* during the scope lands in the scope, so
+    two worker threads never cross-contaminate each other's job deltas.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._local = threading.local()
+
+    def _scope(self) -> Optional["Registry"]:
+        return getattr(self._local, "scope", None)
 
     # -- creation / access -------------------------------------------------
 
     def counter(self, name: str) -> Counter:
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            return scope.counter(name)
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str) -> Gauge:
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            return scope.gauge(name)
         g = self._gauges.get(name)
         if g is None:
             g = self._gauges[name] = Gauge(name)
@@ -81,6 +105,10 @@ class Registry:
 
     def inc(self, name: str, delta: Number = 1) -> None:
         """Fast path: bump a counter by name."""
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            scope.inc(name, delta)
+            return
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
@@ -88,6 +116,10 @@ class Registry:
 
     def set(self, name: str, value: Number) -> None:
         """Fast path: set a gauge by name."""
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            scope.set(name, value)
+            return
         g = self._gauges.get(name)
         if g is None:
             g = self._gauges[name] = Gauge(name)
@@ -96,7 +128,16 @@ class Registry:
     # -- aggregate views ---------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, Number]]:
-        """All current values, JSON-stable and sorted by name."""
+        """All current values, JSON-stable and sorted by name.
+
+        Under an :meth:`isolated` scope this is the *scope's* snapshot:
+        code that computes before/after deltas inside the scope (the
+        suite runner, the trace exporter) sees only work attributable
+        to the scoped thread.
+        """
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            return scope.snapshot()
         return {
             "counters": {n: self._counters[n].value for n in sorted(self._counters)},
             "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
@@ -116,8 +157,39 @@ class Registry:
 
     def reset(self) -> None:
         """Drop every counter and gauge (test isolation)."""
+        scope = getattr(self._local, "scope", None)
+        if scope is not None:
+            scope.reset()
+            return
         self._counters.clear()
         self._gauges.clear()
+
+    @contextmanager
+    def isolated(self) -> Iterator["Registry"]:
+        """Scope this thread's metrics into a fresh child registry.
+
+        Within the ``with`` block, every registry operation made by the
+        *calling thread* through this instance lands in the yielded
+        child (other threads keep writing to the parent).  On exit the
+        child's totals are folded back into the enclosing registry --
+        the parent, or an outer scope when isolation nests -- so
+        process-wide totals still accumulate; the child's
+        :meth:`snapshot` *is* the scope's delta, already in the
+        ``metrics_delta`` wire shape.
+        """
+        previous = getattr(self._local, "scope", None)
+        scope = Registry()
+        self._local.scope = scope
+        try:
+            yield scope
+        finally:
+            self._local.scope = previous
+            target = previous if previous is not None else self
+            delta = scope.snapshot()
+            for name, value in delta["counters"].items():
+                target.inc(name, value)
+            for name, value in delta["gauges"].items():
+                target.set(name, value)
 
     def __iter__(self) -> Iterator[Tuple[str, Number]]:
         for name in sorted(self._counters):

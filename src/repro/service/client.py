@@ -147,6 +147,20 @@ class ServiceClient:
                 return event
             self._pending.append(event)
 
+    def status(self) -> Dict[str, dict]:
+        """The daemon's live introspection payload (``status`` RPC).
+
+        Queue depth by job state, in-flight jobs with ages, worker
+        liveness, uptime, artifact-store counters, and the full
+        metrics-registry snapshot.
+        """
+        self.send({"op": "status"})
+        while True:
+            event = self._read_wire()
+            if event.get("event") == "status":
+                return event
+            self._pending.append(event)
+
     def ping(self) -> bool:
         self.send({"op": "ping"})
         while True:

@@ -14,7 +14,14 @@ Requests::
     {"op": "trace",   "bench": "mcf", "include_trace": false}
     {"op": "cancel",  "job": "j3"}
     {"op": "stats"}
+    {"op": "status"}
     {"op": "ping"}
+
+Any job request may also carry ``"trace": true``: the orchestrator then
+runs that job's attempts under a recording tracer, and (when the daemon
+was started with ``--trace-dir``) a schema-valid Perfetto trace file is
+written per job as it finishes, announced by a ``trace_written`` event
+in the job log and a ``trace_path`` on the terminal event.
 
 Any request may carry a client-chosen ``"id"``, echoed on the
 ``accepted`` event (and every subsequent event of that job also names
@@ -29,6 +36,9 @@ the server-side ``"job"`` id).  Events::
     {"event": "job_finished",    "job": "j3", "state": "done",
      "retries": 0, "result": {...}, "metrics": {...}}
     {"event": "stats",  ...}   {"event": "pong"}
+    {"event": "status", "run": ..., "uptime_seconds": ...,
+     "queue": {...}, "in_flight": [...], "workers": {...},
+     "metrics": {...}, "artifacts": {...}}
     {"event": "error",  "message": "..."}
 
 Lifecycle: SIGTERM (or SIGINT) triggers a graceful drain -- the
@@ -36,7 +46,11 @@ listening socket closes, in-flight jobs run to completion (bounded by
 ``drain_timeout``), every connected client receives a ``draining``
 event, and the process exits 0.  All observer events can additionally
 be appended to a JSON-lines job log (``--log``), which is what the CI
-``serve-smoke`` job uploads as its artifact.
+``serve-smoke`` job uploads as its artifact.  Every log line is wrapped
+with a monotonic ``"seq"`` and the daemon's ``"run"`` id, so
+interleaved multi-connection logs are totally ordered and joinable to
+:class:`~repro.obs.results.ResultsStore` history; a periodic
+``heartbeat`` record (``--heartbeat``) proves liveness between jobs.
 """
 
 from __future__ import annotations
@@ -45,11 +59,16 @@ import asyncio
 import json
 import signal
 import threading
+import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.obs import REGISTRY, validate_chrome_trace, write_chrome_trace
+from repro.obs.tracer import SpanEvent
 from repro.service.jobs import (
     CompileJob,
+    CompositeObserver,
     EvaluationObserver,
     Job,
     RunJob,
@@ -102,6 +121,10 @@ def validate_event(event: Any) -> List[str]:
         "artifact_stored": ("job", "kind", "key", "outcome"),
         "job_finished": ("job", "state", "retries"),
         "stats": ("jobs", "artifacts"),
+        "status": ("run", "uptime_seconds", "queue", "workers", "metrics"),
+        "heartbeat": ("uptime_seconds", "queue", "workers"),
+        "trace_written": ("job", "path"),
+        "cancelled": ("job",),
         "error": ("message",),
         "pong": (),
         "draining": (),
@@ -115,6 +138,45 @@ def validate_event(event: Any) -> List[str]:
         if event.get("state") == "done" and "result" not in event:
             problems.append("done job_finished missing result")
     return problems
+
+
+class _TraceWriter(EvaluationObserver):
+    """Writes one Perfetto trace file per traced job as it finishes.
+
+    Installed *ahead of* the per-connection observers in the
+    orchestrator's observer chain, so ``job.trace_path`` is set before
+    the terminal ``job_finished`` event is serialized to the client.
+    """
+
+    def __init__(self, daemon: "Daemon") -> None:
+        self._daemon = daemon
+
+    def job_finished(self, job: Optional[Job]) -> None:
+        daemon = self._daemon
+        if job is None or not job.spans or daemon.trace_dir is None:
+            return
+        directory = Path(daemon.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{job.id}.json"
+        spans = [SpanEvent.from_dict(data) for data in job.spans]
+        payload = write_chrome_trace(
+            str(path),
+            spans,
+            registry_snapshot=job.metrics,
+            process_names={daemon_pid: f"repro job {job.id} ({job.op})"
+                           for daemon_pid in {s.pid for s in spans}},
+        )
+        problems = validate_chrome_trace(payload)
+        job.trace_path = str(path)
+        daemon._log_event(
+            {
+                "event": "trace_written",
+                "job": job.id,
+                "path": str(path),
+                "spans": len(spans),
+                "problems": problems,
+            }
+        )
 
 
 class _ConnectionObserver(EvaluationObserver):
@@ -197,6 +259,8 @@ class _ConnectionObserver(EvaluationObserver):
         }
         if job.result is not None:
             event["result"] = job.result
+        if job.trace_path is not None:
+            event["trace_path"] = job.trace_path
         self._emit(event)
 
 
@@ -211,6 +275,8 @@ class Daemon:
         port: int = 0,
         drain_timeout: float = 60.0,
         log_path: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        heartbeat: float = 0.0,
     ) -> None:
         if socket_path is None and host is None:
             raise ValueError("daemon needs a unix socket path or a TCP host")
@@ -220,7 +286,22 @@ class Daemon:
         self.port = port
         self.drain_timeout = drain_timeout
         self.log_path = log_path
+        self.trace_dir = trace_dir
+        #: Seconds between heartbeat records in the job log (<= 0 off).
+        self.heartbeat = heartbeat
+        #: This daemon instance's run id: stamped on every log line so
+        #: logs from successive daemon lifetimes never interleave
+        #: ambiguously, and joinable to ResultsStore run provenance.
+        self.run_id = uuid.uuid4().hex[:12]
+        self._started_monotonic = time.monotonic()
         self._log_lock = threading.Lock()
+        self._log_seq = 0
+        if trace_dir is not None:
+            # Trace files are written by the orchestrator-wide observer
+            # so they exist before per-connection terminal events.
+            orchestrator.observer = CompositeObserver(
+                _TraceWriter(self), orchestrator.observer
+            )
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -235,10 +316,51 @@ class Daemon:
     def _log_event(self, event: dict) -> None:
         if self.log_path is None:
             return
-        line = json.dumps(event, sort_keys=True, default=str)
         with self._log_lock:
+            # Never mutate ``event`` -- the same dict is queued for the
+            # client stream; the log line is a stamped copy.  seq is
+            # assigned under the lock, so log order == seq order.
+            self._log_seq += 1
+            record = {"seq": self._log_seq, "run": self.run_id, **event}
+            line = json.dumps(record, sort_keys=True, default=str)
             with open(self.log_path, "a") as handle:
                 handle.write(line + "\n")
+
+    # -- introspection -----------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def status(self) -> dict:
+        """The ``status`` RPC payload: daemon + orchestrator + registry.
+
+        Combines the daemon's identity and uptime, the orchestrator's
+        live queue/worker view (:meth:`Orchestrator.status`), and the
+        full process-wide metrics registry snapshot.
+        """
+        return {
+            "run": self.run_id,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "trace_dir": self.trace_dir,
+            "metrics": REGISTRY.snapshot(),
+            **self.orchestrator.status(),
+        }
+
+    async def _heartbeat_loop(self) -> None:
+        """Periodic liveness record in the job log (first beat now)."""
+        while True:
+            snapshot = self.orchestrator.status()
+            self._log_event(
+                {
+                    "event": "heartbeat",
+                    "uptime_seconds": round(self.uptime_seconds(), 3),
+                    "queue": snapshot["queue"],
+                    "in_flight": len(snapshot["in_flight"]),
+                    "workers": snapshot["workers"],
+                }
+            )
+            await asyncio.sleep(self.heartbeat)
 
     # -- protocol ----------------------------------------------------------
 
@@ -256,6 +378,11 @@ class Daemon:
         if op == "stats":
             stats = self.orchestrator.stats()
             await events.put({"event": "stats", "id": req_id, **stats})
+            return
+        if op == "status":
+            await events.put(
+                {"event": "status", "id": req_id, **self.status()}
+            )
             return
         if op == "cancel":
             ok = self.orchestrator.cancel(str(request.get("job")))
@@ -293,6 +420,7 @@ class Daemon:
                 spec,
                 timeout=float(timeout) if timeout is not None else None,
                 observer=observer,
+                trace=bool(request.get("trace", False)),
             )
         except RuntimeError as exc:  # draining
             await events.put(
@@ -388,9 +516,18 @@ class Daemon:
             sock = self._server.sockets[0].getsockname()
             self.endpoint = ("tcp", sock[0], sock[1])
         self.ready.set()
+        beats: Optional[asyncio.Task] = None
+        if self.heartbeat > 0 and self.log_path is not None:
+            beats = asyncio.ensure_future(self._heartbeat_loop())
         try:
             await self._stopping.wait()
         finally:
+            if beats is not None:
+                beats.cancel()
+                try:
+                    await beats
+                except asyncio.CancelledError:
+                    pass
             await self._drain()
 
     async def _drain(self) -> None:
@@ -421,6 +558,8 @@ def serve_forever(
     port: int = 0,
     drain_timeout: float = 60.0,
     log_path: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    heartbeat: float = 0.0,
     install_signal_handlers: bool = True,
 ) -> Daemon:
     """Blocking entry point used by ``repro serve``."""
@@ -431,6 +570,8 @@ def serve_forever(
         port=port,
         drain_timeout=drain_timeout,
         log_path=log_path,
+        trace_dir=trace_dir,
+        heartbeat=heartbeat,
     )
     asyncio.run(daemon.serve(install_signal_handlers=install_signal_handlers))
     return daemon

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -135,6 +136,19 @@ class Job:
     #: ``repro.obs`` counter/gauge delta captured over the attempt that
     #: finished the job (orchestrator-filled).
     metrics: Optional[dict] = None
+    #: Capture spans during this job's attempts (``trace: true`` on the
+    #: wire); the orchestrator runs traced attempts under ``tracing()``.
+    trace: bool = False
+    #: Serialized :class:`~repro.obs.tracer.SpanEvent` dicts recorded by
+    #: the attempt that finished the job (only when :attr:`trace`, or
+    #: always for trace-op jobs).
+    spans: Optional[List[dict]] = None
+    #: Where the daemon wrote this job's Perfetto trace (``--trace-dir``).
+    trace_path: Optional[str] = None
+    #: Lifecycle timestamps (``time.monotonic``), for in-flight ages.
+    submitted_monotonic: float = 0.0
+    started_monotonic: Optional[float] = None
+    finished_monotonic: Optional[float] = None
     #: Set by :meth:`request_cancel`; cooperative handlers poll it.
     cancel_requested: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
@@ -147,6 +161,8 @@ class Job:
     def __post_init__(self) -> None:
         if not self.id:
             self.id = f"j{next(_job_ids)}"
+        if not self.submitted_monotonic:
+            self.submitted_monotonic = time.monotonic()
 
     @property
     def op(self) -> str:
@@ -160,11 +176,29 @@ class Job:
                 f"{self.state.value} -> {new.value}"
             )
         self.state = new
+        if new is JobState.RUNNING:
+            self.started_monotonic = time.monotonic()
         if new.terminal:
+            self.finished_monotonic = time.monotonic()
             self.finished.set()
 
     def request_cancel(self) -> None:
         self.cancel_requested.set()
+
+    def age_seconds(self, now: Optional[float] = None) -> float:
+        """Seconds since the current (or last) attempt started running.
+
+        Falls back to time-since-submission while the job is queued.
+        """
+        if now is None:
+            now = time.monotonic()
+        end = self.finished_monotonic if self.finished_monotonic else now
+        start = (
+            self.started_monotonic
+            if self.started_monotonic is not None
+            else self.submitted_monotonic
+        )
+        return max(0.0, end - start)
 
     def as_dict(self) -> dict:
         """JSON-stable summary (the daemon's wire form of a job)."""
@@ -172,7 +206,7 @@ class Job:
         for name in getattr(self.spec, "__dataclass_fields__", {}):
             value = getattr(self.spec, name)
             spec[name] = list(value) if isinstance(value, tuple) else value
-        return {
+        summary = {
             "id": self.id,
             "op": self.op,
             "state": self.state.value,
@@ -181,6 +215,9 @@ class Job:
             "spec": spec,
             "metrics": self.metrics,
         }
+        if self.trace_path is not None:
+            summary["trace_path"] = self.trace_path
+        return summary
 
 
 # -- observer protocol -------------------------------------------------------

@@ -54,7 +54,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.artifacts import ArtifactStore
-from repro.obs import REGISTRY, get_tracer, metrics_delta
+from repro.obs import REGISTRY, get_tracer, tracing
 from repro.runtime.machine import MachineConfig
 from repro.service.jobs import (
     NULL_OBSERVER,
@@ -178,12 +178,15 @@ class Orchestrator:
         spec: Any,
         timeout: Optional[float] = None,
         observer: Optional[EvaluationObserver] = None,
+        trace: bool = False,
     ) -> Job:
         """Queue one job; returns it immediately (state QUEUED).
 
         ``observer`` (optional) receives this job's events in addition
         to the orchestrator-wide observer -- the daemon registers the
-        submitting connection's stream here.
+        submitting connection's stream here.  ``trace`` asks the worker
+        to run the job's attempts under a recording tracer and attach
+        the captured spans to the job (``Job.spans``).
         """
         if type(spec) not in self.handlers:
             raise TypeError(f"no handler for job spec {type(spec).__name__}")
@@ -193,6 +196,7 @@ class Orchestrator:
             job = Job(
                 spec=spec,
                 timeout=self.default_timeout if timeout is None else timeout,
+                trace=trace,
             )
             self._jobs[job.id] = job
             if observer is not None:
@@ -288,6 +292,48 @@ class Orchestrator:
             "artifacts": self.artifacts.counters(),
         }
 
+    def status(self) -> dict:
+        """Runtime introspection: queue depth, in-flight jobs, workers.
+
+        Unlike :meth:`stats` (job accounting for reports), this is the
+        live operational view the daemon's ``status`` RPC exposes:
+        queue depth by state (every state present, zero or not),
+        in-flight jobs with their ages, total retries, and worker
+        liveness -- a dead worker thread shows up as ``alive <
+        configured``.
+        """
+        now = time.monotonic()
+        with self._lock:
+            jobs = list(self._jobs.values())
+            accepting = self._accepting
+        queue_depth = {state.value: 0 for state in JobState}
+        for job in jobs:
+            queue_depth[job.state.value] += 1
+        in_flight = [
+            {
+                "job": job.id,
+                "op": job.op,
+                "bench": getattr(job.spec, "bench", None),
+                "retries": job.retries,
+                "age_seconds": round(job.age_seconds(now), 3),
+            }
+            for job in jobs
+            if job.state is JobState.RUNNING
+        ]
+        return {
+            "accepting": accepting,
+            "queue": queue_depth,
+            "in_flight": in_flight,
+            "retries": sum(job.retries for job in jobs),
+            "workers": {
+                "configured": len(self._threads),
+                "alive": sum(
+                    1 for thread in self._threads if thread.is_alive()
+                ),
+            },
+            "artifacts": self.artifacts.counters(),
+        }
+
     # -- execution ---------------------------------------------------------
 
     def _observer_for(self, job: Job) -> EvaluationObserver:
@@ -315,7 +361,6 @@ class Orchestrator:
                 interp_backend=self.interp_backend,
             )
             handler = self.handlers[type(job.spec)]
-            metrics_before = REGISTRY.snapshot()
             try:
                 with get_tracer().span(
                     f"job.{job.op}", cat="job", job=job.id,
@@ -356,7 +401,6 @@ class Orchestrator:
                 with self._lock:
                     job.result = result
                     job.transition(JobState.DONE)
-            job.metrics = metrics_delta(metrics_before, REGISTRY.snapshot())
             observer.job_finished(job)
 
     def _attempt(self, handler: Handler, ctx: JobContext, job: Job) -> dict:
@@ -368,13 +412,13 @@ class Orchestrator:
         the late result.
         """
         if not job.timeout:
-            return handler(ctx, job.spec)
+            return self._execute(handler, ctx, job)
         box: Dict[str, Any] = {}
         done = threading.Event()
 
         def target() -> None:
             try:
-                box["result"] = handler(ctx, job.spec)
+                box["result"] = self._execute(handler, ctx, job)
             except BaseException as exc:  # noqa: BLE001 - crosses threads
                 box["error"] = exc
             finally:
@@ -392,6 +436,48 @@ class Orchestrator:
         if "error" in box:
             raise box["error"]
         return box["result"]
+
+    def _execute(self, handler: Handler, ctx: JobContext, job: Job) -> dict:
+        """Run one attempt body in the *calling* thread, capturing
+        observability onto the job.
+
+        The attempt runs under ``REGISTRY.isolated()``, so ``Job.metrics``
+        is exactly this attempt's counter/gauge delta -- work done
+        concurrently by other worker threads (or an abandoned zombie of
+        a timed-out job) never contaminates it, and the scope's totals
+        still fold back into the process-wide registry on exit.  Metrics
+        (and spans, for traced jobs) are recorded in whichever thread
+        executes the handler -- the worker itself, or the disposable
+        timeout thread -- because the registry scope is thread-local.
+
+        A ``trace``-flagged job additionally runs under the ambient
+        recording tracer (serialized by ``_TRACE_LOCK``, like the
+        dedicated trace op).  Trace-op jobs are excluded here -- their
+        handler takes the same non-reentrant lock itself, possibly from
+        a different (disposable) thread, and already attaches its spans.
+
+        Late writes from abandoned timeout threads are suppressed: once
+        the worker finished the job, the zombie's capture is dropped.
+        """
+        traced = job.trace and not isinstance(job.spec, TraceJob)
+        spans: Optional[List[dict]] = None
+        with REGISTRY.isolated() as scope:
+            try:
+                if traced:
+                    with _TRACE_LOCK:
+                        with tracing() as tracer:
+                            result = handler(ctx, job.spec)
+                        spans = [
+                            event.as_dict() for event in tracer.finished()
+                        ]
+                else:
+                    result = handler(ctx, job.spec)
+            finally:
+                if not job.finished.is_set():
+                    job.metrics = scope.snapshot()
+        if spans is not None and not job.finished.is_set():
+            job.spans = spans
+        return result
 
     # -- default handlers --------------------------------------------------
 
@@ -473,7 +559,7 @@ class Orchestrator:
 
     def _handle_trace(self, ctx: JobContext, spec: TraceJob) -> dict:
         from repro.evaluation.runner import EvaluationRunner
-        from repro.obs import chrome_trace, tracing
+        from repro.obs import chrome_trace
 
         ctx.check()
         with _TRACE_LOCK:
@@ -488,6 +574,10 @@ class Orchestrator:
                 )
                 run = runner.helix_run(spec.bench)
             events = tracer.finished()
+        # Attach the capture to the job so the daemon's --trace-dir
+        # writer can export a per-job Perfetto file.
+        if not ctx.job.finished.is_set():
+            ctx.job.spans = [event.as_dict() for event in events]
         result = {
             "bench": spec.bench,
             "cores": spec.cores,

@@ -1,0 +1,14 @@
+"""Shared pytest configuration.
+
+Points the CLI's default results store at a per-test temporary
+directory, so bench/suite commands invoked inside tests never write
+run records into the developer's working tree (`.repro-results`).
+Tests that exercise the store explicitly pass ``--results-dir``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_results_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results-store"))

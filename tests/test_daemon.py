@@ -230,6 +230,157 @@ def test_job_log_written(daemon, tiny_bench):
         assert validate_event(event) == []
 
 
+@pytest.fixture()
+def obs_daemon(tmp_path, tiny_bench):
+    """A daemon with the full observability plane on: per-job traces,
+    fast heartbeat, job log."""
+    socket_path = str(tmp_path / "obs.sock")
+    orchestrator = Orchestrator(cache=tmp_path / "cache", workers=2)
+    server = Daemon(
+        orchestrator,
+        socket_path=socket_path,
+        drain_timeout=60.0,
+        log_path=str(tmp_path / "jobs.jsonl"),
+        trace_dir=str(tmp_path / "traces"),
+        heartbeat=0.2,
+    )
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            server.serve(install_signal_handlers=False)
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert server.ready.wait(10)
+    yield server
+    server.request_stop()
+    thread.join(30)
+    assert not thread.is_alive()
+
+
+def test_status_rpc_schema_and_queue_depth(obs_daemon, tiny_bench):
+    with ServiceClient(socket_path=obs_daemon.socket_path) as client:
+        status = client.status()
+        assert validate_event(status) == []
+        assert status["run"] == obs_daemon.run_id
+        assert status["uptime_seconds"] >= 0
+        assert status["workers"] == {"configured": 2, "alive": 2}
+        assert status["accepting"] is True
+        assert set(status["queue"]) == {
+            "queued", "running", "done", "failed", "cancelled",
+        }
+        assert all(count == 0 for count in status["queue"].values())
+        # Saturate both workers with slow jobs plus one queued job, then
+        # check the live depth gauges add up.
+        jobs = [
+            client.request({"op": "run", "bench": "slowd", "cores": c})
+            for c in (2, 3, 4)
+        ]
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            status = client.status()
+            if status["queue"]["running"] == 2:
+                break
+            time.sleep(0.05)
+        assert status["queue"]["running"] == 2
+        assert status["queue"]["queued"] == 1
+        in_flight = status["in_flight"]
+        assert len(in_flight) == 2
+        for entry in in_flight:
+            assert entry["op"] == "run"
+            assert entry["bench"] == "slowd"
+            assert entry["age_seconds"] >= 0
+        for job in jobs:
+            client.wait(job)
+        status = client.status()
+        assert status["queue"]["done"] == 3
+        assert status["queue"]["running"] == 0
+        assert status["in_flight"] == []
+
+
+def test_traced_job_writes_valid_perfetto_file(obs_daemon, tiny_bench):
+    from repro.obs import validate_chrome_trace
+
+    with ServiceClient(socket_path=obs_daemon.socket_path) as client:
+        finished = client.run(
+            {"op": "run", "bench": tiny_bench, "cores": 4, "trace": True}
+        )
+        trace_path = finished.get("trace_path")
+        assert trace_path, "traced job published no trace_path"
+        payload = json.loads(open(trace_path, encoding="utf-8").read())
+        assert validate_chrome_trace(payload) == []
+        spans = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert spans, "trace has no spans"
+        assert payload["otherData"]["metrics"] == finished["metrics"]
+        # The dedicated trace op gets a file too.
+        traced = client.run({"op": "trace", "bench": tiny_bench})
+        assert traced.get("trace_path")
+        assert validate_chrome_trace(
+            json.loads(open(traced["trace_path"], encoding="utf-8").read())
+        ) == []
+        # An untraced job does not.
+        plain = client.run({"op": "run", "bench": tiny_bench, "cores": 4})
+        assert "trace_path" not in plain
+
+
+def test_job_metrics_are_per_job_deltas(obs_daemon, tiny_bench):
+    """Two jobs on a warm store must not double-count each other's work:
+    each terminal event carries only its own attempt's delta."""
+    with ServiceClient(socket_path=obs_daemon.socket_path) as client:
+        cold = client.run({"op": "run", "bench": tiny_bench, "cores": 4})
+        warm = client.run({"op": "run", "bench": tiny_bench, "cores": 4})
+    cold_counters = cold["metrics"]["counters"]
+    warm_counters = warm["metrics"]["counters"]
+    # The cold attempt compiles and executes from scratch; the warm
+    # resubmission is served from the artifact store.  Each terminal
+    # event must carry only its own attempt's delta: pre-isolation,
+    # job.metrics was a shared-registry snapshot, which would have
+    # replayed the cold job's computes in the warm job too.
+    assert cold_counters.get("stage.execute.computes", 0) >= 1
+    assert cold_counters.get("interp.codegen.functions", 0) >= 1
+    assert warm_counters.get("stage.execute.computes", 0) == 0
+    assert warm_counters.get("interp.codegen.functions", 0) == 0
+    assert warm_counters.get("stage.execute.disk_hits", 0) >= 1
+    cold_store_misses = sum(
+        v for k, v in cold_counters.items()
+        if k.startswith("evalcache.misses.")
+    )
+    warm_store_misses = sum(
+        v for k, v in warm_counters.items()
+        if k.startswith("evalcache.misses.")
+    )
+    assert cold_store_misses >= 1
+    assert warm_store_misses == 0
+
+
+def test_log_has_seq_run_and_heartbeats(obs_daemon, tiny_bench):
+    with ServiceClient(socket_path=obs_daemon.socket_path) as client:
+        client.run({"op": "run", "bench": tiny_bench, "cores": 4})
+        time.sleep(0.5)  # let at least one more heartbeat land
+    lines = [
+        json.loads(line)
+        for line in open(obs_daemon.log_path, encoding="utf-8")
+    ]
+    assert lines
+    seqs = [line["seq"] for line in lines]
+    assert seqs == list(range(1, len(lines) + 1)), "seq not monotonic"
+    assert {line["run"] for line in lines} == {obs_daemon.run_id}
+    kinds = [line["event"] for line in lines]
+    assert "heartbeat" in kinds
+    assert kinds[0] == "heartbeat", "first heartbeat should be immediate"
+    assert "trace_written" not in kinds  # no traced jobs in this test
+    for line in lines:
+        payload = {
+            k: v for k, v in line.items() if k not in ("seq", "run")
+        }
+        assert validate_event(payload) == []
+    beats = [line for line in lines if line["event"] == "heartbeat"]
+    assert all(
+        "queue" in beat and "workers" in beat and beat["uptime_seconds"] >= 0
+        for beat in beats
+    )
+
+
 def test_graceful_drain(tmp_path, tiny_bench):
     """request_stop (the SIGTERM path) finishes in-flight jobs, tears
     the workers down, and removes the socket."""

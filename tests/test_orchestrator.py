@@ -274,6 +274,100 @@ def test_run_job_via_real_pipeline(tmp_path, tiny_bench):
         orch.shutdown()
 
 
+def test_concurrent_jobs_get_disjoint_metric_deltas():
+    """Two jobs running simultaneously on different worker threads must
+    not see each other's counters: the per-attempt registry scope is
+    thread-local."""
+    from repro.obs import REGISTRY
+
+    barrier = threading.Barrier(2, timeout=10)
+
+    def counting(ctx, spec):
+        barrier.wait()  # both attempts are now in-flight together
+        REGISTRY.inc(f"test.work.{spec.tag}", int(spec.tag))
+        barrier.wait()  # neither has folded its scope yet
+        return {}
+
+    orch, _ = make_orchestrator(counting, workers=2)
+    try:
+        before = REGISTRY.snapshot()["counters"]
+        jobs = [orch.submit(FakeSpec("3")), orch.submit(FakeSpec("5"))]
+        for job in jobs:
+            orch.wait(job, timeout=10)
+            assert job.state is JobState.DONE
+        assert jobs[0].metrics["counters"] == {"test.work.3": 3}
+        assert jobs[1].metrics["counters"] == {"test.work.5": 5}
+        # Scopes fold into the global registry on exit.
+        after = REGISTRY.snapshot()["counters"]
+        assert after.get("test.work.3", 0) - before.get("test.work.3", 0) == 3
+        assert after.get("test.work.5", 0) - before.get("test.work.5", 0) == 5
+    finally:
+        orch.shutdown()
+
+
+def test_traced_submit_attaches_spans():
+    from repro.obs import get_tracer
+
+    def spanful(ctx, spec):
+        tracer = get_tracer()
+        with tracer.span("unit.work", tag=spec.tag):
+            pass
+        return {}
+
+    orch, _ = make_orchestrator(spanful)
+    try:
+        traced = orch.submit(FakeSpec("t"), trace=True)
+        orch.wait(traced, timeout=10)
+        assert traced.state is JobState.DONE
+        assert traced.spans, "traced job captured no spans"
+        names = [span["name"] for span in traced.spans]
+        assert "unit.work" in names
+
+        plain = orch.submit(FakeSpec("p"))
+        orch.wait(plain, timeout=10)
+        assert plain.spans is None
+    finally:
+        orch.shutdown()
+
+
+def test_status_reports_queue_and_workers():
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def blocker(ctx, spec):
+        entered.set()
+        gate.wait(20)
+        return {}
+
+    orch, _ = make_orchestrator(blocker, workers=1)
+    try:
+        running = orch.submit(FakeSpec("run"))
+        queued = orch.submit(FakeSpec("wait"))
+        assert entered.wait(10)
+        status = orch.status()
+        assert status["accepting"] is True
+        assert status["queue"]["running"] == 1
+        assert status["queue"]["queued"] == 1
+        assert status["workers"]["configured"] == 1
+        assert status["workers"]["alive"] == 1
+        (entry,) = status["in_flight"]
+        assert entry["job"] == running.id
+        assert entry["op"] == "fake"
+        assert entry["age_seconds"] >= 0
+        gate.set()
+        for job in (running, queued):
+            orch.wait(job, timeout=10)
+        status = orch.status()
+        assert status["queue"]["done"] == 2
+        assert status["in_flight"] == []
+        assert set(status["queue"]) == {
+            state.value for state in JobState
+        }
+    finally:
+        gate.set()
+        orch.shutdown()
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     plan=st.lists(
